@@ -1,0 +1,128 @@
+// Package cm5 is the public API of the CM-5 communication-scheduling
+// library: a discrete-event model of the Connection Machine CM-5's data
+// and control networks together with the complete-exchange, broadcast,
+// and irregular-pattern scheduling algorithms of Ponnusamy, Thakur,
+// Choudhary and Fox, "Scheduling Regular and Irregular Communication
+// Patterns on the CM-5" (SC 1992).
+//
+// Quick start:
+//
+//	cfg := cm5.DefaultConfig()
+//	pex, _ := cm5.CompleteExchange("PEX", 32, 1024, cfg)
+//	bex, _ := cm5.CompleteExchange("BEX", 32, 1024, cfg)
+//	fmt.Printf("PEX %.3f ms  BEX %.3f ms\n", pex.Millis(), bex.Millis())
+//
+// For irregular patterns, build a Pattern (bytes from processor i to j),
+// schedule it, and run:
+//
+//	p := cm5.SyntheticPattern(32, 0.25, 256, 1)
+//	s, _ := cm5.ScheduleIrregular("GS", p)
+//	d, _ := cm5.RunSchedule(s, cfg)
+//
+// Node-level programming (the CMMD model: synchronous Send/Recv,
+// barriers, control-network collectives) is available through NewMachine.
+package cm5
+
+import (
+	"repro/internal/cmmd"
+	"repro/internal/network"
+	"repro/internal/pattern"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Duration is simulated time in nanoseconds. Use Seconds, Millis or
+// Micros for conversions.
+type Duration = sim.Time
+
+// Config holds the machine timing constants; DefaultConfig returns the
+// calibrated CM-5 model (20/10/5 MB/s fat-tree envelope, 88 us message
+// latency, 20-byte packets, control-network collectives).
+type Config = network.Config
+
+// DefaultConfig returns the calibrated CM-5 constants.
+func DefaultConfig() Config { return network.DefaultConfig() }
+
+// Pattern is an irregular communication pattern: Pattern[i][j] bytes
+// flow from processor i to processor j.
+type Pattern = pattern.Matrix
+
+// Schedule is an explicit communication schedule (steps of transfers).
+type Schedule = sched.Schedule
+
+// Machine is a simulated CM-5 partition programmable with node programs.
+type Machine = cmmd.Machine
+
+// Node is one simulated processing node inside a Machine program.
+type Node = cmmd.Node
+
+// NewMachine builds an n-node simulated partition (n a power of two).
+func NewMachine(n int, cfg Config) (*Machine, error) { return cmmd.NewMachine(n, cfg) }
+
+// NewPattern returns an empty n-processor pattern.
+func NewPattern(n int) Pattern { return pattern.New(n) }
+
+// SyntheticPattern generates a random pattern of the given density
+// (fraction of processor pairs communicating) with fixed message size.
+func SyntheticPattern(n int, density float64, bytesPerMsg int, seed int64) Pattern {
+	return pattern.Synthetic(n, density, bytesPerMsg, seed)
+}
+
+// PaperPatternP returns the paper's Table 6 example pattern scaled to
+// bytesPerMsg per message.
+func PaperPatternP(bytesPerMsg int) Pattern { return pattern.PaperP(bytesPerMsg) }
+
+// CompleteExchange runs the named all-to-all algorithm (LEX, PEX, REX,
+// BEX) on an n-node machine with bytesPerPair per processor pair and
+// returns the simulated time.
+func CompleteExchange(alg string, n, bytesPerPair int, cfg Config) (Duration, error) {
+	return sched.Exchange(alg, n, bytesPerPair, cfg)
+}
+
+// Broadcast runs the named one-to-all algorithm (LIB, REB, SYS) from
+// root and returns the simulated time for all nodes to hold nbytes.
+func Broadcast(alg string, n, root, nbytes int, cfg Config) (Duration, error) {
+	return sched.Broadcast(alg, n, root, nbytes, cfg)
+}
+
+// ScheduleIrregular builds a schedule for an irregular pattern with the
+// named scheduler (LS, PS, BS, GS).
+func ScheduleIrregular(alg string, p Pattern) (*Schedule, error) {
+	return sched.Irregular(alg, p)
+}
+
+// RunSchedule executes a schedule on a fresh machine and returns the
+// simulated completion time of the slowest node.
+func RunSchedule(s *Schedule, cfg Config) (Duration, error) {
+	return sched.Run(s, cfg)
+}
+
+// Shift runs the circular-shift regular pattern: every processor sends
+// nbytes to (rank + offset) mod n, two-phase ordered so it completes in
+// two parallel waves under synchronous sends.
+func Shift(n, offset, nbytes int, cfg Config) (Duration, error) {
+	return sched.Run(sched.Shift(n, offset, nbytes), cfg)
+}
+
+// CrystalRouter runs an irregular pattern through the hypercube
+// store-and-forward crystal router (Fox et al. 1988) — the baseline the
+// paper cites — instead of a direct schedule.
+func CrystalRouter(p Pattern, cfg Config) (Duration, error) {
+	return sched.RunCrystalRouter(p, cfg)
+}
+
+// RunScheduleAsync executes a schedule with buffered (non-blocking)
+// sends: the what-if of the paper's Section 3.1 (real CMMD 1.x was
+// synchronous-only).
+func RunScheduleAsync(s *Schedule, cfg Config) (Duration, error) {
+	return sched.RunAsync(s, cfg)
+}
+
+// ExchangeAlgorithms lists the complete-exchange algorithm names.
+func ExchangeAlgorithms() []string { return []string{"LEX", "PEX", "REX", "BEX"} }
+
+// BroadcastAlgorithms lists the broadcast algorithm names.
+func BroadcastAlgorithms() []string { return []string{"LIB", "REB", "SYS"} }
+
+// IrregularAlgorithms lists the irregular scheduler names.
+func IrregularAlgorithms() []string { return []string{"LS", "PS", "BS", "GS"} }

@@ -1,0 +1,121 @@
+package cm5
+
+import "testing"
+
+func TestFacadeCompleteExchange(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, alg := range ExchangeAlgorithms() {
+		d, err := CompleteExchange(alg, 16, 256, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if d <= 0 {
+			t.Fatalf("%s: zero duration", alg)
+		}
+	}
+}
+
+func TestFacadeBroadcast(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, alg := range BroadcastAlgorithms() {
+		d, err := Broadcast(alg, 16, 0, 1024, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if d <= 0 {
+			t.Fatalf("%s: zero duration", alg)
+		}
+	}
+}
+
+func TestFacadeIrregular(t *testing.T) {
+	cfg := DefaultConfig()
+	p := SyntheticPattern(16, 0.3, 128, 7)
+	for _, alg := range IrregularAlgorithms() {
+		s, err := ScheduleIrregular(alg, p)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if err := s.CoversPattern(p); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		d, err := RunSchedule(s, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if d <= 0 {
+			t.Fatalf("%s: zero duration", alg)
+		}
+	}
+}
+
+func TestFacadeNodeProgramming(t *testing.T) {
+	m, err := NewMachine(4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	_, err = m.Run(func(n *Node) {
+		v := n.AllReduce(float64(n.ID()), 0 /* OpSum */)
+		if n.ID() == 0 {
+			sum = v
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 6 {
+		t.Fatalf("sum = %g", sum)
+	}
+}
+
+func TestFacadePaperPattern(t *testing.T) {
+	p := PaperPatternP(256)
+	if p.Messages() != 34 {
+		t.Fatalf("messages = %d", p.Messages())
+	}
+	if NewPattern(8).Messages() != 0 {
+		t.Fatal("new pattern not empty")
+	}
+}
+
+func TestFacadeShift(t *testing.T) {
+	d, err := Shift(16, 3, 1024, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("zero duration")
+	}
+}
+
+func TestFacadeCrystalRouter(t *testing.T) {
+	p := SyntheticPattern(16, 0.3, 256, 2)
+	d, err := CrystalRouter(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("zero duration")
+	}
+}
+
+func TestFacadeAsyncSchedule(t *testing.T) {
+	p := PaperPatternP(256)
+	s, err := ScheduleIrregular("LS", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, err := RunSchedule(s, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := ScheduleIrregular("LS", p)
+	async, err := RunScheduleAsync(s2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if async >= sync {
+		t.Fatalf("async LS (%v) should beat sync LS (%v)", async, sync)
+	}
+}

@@ -1,0 +1,61 @@
+package cm5_test
+
+import (
+	"fmt"
+
+	"repro/cm5"
+)
+
+// ExampleCompleteExchange reproduces the core comparison of the paper's
+// Figure 5: balanced exchange beats pairwise exchange for large messages
+// on a 32-node machine.
+func ExampleCompleteExchange() {
+	cfg := cm5.DefaultConfig()
+	pex, _ := cm5.CompleteExchange("PEX", 32, 2048, cfg)
+	bex, _ := cm5.CompleteExchange("BEX", 32, 2048, cfg)
+	fmt.Println("BEX beats PEX at 2048 B:", bex < pex)
+	// Output:
+	// BEX beats PEX at 2048 B: true
+}
+
+// ExampleScheduleIrregular schedules the paper's Table 6 pattern with
+// the greedy algorithm; it completes in the 6 steps of Table 10.
+func ExampleScheduleIrregular() {
+	p := cm5.PaperPatternP(1)
+	s, _ := cm5.ScheduleIrregular("GS", p)
+	fmt.Println("steps:", s.NumSteps())
+	// Output:
+	// steps: 6
+}
+
+// ExampleNewMachine programs the simulated nodes directly in the CMMD
+// style: a global sum over the control network.
+func ExampleNewMachine() {
+	m, _ := cm5.NewMachine(8, cm5.DefaultConfig())
+	var sum float64
+	m.Run(func(n *cm5.Node) {
+		v := n.AllReduce(float64(n.ID()), 0) // OpSum
+		if n.ID() == 0 {
+			sum = v
+		}
+	})
+	fmt.Println("sum of ranks:", sum)
+	// Output:
+	// sum of ranks: 28
+}
+
+// ExampleBroadcast shows the Figure 10 crossover: the control-network
+// system broadcast wins for small messages, recursive broadcast for
+// large ones.
+func ExampleBroadcast() {
+	cfg := cm5.DefaultConfig()
+	sysSmall, _ := cm5.Broadcast("SYS", 32, 0, 64, cfg)
+	rebSmall, _ := cm5.Broadcast("REB", 32, 0, 64, cfg)
+	sysBig, _ := cm5.Broadcast("SYS", 32, 0, 8192, cfg)
+	rebBig, _ := cm5.Broadcast("REB", 32, 0, 8192, cfg)
+	fmt.Println("system wins small:", sysSmall < rebSmall)
+	fmt.Println("recursive wins large:", rebBig < sysBig)
+	// Output:
+	// system wins small: true
+	// recursive wins large: true
+}

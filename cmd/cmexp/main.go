@@ -1,0 +1,111 @@
+// Command cmexp regenerates every table and figure of the paper's
+// evaluation on the CM-5 simulator.
+//
+// Usage:
+//
+//	cmexp [flags] <experiment>...
+//
+// Experiments: fig5 fig6 fig7 fig8 fig10 fig11 table5 table11 table12
+// schedules all
+//
+// Flags:
+//
+//	-procs N     processor count for table5 (default: both 32 and 256)
+//	-maxsize S   largest FFT array edge for table5 (default 2048)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/network"
+)
+
+func main() {
+	procs := flag.Int("procs", 0, "processor count for table5 (0 = both 32 and 256)")
+	maxSize := flag.Int("maxsize", 2048, "largest FFT array edge for table5")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: cmexp [flags] fig5|fig6|fig7|fig8|fig10|fig11|table5|table11|table12|schedules|ablations|all")
+		os.Exit(2)
+	}
+	cfg := network.DefaultConfig()
+	for _, arg := range flag.Args() {
+		if err := run(arg, cfg, *procs, *maxSize); err != nil {
+			fmt.Fprintf(os.Stderr, "cmexp %s: %v\n", arg, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(name string, cfg network.Config, procs, maxSize int) error {
+	show := func(t *exp.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Render())
+		return nil
+	}
+	switch name {
+	case "fig5":
+		return show(exp.Fig5(cfg))
+	case "fig6":
+		return show(exp.Fig6(cfg))
+	case "fig7":
+		return show(exp.Fig7(cfg))
+	case "fig8":
+		return show(exp.Fig8(cfg))
+	case "fig10":
+		return show(exp.Fig10(cfg))
+	case "fig11":
+		return show(exp.Fig11(cfg))
+	case "table5":
+		sizes := []int{32, 256}
+		if procs != 0 {
+			sizes = []int{procs}
+		}
+		for _, n := range sizes {
+			if err := show(exp.Table5(n, maxSize, cfg)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "table11":
+		return show(exp.Table11(cfg))
+	case "table12":
+		t, _, err := exp.Table12(cfg)
+		return show(t, err)
+	case "schedules":
+		fmt.Println(exp.ScheduleTables())
+		return nil
+	case "ablation-async":
+		return show(exp.AblationAsync(cfg))
+	case "ablation-fattree":
+		return show(exp.AblationFatTree(cfg))
+	case "ablation-greedy":
+		return show(exp.AblationGreedy(cfg))
+	case "ablation-crossover":
+		return show(exp.AblationCrossover(cfg))
+	case "ablation-crystal":
+		return show(exp.AblationCrystal(cfg))
+	case "ablations":
+		for _, sub := range []string{"ablation-async", "ablation-fattree",
+			"ablation-greedy", "ablation-crossover", "ablation-crystal"} {
+			if err := run(sub, cfg, procs, maxSize); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "all":
+		for _, sub := range []string{"schedules", "fig5", "fig6", "fig7", "fig8",
+			"table5", "fig10", "fig11", "table11", "table12", "ablations"} {
+			if err := run(sub, cfg, procs, maxSize); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", name)
+}

@@ -1,0 +1,94 @@
+// Command cmtrace runs one complete-exchange or irregular schedule with
+// message tracing enabled and reports where the time went: per-node
+// rendezvous waiting and per-level fat-tree utilization. This is the
+// diagnostic view behind the paper's scheduling arguments — LEX's wait
+// explosion and PEX's bursty use of the thinned upper tree are directly
+// visible.
+//
+// Usage:
+//
+//	cmtrace -alg lex -n 32 -bytes 256
+//	cmtrace -alg gs -n 32 -density 0.25 -bytes 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/cmmd"
+	"repro/internal/network"
+	"repro/internal/pattern"
+	"repro/internal/sched"
+)
+
+func main() {
+	alg := flag.String("alg", "pex", "lex|pex|bex (regular) or ls|ps|bs|gs (irregular)")
+	n := flag.Int("n", 32, "processor count (power of two)")
+	bytes := flag.Int("bytes", 256, "bytes per message")
+	density := flag.Float64("density", 0.5, "density for irregular patterns")
+	seed := flag.Int64("seed", 1, "pattern seed")
+	perNode := flag.Bool("nodes", false, "print the per-node wait table")
+	flag.Parse()
+
+	var s *sched.Schedule
+	switch strings.ToUpper(*alg) {
+	case "LEX":
+		s = sched.LEX(*n, *bytes)
+	case "PEX":
+		s = sched.PEX(*n, *bytes)
+	case "BEX":
+		s = sched.BEX(*n, *bytes)
+	case "LS", "PS", "BS", "GS":
+		p := pattern.Synthetic(*n, *density, *bytes, *seed)
+		var err error
+		s, err = sched.Irregular(strings.ToUpper(*alg), p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cmtrace:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "cmtrace: unknown algorithm", *alg)
+		os.Exit(1)
+	}
+
+	cfg := network.DefaultConfig()
+	m, err := cmmd.NewMachine(*n, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmtrace:", err)
+		os.Exit(1)
+	}
+	m.EnableTrace()
+	elapsed, err := sched.RunOn(m, s, sched.DataHooks{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmtrace:", err)
+		os.Exit(1)
+	}
+
+	tr := m.Trace()
+	fmt.Printf("%s on %d nodes: %d steps, %d messages, makespan %.3f ms\n",
+		s.Algorithm, *n, s.NumSteps(), len(tr.Events), elapsed.Millis())
+	fmt.Printf("total rendezvous wait: %.3f ms (%.1f ms per node average)\n",
+		tr.TotalWait().Millis(), tr.TotalWait().Millis()/float64(*n))
+
+	util := m.Net().LevelUtilization(elapsed)
+	var levels []int
+	for l := range util {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	fmt.Println("\nfat-tree utilization by level (fraction of level capacity x makespan):")
+	for _, l := range levels {
+		name := fmt.Sprintf("level %d", l)
+		if l == 0 {
+			name = "node links"
+		}
+		fmt.Printf("  %-10s  %5.1f%%\n", name, 100*util[l])
+	}
+	if *perNode {
+		fmt.Println()
+		fmt.Print(tr.Summary(*n))
+	}
+}

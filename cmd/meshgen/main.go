@@ -1,0 +1,77 @@
+// Command meshgen generates the synthetic unstructured meshes standing
+// in for the paper's CG and Euler problems, partitions them, and reports
+// the halo-exchange pattern statistics that drive Table 12.
+//
+// Usage:
+//
+//	meshgen -vertices 2048 -procs 32 -bytes 32
+//	meshgen -all            # the paper's five problems
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/mesh"
+)
+
+func main() {
+	vertices := flag.Int("vertices", 2048, "approximate vertex count")
+	procs := flag.Int("procs", 32, "processor count (power of two)")
+	bytes := flag.Int("bytes", 32, "bytes per ghost vertex (8 for CG, 32 for Euler)")
+	seed := flag.Int64("seed", 0, "mesh seed (default: vertex count)")
+	all := flag.Bool("all", false, "report all five problems from the paper's Table 12")
+	showPattern := flag.Bool("matrix", false, "print the full communication matrix")
+	flag.Parse()
+
+	if *all {
+		for _, prob := range exp.PaperTable12 {
+			report(prob.Vertices, *procs, prob.BytesPerVertex, int64(prob.Vertices), false, prob.Name,
+				prob.PaperDensityPct, prob.PaperAvgBytes)
+		}
+		return
+	}
+	s := *seed
+	if s == 0 {
+		s = int64(*vertices)
+	}
+	report(*vertices, *procs, *bytes, s, *showPattern, fmt.Sprintf("mesh-%d", *vertices), -1, -1)
+}
+
+func report(nv, procs, bytesPer int, seed int64, showPattern bool, name string, paperDensity, paperAvg int) {
+	m := mesh.Generate(nv, seed)
+	if err := m.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "meshgen:", err)
+		os.Exit(1)
+	}
+	owner := mesh.PartitionRCB(m, procs)
+	pt, err := mesh.NewPartition(m, owner, procs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "meshgen:", err)
+		os.Exit(1)
+	}
+	p := pt.HaloPattern(bytesPer)
+	fmt.Printf("%s: %d vertices, %d triangles, %d edges, %d processors\n",
+		name, m.NumVertices(), m.NumTriangles(), len(m.Edges()), procs)
+	fmt.Printf("  halo pattern: %d messages, density %.0f%%, avg %.0f bytes/message\n",
+		p.Messages(), 100*p.Density(), p.AvgBytes())
+	if paperDensity >= 0 {
+		fmt.Printf("  paper reported: density %d%%, avg %d bytes/message\n", paperDensity, paperAvg)
+	}
+	counts := pt.NeighborCounts()
+	min, max := counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	fmt.Printf("  neighbors per processor: min %d, max %d\n\n", min, max)
+	if showPattern {
+		fmt.Println(p)
+	}
+}

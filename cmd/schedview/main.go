@@ -1,0 +1,74 @@
+// Command schedview prints communication schedules in the style of the
+// paper's Tables 1-4 (regular algorithms) and 7-10 (irregular schedulers
+// on a pattern).
+//
+// Usage:
+//
+//	schedview -alg pex -n 8              # regular: lex pex rex bex
+//	schedview -alg gs -pattern P         # irregular on the paper's P
+//	schedview -alg ps -n 16 -density 0.4 # irregular on a synthetic pattern
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/fattree"
+	"repro/internal/pattern"
+	"repro/internal/sched"
+)
+
+func main() {
+	alg := flag.String("alg", "pex", "algorithm: lex|pex|rex|bex|lib-like regular, or ls|ps|bs|gs irregular")
+	n := flag.Int("n", 8, "processor count (power of two)")
+	patName := flag.String("pattern", "", "irregular pattern: 'P' for the paper's Table 6 example")
+	density := flag.Float64("density", 0.5, "density for synthetic irregular patterns")
+	bytes := flag.Int("bytes", 1, "bytes per message")
+	seed := flag.Int64("seed", 1, "seed for synthetic patterns")
+	global := flag.Bool("global", false, "also print per-step top-of-tree crossing counts")
+	flag.Parse()
+
+	s, p, err := build(strings.ToUpper(*alg), *n, *patName, *density, *bytes, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedview:", err)
+		os.Exit(1)
+	}
+	if p != nil {
+		fmt.Printf("Pattern (%d processors, %d messages, %.0f%% density):\n%s\n",
+			p.N(), p.Messages(), 100*p.Density(), p)
+	}
+	fmt.Printf("%s schedule, %d steps, %d messages, %d bytes total:\n\n%s\n",
+		s.Algorithm, s.NumSteps(), s.Messages(), s.TotalBytes(), s.Table())
+	if *global {
+		topo := fattree.MustNew(s.N)
+		fmt.Printf("top-of-tree crossings per step: %v\n", s.GlobalExchangesPerStep(topo))
+	}
+}
+
+func build(alg string, n int, patName string, density float64, bytes int, seed int64) (*sched.Schedule, pattern.Matrix, error) {
+	switch alg {
+	case "LEX":
+		return sched.LEX(n, bytes), nil, nil
+	case "PEX":
+		return sched.PEX(n, bytes), nil, nil
+	case "REX":
+		return sched.REX(n, bytes), nil, nil
+	case "BEX":
+		return sched.BEX(n, bytes), nil, nil
+	case "LS", "PS", "BS", "GS":
+		var p pattern.Matrix
+		switch {
+		case strings.EqualFold(patName, "P"):
+			p = pattern.PaperP(bytes)
+		case patName == "":
+			p = pattern.Synthetic(n, density, bytes, seed)
+		default:
+			return nil, nil, fmt.Errorf("unknown pattern %q (use 'P' or empty for synthetic)", patName)
+		}
+		s, err := sched.Irregular(alg, p)
+		return s, p, err
+	}
+	return nil, nil, fmt.Errorf("unknown algorithm %q", alg)
+}

@@ -1,0 +1,9 @@
+// Package repro is a production-quality Go reproduction of Ponnusamy,
+// Thakur, Choudhary and Fox, "Scheduling Regular and Irregular
+// Communication Patterns on the CM-5" (SC 1992).
+//
+// The public API lives in package repro/cm5. The benchmark harness in
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation; the cmd/cmexp tool prints them as tables. See README.md,
+// DESIGN.md and EXPERIMENTS.md.
+package repro

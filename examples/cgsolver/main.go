@@ -1,0 +1,44 @@
+// cgsolver reproduces the paper's conjugate-gradient workload: CG on a
+// 16K-vertex unstructured mesh distributed over 32 simulated CM-5 nodes,
+// with the per-iteration halo exchange scheduled by each of the paper's
+// four irregular algorithms (Table 12, first column).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/apps/cg"
+	"repro/internal/mesh"
+	"repro/internal/network"
+)
+
+func main() {
+	const vertices, procs = 16384, 32
+	m := mesh.Generate(vertices, 16384)
+	rng := rand.New(rand.NewSource(7))
+	b := make([]float64, m.NumVertices())
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	cfg := network.DefaultConfig()
+
+	fmt.Printf("Distributed CG on a %d-vertex mesh, %d simulated nodes\n\n", m.NumVertices(), procs)
+	fmt.Printf("%6s  %8s  %12s  %10s  %9s\n", "alg", "iters", "residual", "sim time", "steps/exch")
+	for _, alg := range []string{"LS", "PS", "BS", "GS"} {
+		res, err := cg.Solve(procs, m, b, cg.Options{Alg: alg, Tol: 1e-8, MaxIter: 400}, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6s  %8d  %12.2e  %9.3f s  %9d\n",
+			alg, res.Iters, res.Residual, res.Elapsed.Seconds(), res.Schedule.NumSteps())
+	}
+	pat, err := cg.Solve(procs, m, b, cg.Options{Alg: "GS", Tol: 1e-2, MaxIter: 1}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nHalo pattern: %d messages, %.0f%% density, %.0f bytes/message average\n",
+		pat.Pattern.Messages(), 100*pat.Pattern.Density(), pat.Pattern.AvgBytes())
+	fmt.Println("The schedule is built once and amortized over all iterations (paper Section 4.5).")
+}

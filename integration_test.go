@@ -1,0 +1,154 @@
+package repro
+
+// Full-stack integration tests tying the public API, the simulator, and
+// the experiment harness together.
+
+import (
+	"testing"
+
+	"repro/cm5"
+	"repro/internal/exp"
+	"repro/internal/network"
+	"repro/internal/sched"
+)
+
+// TestEndToEndDeterminism re-runs a representative slice of every
+// experiment family and requires bit-identical simulated times: the
+// whole stack (engine, flow network, rendezvous, schedulers) must be
+// deterministic.
+func TestEndToEndDeterminism(t *testing.T) {
+	cfg := cm5.DefaultConfig()
+	sample := func() []cm5.Duration {
+		var out []cm5.Duration
+		for _, alg := range cm5.ExchangeAlgorithms() {
+			d, err := cm5.CompleteExchange(alg, 16, 512, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, d)
+		}
+		for _, alg := range cm5.BroadcastAlgorithms() {
+			d, err := cm5.Broadcast(alg, 16, 0, 2048, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, d)
+		}
+		p := cm5.SyntheticPattern(16, 0.4, 256, 11)
+		for _, alg := range cm5.IrregularAlgorithms() {
+			s, err := cm5.ScheduleIrregular(alg, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := cm5.RunSchedule(s, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, d)
+		}
+		d, err := cm5.CrystalRouter(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, d)
+		return out
+	}
+	a := sample()
+	b := sample()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic result %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPaperConclusionsHold asserts the paper's Section 5 conclusions as
+// a single executable statement over the simulator.
+func TestPaperConclusionsHold(t *testing.T) {
+	cfg := network.DefaultConfig()
+
+	// "For a large number of processors, the Recursive Exchange
+	// algorithm performs the best" — true at small message sizes, where
+	// the per-message overhead dominates.
+	rex, _ := sched.Exchange("REX", 256, 0, cfg)
+	pex, _ := sched.Exchange("PEX", 256, 0, cfg)
+	if rex >= pex {
+		t.Errorf("REX (%v) should beat PEX (%v) at 0 B on 256 procs", rex, pex)
+	}
+
+	// "Balanced exchange performs the best for small message sizes" (on
+	// 32 nodes, among the N-1-step algorithms).
+	bex256, _ := sched.Exchange("BEX", 32, 256, cfg)
+	pex256, _ := sched.Exchange("PEX", 32, 256, cfg)
+	if bex256 > pex256 {
+		t.Errorf("BEX (%v) should not lose to PEX (%v) at 256 B", bex256, pex256)
+	}
+
+	// "For large message sizes in a small multiprocessor system,
+	// pairwise exchange performs better than [recursive]".
+	pexBig, _ := sched.Exchange("PEX", 16, 1920, cfg)
+	rexBig, _ := sched.Exchange("REX", 16, 1920, cfg)
+	if pexBig >= rexBig {
+		t.Errorf("PEX (%v) should beat REX (%v) at 1920 B on 16 procs", pexBig, rexBig)
+	}
+
+	// "The recursive broadcast algorithm ... is also better than the
+	// system broadcast functions when the message size is large."
+	reb, _ := sched.Broadcast("REB", 32, 0, 8192, cfg)
+	sys, _ := sched.Broadcast("SYS", 32, 0, 8192, cfg)
+	if reb >= sys {
+		t.Errorf("REB (%v) should beat system broadcast (%v) at 8 KB", reb, sys)
+	}
+
+	// "The linear scheduling algorithm suffers because of the
+	// synchronous communication constraint."
+	p := cm5.SyntheticPattern(32, 0.25, 256, 3)
+	ls, _ := cm5.RunSchedule(mustSched(t, "LS", p), cfg)
+	gs, _ := cm5.RunSchedule(mustSched(t, "GS", p), cfg)
+	if ls < 2*gs {
+		t.Errorf("LS (%v) should be at least 2x GS (%v)", ls, gs)
+	}
+}
+
+func mustSched(t *testing.T, alg string, p cm5.Pattern) *cm5.Schedule {
+	t.Helper()
+	s, err := cm5.ScheduleIrregular(alg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestExperimentIndexComplete checks that every table/figure the paper
+// reports has a working runner (the DESIGN.md experiment index).
+func TestExperimentIndexComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many simulations")
+	}
+	cfg := network.DefaultConfig()
+	runners := map[string]func() error{
+		"fig5":  func() error { _, err := exp.Fig5(cfg); return err },
+		"fig10": func() error { _, err := exp.Fig10(cfg); return err },
+		"fig11": func() error { _, err := exp.Fig11(cfg); return err },
+		"table11": func() error {
+			_, err := exp.Table11(cfg)
+			return err
+		},
+		"table12": func() error {
+			_, _, err := exp.Table12(cfg)
+			return err
+		},
+		"table5-small": func() error {
+			_, err := exp.Table5(32, 256, cfg)
+			return err
+		},
+	}
+	for name, run := range runners {
+		if err := run(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if exp.ScheduleTables() == "" {
+		t.Fatal("schedule tables empty")
+	}
+}

@@ -1,0 +1,222 @@
+package cg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/network"
+)
+
+func testMesh(t *testing.T, nv int) *mesh.Mesh {
+	t.Helper()
+	m := mesh.Generate(nv, 4)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("mesh: %v", err)
+	}
+	return m
+}
+
+func rhs(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return b
+}
+
+func TestLaplacianPlusIStructure(t *testing.T) {
+	m := testMesh(t, 100)
+	a := BuildLaplacianPlusI(m)
+	if a.N != m.NumVertices() {
+		t.Fatalf("N = %d", a.N)
+	}
+	adj := m.Adjacency()
+	for i := 0; i < a.N; i++ {
+		row := a.RowPtr[i+1] - a.RowPtr[i]
+		if row != len(adj[i])+1 {
+			t.Fatalf("row %d has %d entries, want %d", i, row, len(adj[i])+1)
+		}
+		// Diagonal dominance: diag = degree+1, offdiags are -1.
+		if a.Vals[a.RowPtr[i]] != float64(len(adj[i]))+1 {
+			t.Fatalf("diag[%d] = %g", i, a.Vals[a.RowPtr[i]])
+		}
+	}
+}
+
+func TestLaplacianSymmetric(t *testing.T) {
+	m := testMesh(t, 80)
+	a := BuildLaplacianPlusI(m)
+	dense := make([][]float64, a.N)
+	for i := range dense {
+		dense[i] = make([]float64, a.N)
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			dense[i][a.ColIdx[k]] = a.Vals[k]
+		}
+	}
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			if dense[i][j] != dense[j][i] {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatVecIdentityPart(t *testing.T) {
+	// (L+I) applied to the all-ones vector: L*1 = 0, so result is 1.
+	m := testMesh(t, 64)
+	a := BuildLaplacianPlusI(m)
+	x := make([]float64, a.N)
+	y := make([]float64, a.N)
+	for i := range x {
+		x[i] = 1
+	}
+	a.MatVec(x, y)
+	for i, v := range y {
+		if math.Abs(v-1) > 1e-12 {
+			t.Fatalf("y[%d] = %g, want 1", i, v)
+		}
+	}
+}
+
+func TestSequentialCGSolves(t *testing.T) {
+	m := testMesh(t, 200)
+	a := BuildLaplacianPlusI(m)
+	b := rhs(a.N, 1)
+	x, iters := SolveSequential(a, b, 1e-10, 1000)
+	if iters >= 1000 {
+		t.Fatalf("did not converge in %d iterations", iters)
+	}
+	// Verify A x == b.
+	y := make([]float64, a.N)
+	a.MatVec(x, y)
+	worst := 0.0
+	for i := range y {
+		if d := math.Abs(y[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-7 {
+		t.Fatalf("residual %g", worst)
+	}
+}
+
+func TestSequentialCGZeroRHS(t *testing.T) {
+	m := testMesh(t, 64)
+	a := BuildLaplacianPlusI(m)
+	x, iters := SolveSequential(a, make([]float64, a.N), 1e-10, 100)
+	if iters != 0 {
+		t.Fatalf("iters = %d for zero rhs", iters)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("nonzero solution for zero rhs")
+		}
+	}
+}
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	m := testMesh(t, 300)
+	b := rhs(m.NumVertices(), 2)
+	a := BuildLaplacianPlusI(m)
+	want, _ := SolveSequential(a, b, 1e-9, 2000)
+	res, err := Solve(8, m, b, Options{Alg: "GS", Tol: 1e-9, MaxIter: 2000}, network.DefaultConfig())
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Residual >= 1e-8 {
+		t.Fatalf("residual %g", res.Residual)
+	}
+	worst := 0.0
+	for i := range want {
+		if d := math.Abs(res.X[i] - want[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-6 {
+		t.Fatalf("distributed differs from sequential by %g", worst)
+	}
+}
+
+func TestAllSchedulersGiveSameAnswer(t *testing.T) {
+	m := testMesh(t, 200)
+	b := rhs(m.NumVertices(), 3)
+	var ref []float64
+	for _, alg := range []string{"LS", "PS", "BS", "GS"} {
+		res, err := Solve(8, m, b, Options{Alg: alg, Tol: 1e-9, MaxIter: 1000}, network.DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.Elapsed <= 0 {
+			t.Fatalf("%s: no simulated time", alg)
+		}
+		if ref == nil {
+			ref = res.X
+			continue
+		}
+		for i := range ref {
+			if math.Abs(ref[i]-res.X[i]) > 1e-9 {
+				t.Fatalf("%s: solution differs at %d", alg, i)
+			}
+		}
+	}
+}
+
+func TestGreedyFasterThanLinearHalo(t *testing.T) {
+	// The halo pattern is sparse (well under 50% density), so the paper
+	// predicts GS beats LS.
+	m := testMesh(t, 1000)
+	b := rhs(m.NumVertices(), 4)
+	ls, err := Solve(16, m, b, Options{Alg: "LS", Tol: 1e-8, MaxIter: 300}, network.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := Solve(16, m, b, Options{Alg: "GS", Tol: 1e-8, MaxIter: 300}, network.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Elapsed >= ls.Elapsed {
+		t.Fatalf("GS (%v) should beat LS (%v)", gs.Elapsed, ls.Elapsed)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	m := testMesh(t, 64)
+	if _, err := Solve(8, m, make([]float64, 3), Options{Alg: "GS"}, network.DefaultConfig()); err == nil {
+		t.Fatal("short rhs should fail")
+	}
+	if _, err := Solve(8, m, rhs(m.NumVertices(), 1), Options{Alg: "QQ"}, network.DefaultConfig()); err == nil {
+		t.Fatal("bad scheduler should fail")
+	}
+}
+
+func TestPatternReportedMatchesMeshPartition(t *testing.T) {
+	m := testMesh(t, 500)
+	b := rhs(m.NumVertices(), 5)
+	res, err := Solve(8, m, b, Options{Alg: "PS", Tol: 1e-6, MaxIter: 50}, network.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pattern.N() != 8 {
+		t.Fatalf("pattern N = %d", res.Pattern.N())
+	}
+	if !res.Pattern.IsSymmetricShape() {
+		t.Fatal("halo pattern must be symmetric in shape")
+	}
+	if res.Pattern.Density() <= 0 {
+		t.Fatal("empty halo pattern")
+	}
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	var buf [8]byte
+	for _, f := range []float64{0, 1.5, -3.75e10, math.Pi, math.Inf(1)} {
+		putFloat64(buf[:], f)
+		if got := getFloat64(buf[:]); got != f {
+			t.Fatalf("round trip %g -> %g", f, got)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package euler
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/network"
+)
+
+func uniformInit(p mesh.Point) State {
+	return Freestream(1.0, 0.8, 0.3, 1.0)
+}
+
+// pulseInit is a smooth density bump on a uniform flow.
+func pulseInit(center mesh.Point) func(mesh.Point) State {
+	return func(p mesh.Point) State {
+		dx, dy := p.X-center.X, p.Y-center.Y
+		rho := 1.0 + 0.1*math.Exp(-(dx*dx+dy*dy)/4)
+		return Freestream(rho, 0.5, 0.0, 1.0)
+	}
+}
+
+func TestFreestreamPrimitivesRoundTrip(t *testing.T) {
+	s := Freestream(1.2, 0.5, -0.3, 0.9)
+	rho, u, v, p := s.Primitives()
+	if math.Abs(rho-1.2) > 1e-14 || math.Abs(u-0.5) > 1e-14 ||
+		math.Abs(v+0.3) > 1e-14 || math.Abs(p-0.9) > 1e-14 {
+		t.Fatalf("round trip: %g %g %g %g", rho, u, v, p)
+	}
+	if s.SoundSpeed() <= 0 {
+		t.Fatal("sound speed must be positive")
+	}
+}
+
+func TestRusanovConsistency(t *testing.T) {
+	// F(u,u,n) must equal the exact flux: no artificial dissipation for
+	// equal states.
+	s := Freestream(1.1, 0.4, 0.2, 1.3)
+	f := Rusanov(s, s, 0.7, -0.2)
+	want := flux(s, 0.7, -0.2)
+	for k := 0; k < 4; k++ {
+		if math.Abs(f[k]-want[k]) > 1e-14 {
+			t.Fatalf("component %d: %g vs %g", k, f[k], want[k])
+		}
+	}
+}
+
+func TestRusanovAntisymmetry(t *testing.T) {
+	// Swapping the states and flipping the normal negates the flux:
+	// the conservation property the residual loop relies on.
+	a := Freestream(1.0, 0.6, 0.1, 1.0)
+	b := Freestream(0.9, 0.2, -0.4, 1.2)
+	f1 := Rusanov(a, b, 0.3, 0.5)
+	f2 := Rusanov(b, a, -0.3, -0.5)
+	for k := 0; k < 4; k++ {
+		if math.Abs(f1[k]+f2[k]) > 1e-13 {
+			t.Fatalf("component %d: %g vs %g", k, f1[k], f2[k])
+		}
+	}
+}
+
+func TestGeometryDualAreasCoverMesh(t *testing.T) {
+	m := mesh.Generate(300, 6)
+	g, err := NewGeometry(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dualTotal, triTotal float64
+	for _, a := range g.DualArea {
+		if a <= 0 {
+			t.Fatal("non-positive dual area")
+		}
+		dualTotal += a
+	}
+	for _, tri := range m.Tris {
+		triTotal += triArea(m.Pts[tri[0]], m.Pts[tri[1]], m.Pts[tri[2]])
+	}
+	if math.Abs(dualTotal-triTotal) > 1e-9*triTotal {
+		t.Fatalf("dual areas %g != mesh area %g", dualTotal, triTotal)
+	}
+}
+
+func TestGeometryBoundaryDetection(t *testing.T) {
+	m := mesh.Generate(100, 2)
+	g, err := NewGeometry(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := 0
+	for _, b := range g.Boundary {
+		if b {
+			nb++
+		}
+	}
+	// A planar grid-ish mesh has a perimeter's worth of boundary
+	// vertices: more than 4, fewer than all.
+	if nb <= 4 || nb >= m.NumVertices() {
+		t.Fatalf("boundary count %d of %d", nb, m.NumVertices())
+	}
+}
+
+// TestFreestreamPreservation is the classic FV sanity check: a uniform
+// flow must produce zero residual at every interior vertex.
+func TestFreestreamPreservation(t *testing.T) {
+	m := mesh.Generate(400, 9)
+	g, err := NewGeometry(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := make([]State, m.NumVertices())
+	for v := range u {
+		u[v] = uniformInit(m.Pts[v])
+	}
+	res := make([]State, len(u))
+	g.Residual(u, res)
+	for v := range res {
+		if g.Boundary[v] {
+			continue
+		}
+		for k := 0; k < 4; k++ {
+			if math.Abs(res[v][k]) > 1e-11 {
+				t.Fatalf("interior vertex %d residual[%d] = %g", v, k, res[v][k])
+			}
+		}
+	}
+}
+
+func TestFreestreamStaysUniformOverSteps(t *testing.T) {
+	m := mesh.Generate(200, 3)
+	u, err := RunSequentialOracle(m, uniformInit, 20, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uniformInit(mesh.Point{})
+	for v := range u {
+		for k := 0; k < 4; k++ {
+			if math.Abs(u[v][k]-want[k]) > 1e-10 {
+				t.Fatalf("vertex %d drifted: %v", v, u[v])
+			}
+		}
+	}
+}
+
+func TestPulseStaysPhysical(t *testing.T) {
+	m := mesh.Generate(300, 5)
+	g, _ := NewGeometry(m)
+	var center mesh.Point
+	for _, p := range m.Pts {
+		center.X += p.X / float64(len(m.Pts))
+		center.Y += p.Y / float64(len(m.Pts))
+	}
+	u := make([]State, m.NumVertices())
+	init := pulseInit(center)
+	for v := range u {
+		u[v] = init(m.Pts[v])
+	}
+	res := make([]State, len(u))
+	for s := 0; s < 30; s++ {
+		dt := g.MaxStableDt(u, 0.4)
+		if dt <= 0 {
+			t.Fatalf("unstable at step %d", s)
+		}
+		g.StepSequential(u, dt, res)
+	}
+	for v := range u {
+		rho, _, _, p := u[v].Primitives()
+		if rho <= 0 || p <= 0 || math.IsNaN(rho) || math.IsNaN(p) {
+			t.Fatalf("unphysical state at %d: rho=%g p=%g", v, rho, p)
+		}
+	}
+}
+
+func TestMaxStableDtPositive(t *testing.T) {
+	m := mesh.Generate(100, 1)
+	g, _ := NewGeometry(m)
+	u := make([]State, m.NumVertices())
+	for v := range u {
+		u[v] = uniformInit(m.Pts[v])
+	}
+	if dt := g.MaxStableDt(u, 0.5); dt <= 0 {
+		t.Fatalf("dt = %g", dt)
+	}
+}
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	m := mesh.Generate(300, 7)
+	var center mesh.Point
+	for _, p := range m.Pts {
+		center.X += p.X / float64(len(m.Pts))
+		center.Y += p.Y / float64(len(m.Pts))
+	}
+	init := pulseInit(center)
+	want, err := RunSequentialOracle(m, init, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(8, m, init, Options{Alg: "GS", Steps: 10, CFL: 0.5}, network.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		for k := 0; k < 4; k++ {
+			if math.Abs(res.U[v][k]-want[v][k]) > 1e-12 {
+				t.Fatalf("vertex %d component %d: distributed %g vs sequential %g",
+					v, k, res.U[v][k], want[v][k])
+			}
+		}
+	}
+	if len(res.Dts) != 10 || res.Dts[0] <= 0 {
+		t.Fatalf("Dts = %v", res.Dts)
+	}
+}
+
+func TestAllSchedulersAgree(t *testing.T) {
+	m := mesh.Generate(200, 11)
+	init := pulseInit(mesh.Point{X: 7, Y: 7})
+	var ref []State
+	for _, alg := range []string{"LS", "PS", "BS", "GS"} {
+		res, err := Run(8, m, init, Options{Alg: alg, Steps: 5}, network.DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.Elapsed <= 0 {
+			t.Fatalf("%s: no simulated time", alg)
+		}
+		if ref == nil {
+			ref = res.U
+			continue
+		}
+		for v := range ref {
+			for k := 0; k < 4; k++ {
+				if ref[v][k] != res.U[v][k] {
+					t.Fatalf("%s: differs at vertex %d", alg, v)
+				}
+			}
+		}
+	}
+}
+
+func TestHaloPatternIs32BytesPerVertex(t *testing.T) {
+	m := mesh.Generate(545, 12)
+	res, err := Run(32, m, uniformInit, Options{Alg: "GS", Steps: 1}, network.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 32; j++ {
+			if res.Pattern[i][j]%BytesPerVertex != 0 {
+				t.Fatalf("pattern[%d][%d] = %d not a multiple of %d", i, j, res.Pattern[i][j], BytesPerVertex)
+			}
+		}
+	}
+	// The paper's Euler 545 pattern: a few dozen percent density, tens
+	// of bytes per message on 32 processors.
+	d := res.Pattern.Density()
+	if d < 0.05 || d > 0.7 {
+		t.Fatalf("density %.2f out of plausible range", d)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m := mesh.Generate(100, 1)
+	if _, err := Run(8, m, uniformInit, Options{Alg: "nope", Steps: 1}, network.DefaultConfig()); err == nil {
+		t.Fatal("bad scheduler should fail")
+	}
+}
+
+func TestConservationWithFixedBoundary(t *testing.T) {
+	// With Dirichlet boundaries the interior update conserves the total
+	// integral up to the flux through the layer next to the boundary;
+	// over a short horizon with a localized interior pulse, drift should
+	// be tiny.
+	m := mesh.Generate(400, 13)
+	g, _ := NewGeometry(m)
+	var center mesh.Point
+	for _, p := range m.Pts {
+		center.X += p.X / float64(len(m.Pts))
+		center.Y += p.Y / float64(len(m.Pts))
+	}
+	init := pulseInit(center)
+	u := make([]State, m.NumVertices())
+	for v := range u {
+		u[v] = init(m.Pts[v])
+	}
+	before := g.TotalConserved(u)
+	res := make([]State, len(u))
+	for s := 0; s < 5; s++ {
+		g.StepSequential(u, g.MaxStableDt(u, 0.3), res)
+	}
+	after := g.TotalConserved(u)
+	for k := 0; k < 4; k++ {
+		// Normalize by the total-mass scale: momentum components start
+		// near zero, so a pure relative test is ill-conditioned.
+		rel := math.Abs(after[k]-before[k]) / math.Max(math.Abs(before[k]), before[0])
+		if rel > 1e-3 {
+			t.Fatalf("component %d drifted by %g", k, rel)
+		}
+	}
+}

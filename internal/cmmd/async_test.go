@@ -1,0 +1,172 @@
+package cmmd
+
+import (
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+func asyncMach(t *testing.T, n int) *Machine {
+	t.Helper()
+	m := mach(t, n)
+	m.SetAsyncSends(true)
+	return m
+}
+
+func TestAsyncSendReturnsWithoutReceiver(t *testing.T) {
+	m := asyncMach(t, 2)
+	var sendDone sim.Time
+	_, err := m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			n.SendN(1, 0, 64)
+			sendDone = n.Now()
+		} else {
+			n.Compute(10 * sim.Millisecond) // receiver shows up late
+			n.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sendDone > 100*sim.Microsecond {
+		t.Fatalf("async send blocked until %v", sendDone)
+	}
+}
+
+func TestAsyncDataDelivered(t *testing.T) {
+	m := asyncMach(t, 2)
+	var got Message
+	_, err := m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			buf := []byte{1, 2, 3}
+			n.Send(1, 5, buf)
+			buf[0] = 99 // buffered semantics: receiver sees the snapshot
+		} else {
+			got = n.Recv(0, 5)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got.Data[0] != 1 || got.Size != 3 || got.Src != 0 || got.Tag != 5 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestAsyncRecvBeforeSend(t *testing.T) {
+	// Receiver posts first: delivery happens at transfer completion.
+	m := asyncMach(t, 2)
+	var got Message
+	_, err := m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			n.Compute(5 * sim.Millisecond)
+			n.Send(1, 0, []byte("late"))
+		} else {
+			got = n.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if string(got.Data) != "late" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestAsyncManyInFlight(t *testing.T) {
+	// One sender floods a receiver with buffered messages; all arrive in
+	// order by tag.
+	m := asyncMach(t, 2)
+	var tags []int
+	_, err := m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			for i := 0; i < 10; i++ {
+				n.SendN(1, i, 128)
+			}
+		} else {
+			n.Compute(sim.Millisecond)
+			for i := 0; i < 10; i++ {
+				msg := n.Recv(0, AnyTag)
+				tags = append(tags, msg.Tag)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, tag := range tags {
+		if tag != i {
+			t.Fatalf("tags out of order: %v", tags)
+		}
+	}
+}
+
+func TestAsyncLinearFunnelMuchFasterThanSync(t *testing.T) {
+	// The paper's Section 3.1 hypothesis: LEX-style funnels suffer only
+	// under synchronous sends.
+	run := func(async bool) sim.Time {
+		m := mach(t, 16)
+		m.SetAsyncSends(async)
+		end, err := m.Run(func(n *Node) {
+			// Step i: everyone sends to node i (LEX structure).
+			for i := 0; i < n.N(); i++ {
+				if n.ID() == i {
+					for j := 0; j < n.N(); j++ {
+						if j != i {
+							n.Recv(j, i)
+						}
+					}
+				} else {
+					n.SendN(i, i, 256)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("Run(async=%v): %v", async, err)
+		}
+		return end
+	}
+	sync := run(false)
+	async := run(true)
+	// Buffered sends free the senders, but the funnel receivers still
+	// serialize their copy-outs, so the win is bounded (roughly 2x here,
+	// growing with message size).
+	if async*3 >= sync*2 {
+		t.Fatalf("async funnel (%v) should be clearly faster than sync (%v)", async, sync)
+	}
+}
+
+func TestAsyncDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		m := asyncMach(t, 8)
+		end, err := m.Run(func(n *Node) {
+			for j := 1; j < n.N(); j++ {
+				peer := n.ID() ^ j
+				n.SendN(peer, j, 512)
+			}
+			for j := 1; j < n.N(); j++ {
+				n.Recv(n.ID()^j, j)
+			}
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return end
+	}
+	a := run()
+	for i := 0; i < 3; i++ {
+		if b := run(); b != a {
+			t.Fatalf("nondeterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestAsyncConfigUnchanged(t *testing.T) {
+	// DefaultConfig machines stay synchronous unless opted in.
+	m := mach(t, 2)
+	if m.async {
+		t.Fatal("machines must default to synchronous CMMD semantics")
+	}
+	_ = network.DefaultConfig()
+}

@@ -1,0 +1,521 @@
+package cmmd
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+func mach(t *testing.T, n int) *Machine {
+	t.Helper()
+	m, err := NewMachine(n, network.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewMachine(%d): %v", n, err)
+	}
+	return m
+}
+
+func TestNewMachineRejectsBadSize(t *testing.T) {
+	if _, err := NewMachine(5, network.DefaultConfig()); err == nil {
+		t.Fatal("NewMachine(5) should fail")
+	}
+	if _, err := NewMachine(0, network.DefaultConfig()); err == nil {
+		t.Fatal("NewMachine(0) should fail")
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	m := mach(t, 2)
+	if _, err := m.Run(func(n *Node) {}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if _, err := m.Run(func(n *Node) {}); err == nil {
+		t.Fatal("second Run should fail")
+	}
+}
+
+func TestPingDataDelivery(t *testing.T) {
+	m := mach(t, 2)
+	var got Message
+	_, err := m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			n.Send(1, 7, []byte("hello cm-5"))
+		} else {
+			got = n.Recv(0, 7)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got.Src != 0 || got.Tag != 7 || got.Size != 10 || !bytes.Equal(got.Data, []byte("hello cm-5")) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestZeroByteMessageCosts88us(t *testing.T) {
+	// The paper: "a communication latency - sending a 0 byte message - of
+	// 88 microseconds". Receiver finishes at SendOverhead + WireLatency +
+	// 1 packet + RecvOverhead = 40 + 7 + 1 + 40 = 88 us.
+	m := mach(t, 2)
+	_, err := m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			n.SendN(1, 0, 0)
+		} else {
+			n.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	recvDone := m.NodeFinishTimes()[1].Micros()
+	if math.Abs(recvDone-88) > 0.5 {
+		t.Fatalf("0-byte message cost %.2f us, want 88", recvDone)
+	}
+}
+
+func TestSenderBlocksUntilRecvPosted(t *testing.T) {
+	// Synchronous semantics: the sender cannot complete before the
+	// receiver posts, even for a tiny message.
+	m := mach(t, 2)
+	const lateness = 5 * sim.Millisecond
+	var sendDone sim.Time
+	_, err := m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			n.SendN(1, 0, 16)
+			sendDone = n.Now()
+		} else {
+			n.Compute(lateness)
+			n.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sendDone < lateness {
+		t.Fatalf("send returned at %v before receiver posted at %v", sendDone, lateness)
+	}
+}
+
+func TestRecvBlocksUntilSendArrives(t *testing.T) {
+	m := mach(t, 2)
+	const lateness = 3 * sim.Millisecond
+	var recvDone sim.Time
+	_, err := m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			n.Compute(lateness)
+			n.SendN(1, 0, 16)
+		} else {
+			n.Recv(0, 0)
+			recvDone = n.Now()
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if recvDone < lateness {
+		t.Fatalf("recv returned at %v before sender arrived", recvDone)
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	// Two pending senders with different tags; the receiver asks for the
+	// later-arriving tag first. Matching must go by tag, not arrival.
+	m := mach(t, 4)
+	var first, second Message
+	_, err := m.Run(func(n *Node) {
+		switch n.ID() {
+		case 1:
+			n.Send(0, 1, []byte("one"))
+		case 2:
+			n.Compute(100 * sim.Microsecond)
+			n.Send(0, 2, []byte("two"))
+		case 0:
+			n.Compute(sim.Millisecond) // let both sends become pending
+			first = n.Recv(AnySrc, 2)
+			second = n.Recv(AnySrc, 1)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if string(first.Data) != "two" || first.Src != 2 {
+		t.Fatalf("first = %+v", first)
+	}
+	if string(second.Data) != "one" || second.Src != 1 {
+		t.Fatalf("second = %+v", second)
+	}
+}
+
+func TestAnySrcAnyTag(t *testing.T) {
+	m := mach(t, 4)
+	var got []int
+	_, err := m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			for i := 1; i < 4; i++ {
+				msg := n.Recv(AnySrc, AnyTag)
+				got = append(got, msg.Src)
+			}
+		} else {
+			n.SendN(0, n.ID()*10, 8)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("received %d messages", len(got))
+	}
+	seen := map[int]bool{}
+	for _, s := range got {
+		seen[s] = true
+	}
+	if !seen[1] || !seen[2] || !seen[3] {
+		t.Fatalf("sources = %v", got)
+	}
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	m := mach(t, 2)
+	panicked := false
+	_, _ = m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			n.SendN(0, 0, 4)
+		}
+	})
+	if !panicked {
+		t.Fatal("self send should panic")
+	}
+}
+
+func TestInvalidDestinationPanics(t *testing.T) {
+	m := mach(t, 2)
+	panicked := false
+	_, _ = m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			n.SendN(5, 0, 4)
+		}
+	})
+	if !panicked {
+		t.Fatal("invalid destination should panic")
+	}
+}
+
+func TestDeadlockReported(t *testing.T) {
+	// Both nodes receive first: classic deadlock under rendezvous.
+	m := mach(t, 2)
+	_, err := m.Run(func(n *Node) {
+		n.Recv((n.ID()+1)%2, 0)
+		n.SendN((n.ID()+1)%2, 0, 4)
+	})
+	if _, ok := err.(*sim.DeadlockError); !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+}
+
+func TestPairwiseExchangeNoDeadlock(t *testing.T) {
+	// The paper's Figure 2 ordering: lower rank receives first.
+	m := mach(t, 8)
+	end, err := m.Run(func(n *Node) {
+		for j := 1; j < n.N(); j++ {
+			peer := n.ID() ^ j
+			if n.ID() < peer {
+				n.Recv(peer, j)
+				n.SendN(peer, j, 64)
+			} else {
+				n.SendN(peer, j, 64)
+				n.Recv(peer, j)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if end <= 0 {
+		t.Fatal("no time elapsed")
+	}
+}
+
+func TestMessageDataIsolatedFromSenderBuffer(t *testing.T) {
+	m := mach(t, 2)
+	var got Message
+	_, err := m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			buf := []byte{1, 2, 3, 4}
+			n.Send(1, 0, buf)
+			buf[0] = 99 // must not affect the delivered message
+		} else {
+			got = n.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got.Data[0] != 1 {
+		t.Fatalf("receiver saw sender's mutation: %v", got.Data)
+	}
+}
+
+func TestNodeStats(t *testing.T) {
+	m := mach(t, 2)
+	var s0, r0 int
+	var b0 int64
+	_, err := m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			n.SendN(1, 0, 100)
+			n.SendN(1, 1, 50)
+			n.Recv(1, 2)
+			s0, r0, b0 = n.Stats()
+		} else {
+			n.Recv(0, 0)
+			n.Recv(0, 1)
+			n.SendN(0, 2, 10)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s0 != 2 || r0 != 1 || b0 != 150 {
+		t.Fatalf("stats = %d %d %d", s0, r0, b0)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	m := mach(t, 8)
+	var after []sim.Time
+	_, err := m.Run(func(n *Node) {
+		n.Compute(sim.Time(n.ID()) * sim.Millisecond)
+		n.Barrier()
+		after = append(after, n.Now())
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(after) != 8 {
+		t.Fatalf("%d nodes passed barrier", len(after))
+	}
+	for _, ts := range after {
+		if ts != after[0] {
+			t.Fatalf("nodes released at different times: %v", after)
+		}
+		if ts < 7*sim.Millisecond {
+			t.Fatalf("released at %v before slowest node arrived", ts)
+		}
+	}
+}
+
+func TestRepeatedBarriers(t *testing.T) {
+	m := mach(t, 4)
+	count := 0
+	_, err := m.Run(func(n *Node) {
+		for i := 0; i < 10; i++ {
+			n.Barrier()
+		}
+		if n.ID() == 0 {
+			count = 10
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 10 {
+		t.Fatal("barriers did not all complete")
+	}
+}
+
+func TestBcastDeliversToAll(t *testing.T) {
+	m := mach(t, 8)
+	payload := []byte("broadcast payload")
+	results := make([][]byte, 8)
+	_, err := m.Run(func(n *Node) {
+		var data []byte
+		if n.ID() == 3 {
+			data = payload
+		}
+		results[n.ID()] = n.Bcast(3, data)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, payload) {
+			t.Fatalf("node %d got %q", i, r)
+		}
+	}
+}
+
+func TestBcastTimeGrowsWithSize(t *testing.T) {
+	timeFor := func(nbytes int) sim.Time {
+		m := mach(t, 8)
+		end, err := m.Run(func(n *Node) {
+			var data []byte
+			if n.ID() == 0 {
+				data = make([]byte, nbytes)
+			}
+			n.Bcast(0, data)
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return end
+	}
+	small, big := timeFor(64), timeFor(4096)
+	if big <= small {
+		t.Fatalf("bcast 4096B (%v) not slower than 64B (%v)", big, small)
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	m := mach(t, 16)
+	results := make([]float64, 16)
+	_, err := m.Run(func(n *Node) {
+		results[n.ID()] = n.AllReduce(float64(n.ID()), OpSum)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := 120.0 // sum 0..15
+	for i, r := range results {
+		if r != want {
+			t.Fatalf("node %d reduce = %g, want %g", i, r, want)
+		}
+	}
+}
+
+func TestAllReduceMaxMin(t *testing.T) {
+	m := mach(t, 4)
+	var maxR, minR float64
+	_, err := m.Run(func(n *Node) {
+		x := float64((n.ID()*7)%5) - 2 // -2..2 scattered
+		mx := n.AllReduce(x, OpMax)
+		mn := n.AllReduce(x, OpMin)
+		if n.ID() == 0 {
+			maxR, minR = mx, mn
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if maxR != 2 || minR != -2 {
+		t.Fatalf("max=%g min=%g", maxR, minR)
+	}
+}
+
+func TestScanAdd(t *testing.T) {
+	m := mach(t, 8)
+	results := make([]float64, 8)
+	_, err := m.Run(func(n *Node) {
+		results[n.ID()] = n.ScanAdd(1.0)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, r := range results {
+		if r != float64(i+1) {
+			t.Fatalf("scan[%d] = %g, want %d", i, r, i+1)
+		}
+	}
+}
+
+func TestCollectiveLatencyIsMicroseconds(t *testing.T) {
+	m := mach(t, 32)
+	end, err := m.Run(func(n *Node) { n.Barrier() })
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if end > 20*sim.Microsecond {
+		t.Fatalf("barrier on idle machine took %v ns, want microseconds", int64(end))
+	}
+	if end < 2*sim.Microsecond {
+		t.Fatalf("barrier too fast: %v ns", int64(end))
+	}
+}
+
+func TestSendOverheadOccupiesSender(t *testing.T) {
+	// Two back-to-back sends from one node must serialize their
+	// overheads even when receivers are ready.
+	m := mach(t, 4)
+	var senderDone sim.Time
+	_, err := m.Run(func(n *Node) {
+		switch n.ID() {
+		case 0:
+			n.SendN(1, 0, 0)
+			n.SendN(2, 0, 0)
+			senderDone = n.Now()
+		case 1, 2:
+			n.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cfg := m.Config()
+	minimum := 2 * (cfg.SendOverhead + cfg.WireLatency)
+	if senderDone < minimum {
+		t.Fatalf("sender done at %v, want >= %v", senderDone, minimum)
+	}
+}
+
+func TestManyNodesComplete(t *testing.T) {
+	m := mach(t, 64)
+	finished := 0
+	_, err := m.Run(func(n *Node) {
+		// Ring shift: everyone sends right, receives from left.
+		right := (n.ID() + 1) % n.N()
+		left := (n.ID() + n.N() - 1) % n.N()
+		if n.ID()%2 == 0 {
+			n.SendN(right, 0, 128)
+			n.Recv(left, 0)
+		} else {
+			n.Recv(left, 0)
+			n.SendN(right, 0, 128)
+		}
+		finished++
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if finished != 64 {
+		t.Fatalf("finished = %d", finished)
+	}
+}
+
+func TestDeterministicEndTime(t *testing.T) {
+	runOnce := func() sim.Time {
+		m := mach(t, 16)
+		end, err := m.Run(func(n *Node) {
+			for j := 1; j < n.N(); j++ {
+				peer := n.ID() ^ j
+				if n.ID() < peer {
+					n.Recv(peer, j)
+					n.SendN(peer, j, 256)
+				} else {
+					n.SendN(peer, j, 256)
+					n.Recv(peer, j)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return end
+	}
+	a := runOnce()
+	for i := 0; i < 5; i++ {
+		if b := runOnce(); b != a {
+			t.Fatalf("nondeterministic end time: %v vs %v", a, b)
+		}
+	}
+}

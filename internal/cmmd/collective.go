@@ -1,0 +1,207 @@
+package cmmd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// ReduceOp is a binary reduction operator for AllReduce.
+type ReduceOp int
+
+// Supported reduction operators (the CM-5 control network implemented
+// these in hardware).
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+func (op ReduceOp) apply(a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	}
+	panic(fmt.Sprintf("cmmd: unknown reduce op %d", op))
+}
+
+type collKind int
+
+const (
+	collNone collKind = iota
+	collBarrier
+	collBcast
+	collReduce
+	collScan
+)
+
+func (k collKind) String() string {
+	switch k {
+	case collBarrier:
+		return "barrier"
+	case collBcast:
+		return "bcast"
+	case collReduce:
+		return "reduce"
+	case collScan:
+		return "scan"
+	}
+	return "none"
+}
+
+type collWaiter struct {
+	node    *Node
+	outData *[]byte
+	outVal  *float64
+	inVal   float64
+}
+
+// collective tracks one in-progress control-network operation. Because
+// every node must join before any is released, a single state struct
+// suffices: a node cannot start collective k+1 until k has released it.
+type collective struct {
+	kind    collKind
+	root    int
+	arrived int
+	waiters []collWaiter
+	data    []byte
+	acc     float64
+	op      ReduceOp
+}
+
+// join adds the calling node to the current collective, validating that
+// all participants are performing the same operation.
+func (m *Machine) join(n *Node, kind collKind, w collWaiter, complete func()) {
+	c := &m.coll
+	if c.arrived == 0 {
+		c.kind = kind
+	} else if c.kind != kind {
+		panic(fmt.Sprintf("cmmd: node %d joined %v while a %v is in progress", n.id, kind, c.kind))
+	}
+	c.arrived++
+	c.waiters = append(c.waiters, w)
+	if c.arrived == m.N() {
+		complete()
+	}
+	n.proc.Park()
+}
+
+// release wakes all waiters after the given control-network duration and
+// resets the collective for the next phase. finish runs at release time,
+// before any waiter resumes, to populate their outputs.
+func (m *Machine) release(dur sim.Time, finish func(waiters []collWaiter)) {
+	c := &m.coll
+	waiters := c.waiters
+	*c = collective{}
+	m.eng.After(dur, func() {
+		if finish != nil {
+			finish(waiters)
+		}
+		for _, w := range waiters {
+			m.eng.Ready(w.node.proc)
+		}
+	})
+}
+
+// Barrier blocks until every node in the partition has called Barrier.
+// The release costs one control-network traversal (a few microseconds).
+func (n *Node) Barrier() {
+	m := n.m
+	m.join(n, collBarrier, collWaiter{node: n}, func() {
+		m.release(m.ctrl.BarrierTime(), nil)
+	})
+}
+
+// Bcast performs the system broadcast over the control network: root's
+// data reaches every node. All nodes must call Bcast with the same root;
+// every caller (including root) receives a copy of the data. This models
+// CMMD's built-in broadcast, which "requires all processors in the
+// partition to participate" — the limitation the paper's Recursive
+// Broadcast works around.
+func (n *Node) Bcast(root int, data []byte) []byte {
+	m := n.m
+	if root < 0 || root >= n.N() {
+		panic(fmt.Sprintf("cmmd: bcast root %d out of range", root))
+	}
+	var out []byte
+	c := &m.coll
+	if c.arrived == 0 {
+		c.root = root
+	} else if c.root != root {
+		panic(fmt.Sprintf("cmmd: node %d bcast root %d != %d", n.id, root, c.root))
+	}
+	if n.id == root {
+		c.data = data
+	}
+	m.join(n, collBcast, collWaiter{node: n, outData: &out}, func() {
+		payload := c.data
+		m.release(m.ctrl.BcastTime(len(payload)), func(ws []collWaiter) {
+			for _, w := range ws {
+				*w.outData = append([]byte(nil), payload...)
+			}
+		})
+	})
+	return out
+}
+
+// AllReduce combines one float64 from every node with op and returns the
+// result to all of them, using the control network's hardware combine.
+func (n *Node) AllReduce(x float64, op ReduceOp) float64 {
+	m := n.m
+	var out float64
+	c := &m.coll
+	if c.arrived == 0 {
+		c.acc = x
+		c.op = op
+	} else {
+		if c.op != op {
+			panic(fmt.Sprintf("cmmd: node %d reduce op mismatch", n.id))
+		}
+		c.acc = op.apply(c.acc, x)
+	}
+	m.join(n, collReduce, collWaiter{node: n, outVal: &out}, func() {
+		result := c.acc
+		m.release(m.ctrl.CombineTime(8), func(ws []collWaiter) {
+			for _, w := range ws {
+				*w.outVal = result
+			}
+		})
+	})
+	return out
+}
+
+// ScanAdd returns the inclusive prefix sum of x by node rank: node i
+// receives sum over nodes 0..i. It models the control network's
+// parallel-prefix hardware.
+func (n *Node) ScanAdd(x float64) float64 {
+	m := n.m
+	var out float64
+	m.join(n, collScan, collWaiter{node: n, outVal: &out, inVal: x}, func() {
+		m.release(m.ctrl.CombineTime(8), func(ws []collWaiter) {
+			// Waiters arrive in arbitrary rank order; accumulate by rank.
+			byRank := make(map[int]collWaiter, len(ws))
+			maxRank := 0
+			for _, w := range ws {
+				byRank[w.node.id] = w
+				if w.node.id > maxRank {
+					maxRank = w.node.id
+				}
+			}
+			sum := 0.0
+			for r := 0; r <= maxRank; r++ {
+				w, ok := byRank[r]
+				if !ok {
+					continue
+				}
+				sum += w.inVal
+				*w.outVal = sum
+			}
+		})
+	})
+	return out
+}

@@ -1,0 +1,85 @@
+package cmmd
+
+import "fmt"
+
+// Tags reserved by the data-network collectives below. User programs
+// should avoid tags in this range when mixing their own messages with
+// these collectives.
+const (
+	tagGather  = 1 << 28
+	tagScatter = 1<<28 + 1
+	tagRing    = 1<<28 + 2
+)
+
+// Gather collects one buffer from every node at root over the data
+// network (point-to-point; the CM-5 control network had no
+// variable-length gather). All nodes must call it; non-root nodes
+// receive nil. The root receives the buffers indexed by rank, its own
+// entry being its local data.
+func (n *Node) Gather(root int, data []byte) [][]byte {
+	if root < 0 || root >= n.N() {
+		panic(fmt.Sprintf("cmmd: gather root %d out of range", root))
+	}
+	if n.id != root {
+		n.Send(root, tagGather, data)
+		return nil
+	}
+	out := make([][]byte, n.N())
+	out[n.id] = append([]byte(nil), data...)
+	// Drain in arrival order: fixed rank order would idle the root while
+	// later-ranked senders wait, exactly the LEX failure mode.
+	for i := 0; i < n.N()-1; i++ {
+		msg := n.Recv(AnySrc, tagGather)
+		out[msg.Src] = msg.Data
+	}
+	return out
+}
+
+// Scatter distributes parts[i] from root to node i. All nodes call it;
+// every node returns its own part (the root's part costs one memcpy).
+func (n *Node) Scatter(root int, parts [][]byte) []byte {
+	if root < 0 || root >= n.N() {
+		panic(fmt.Sprintf("cmmd: scatter root %d out of range", root))
+	}
+	if n.id == root {
+		if len(parts) != n.N() {
+			panic(fmt.Sprintf("cmmd: scatter with %d parts for %d nodes", len(parts), n.N()))
+		}
+		for i := 0; i < n.N(); i++ {
+			if i != root {
+				n.Send(i, tagScatter, parts[i])
+			}
+		}
+		own := append([]byte(nil), parts[root]...)
+		n.MemCopy(len(own))
+		return own
+	}
+	return n.Recv(root, tagScatter).Data
+}
+
+// AllGather collects one buffer from every node at every node using the
+// ring algorithm: N-1 steps, each node forwarding the newest block to
+// its right neighbor while receiving from its left. Bandwidth-optimal,
+// and every step is a disjoint ring shift the data network handles at
+// full node rate.
+func (n *Node) AllGather(data []byte) [][]byte {
+	size := n.N()
+	out := make([][]byte, size)
+	out[n.id] = append([]byte(nil), data...)
+	right := (n.id + 1) % size
+	left := (n.id + size - 1) % size
+	current := n.id // rank of the block we forward next
+	for step := 0; step < size-1; step++ {
+		var got Message
+		if n.id%2 == 0 {
+			n.Send(right, tagRing+step, out[current])
+			got = n.Recv(left, tagRing+step)
+		} else {
+			got = n.Recv(left, tagRing+step)
+			n.Send(right, tagRing+step, out[current])
+		}
+		current = (current + size - 1) % size
+		out[current] = got.Data
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package cmmd
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestGatherCollectsAll(t *testing.T) {
+	m := mach(t, 8)
+	var got [][]byte
+	_, err := m.Run(func(n *Node) {
+		data := []byte(fmt.Sprintf("node-%d", n.ID()))
+		res := n.Gather(3, data)
+		if n.ID() == 3 {
+			got = res
+		} else if res != nil {
+			t.Errorf("node %d got non-nil gather result", n.ID())
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 8 {
+		t.Fatalf("gathered %d", len(got))
+	}
+	for i, b := range got {
+		if want := fmt.Sprintf("node-%d", i); string(b) != want {
+			t.Fatalf("slot %d = %q, want %q", i, b, want)
+		}
+	}
+}
+
+func TestScatterDistributes(t *testing.T) {
+	m := mach(t, 8)
+	results := make([][]byte, 8)
+	_, err := m.Run(func(n *Node) {
+		var parts [][]byte
+		if n.ID() == 0 {
+			for i := 0; i < 8; i++ {
+				parts = append(parts, []byte{byte(i * 11)})
+			}
+		}
+		results[n.ID()] = n.Scatter(0, parts)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, r := range results {
+		if len(r) != 1 || r[0] != byte(i*11) {
+			t.Fatalf("node %d got %v", i, r)
+		}
+	}
+}
+
+func TestScatterValidatesParts(t *testing.T) {
+	m := mach(t, 4)
+	panicked := false
+	_, _ = m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			n.Scatter(0, make([][]byte, 2))
+		}
+	})
+	if !panicked {
+		t.Fatal("wrong part count should panic")
+	}
+}
+
+func TestAllGatherEveryNodeGetsEverything(t *testing.T) {
+	m := mach(t, 16)
+	results := make([][][]byte, 16)
+	_, err := m.Run(func(n *Node) {
+		data := []byte{byte(n.ID()), byte(n.ID() * 3)}
+		results[n.ID()] = n.AllGather(data)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for node, blocks := range results {
+		if len(blocks) != 16 {
+			t.Fatalf("node %d has %d blocks", node, len(blocks))
+		}
+		for rank, b := range blocks {
+			want := []byte{byte(rank), byte(rank * 3)}
+			if !bytes.Equal(b, want) {
+				t.Fatalf("node %d block %d = %v, want %v", node, rank, b, want)
+			}
+		}
+	}
+}
+
+func TestAllGatherTwoNodes(t *testing.T) {
+	m := mach(t, 2)
+	var r0, r1 [][]byte
+	_, err := m.Run(func(n *Node) {
+		res := n.AllGather([]byte{byte(100 + n.ID())})
+		if n.ID() == 0 {
+			r0 = res
+		} else {
+			r1 = res
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, r := range [][][]byte{r0, r1} {
+		if r[0][0] != 100 || r[1][0] != 101 {
+			t.Fatalf("allgather(2) = %v", r)
+		}
+	}
+}
+
+func TestGatherRootOutOfRangePanics(t *testing.T) {
+	m := mach(t, 2)
+	panicked := false
+	_, _ = m.Run(func(n *Node) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		n.Gather(7, nil)
+	})
+	if !panicked {
+		t.Fatal("bad root should panic")
+	}
+}

@@ -1,0 +1,119 @@
+package cmmd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTraceRecordsMessages(t *testing.T) {
+	m := mach(t, 4)
+	m.EnableTrace()
+	_, err := m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			n.SendN(1, 3, 256)
+		} else if n.ID() == 1 {
+			n.Recv(0, 3)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	tr := m.Trace()
+	if tr == nil || len(tr.Events) != 1 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	e := tr.Events[0]
+	if e.Src != 0 || e.Dst != 1 || e.Tag != 3 || e.Bytes != 256 {
+		t.Fatalf("event = %+v", e)
+	}
+	if !(e.Posted <= e.Started && e.Started < e.Ended) {
+		t.Fatalf("event times out of order: %+v", e)
+	}
+}
+
+func TestTraceWaitMeasuresRendezvousDelay(t *testing.T) {
+	const lateness = 2 * sim.Millisecond
+	m := mach(t, 2)
+	m.EnableTrace()
+	_, err := m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			n.SendN(1, 0, 64)
+		} else {
+			n.Compute(lateness)
+			n.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	e := m.Trace().Events[0]
+	if e.Wait() < lateness-100*sim.Microsecond {
+		t.Fatalf("wait = %v, want ~%v", e.Wait(), lateness)
+	}
+}
+
+func TestTraceBySenderAggregates(t *testing.T) {
+	m := mach(t, 4)
+	m.EnableTrace()
+	_, err := m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			n.SendN(1, 0, 100)
+			n.SendN(2, 0, 200)
+		} else if n.ID() == 1 || n.ID() == 2 {
+			n.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rows := m.Trace().BySender(4)
+	if rows[0].Messages != 2 || rows[0].Bytes != 300 {
+		t.Fatalf("sender 0 summary = %+v", rows[0])
+	}
+	if rows[3].Messages != 0 {
+		t.Fatalf("sender 3 should be idle: %+v", rows[3])
+	}
+	if m.Trace().TotalWait() < 0 {
+		t.Fatal("negative total wait")
+	}
+	out := m.Trace().Summary(4)
+	if !strings.Contains(out, "node") || !strings.Contains(out, "wait total") {
+		t.Fatalf("summary header missing:\n%s", out)
+	}
+}
+
+func TestTraceAsyncMode(t *testing.T) {
+	m := asyncMach(t, 2)
+	m.EnableTrace()
+	_, err := m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			n.SendN(1, 0, 512)
+		} else {
+			n.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	events := m.Trace().Events
+	if len(events) != 1 {
+		t.Fatalf("%d events", len(events))
+	}
+	// Buffered sends start transferring immediately: zero rendezvous wait.
+	if events[0].Wait() != 0 {
+		t.Fatalf("async wait = %v, want 0", events[0].Wait())
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	m := mach(t, 2)
+	_, err := m.Run(func(n *Node) {})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Trace() != nil {
+		t.Fatal("trace should be nil unless enabled")
+	}
+}

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/network"
+)
+
+func TestAblationAsyncShape(t *testing.T) {
+	tab, err := AblationAsync(network.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: LEX sync, LEX async, PEX sync, PEX async.
+	for r := range tab.RowHeaders {
+		lexSync, lexAsync := cell(t, tab, r, 0), cell(t, tab, r, 1)
+		pexSync, pexAsync := cell(t, tab, r, 2), cell(t, tab, r, 3)
+		if lexAsync >= lexSync {
+			t.Fatalf("row %d: async must help LEX (%.3f vs %.3f)", r, lexAsync, lexSync)
+		}
+		// PEX barely changes: async gains are bounded.
+		if pexAsync > pexSync {
+			t.Fatalf("row %d: async should not hurt PEX", r)
+		}
+		if pexSync-pexAsync > pexSync/2 {
+			t.Fatalf("row %d: async gain on PEX suspiciously large", r)
+		}
+		// Even with async sends, LEX stays worse than PEX: scheduling
+		// still matters.
+		if lexAsync <= pexAsync {
+			t.Fatalf("row %d: async LEX (%.3f) should remain worse than PEX (%.3f)",
+				r, lexAsync, pexAsync)
+		}
+	}
+}
+
+func TestAblationFatTreeShape(t *testing.T) {
+	tab, err := AblationFatTree(network.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab.RowHeaders {
+		thinGain := cell(t, tab, r, 2)
+		flatGain := cell(t, tab, r, 5)
+		if thinGain <= 0 {
+			t.Fatalf("row %d: BEX must gain on the thinned tree (%.1f%%)", r, thinGain)
+		}
+		if flatGain > 1.0 || flatGain < -1.0 {
+			t.Fatalf("row %d: BEX gain on flat tree should vanish, got %.1f%%", r, flatGain)
+		}
+	}
+}
+
+func TestFlatTreeConfig(t *testing.T) {
+	cfg := FlatTreeConfig()
+	if cfg.ClusterUpRate(1) != 4*cfg.NodeLinkRate {
+		t.Fatal("flat tree level 1")
+	}
+	if cfg.ClusterUpRate(2) != 16*cfg.NodeLinkRate {
+		t.Fatal("flat tree level 2")
+	}
+}
+
+func TestAblationGreedyRuns(t *testing.T) {
+	tab, err := AblationGreedy(network.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab.RowHeaders {
+		if cell(t, tab, r, 1) <= 0 || cell(t, tab, r, 3) <= 0 {
+			t.Fatalf("row %d: zero times", r)
+		}
+	}
+}
+
+func TestAblationCrossoverShape(t *testing.T) {
+	tab, err := AblationCrossover(network.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GS wins at low density; the fixed pairings win at high density.
+	if tab.Cells[0][3] != "GS" {
+		t.Fatalf("10%% best = %s, want GS", tab.Cells[0][3])
+	}
+	lastTwo := []string{tab.Cells[len(tab.RowHeaders)-1][3], tab.Cells[len(tab.RowHeaders)-2][3]}
+	for _, best := range lastTwo {
+		if best == "GS" {
+			t.Fatalf("high density best = %v, GS should lose", lastTwo)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package exp
+
+// Published measurements from the paper, used for side-by-side
+// comparison. Times are in the paper's units: seconds for Table 5,
+// milliseconds for Tables 11 and 12.
+
+// ExchangeAlgs is the paper's complete-exchange algorithm order.
+var ExchangeAlgs = []string{"LEX", "PEX", "REX", "BEX"}
+
+// IrregularAlgs is the paper's irregular-scheduler order.
+var IrregularAlgs = []string{"LS", "PS", "BS", "GS"}
+
+// PaperTable5 holds Table 5: 2-D FFT times in seconds, indexed by
+// [procs][arraySize][algorithm].
+var PaperTable5 = map[int]map[int]map[string]float64{
+	32: {
+		256:  {"LEX": 0.215, "PEX": 0.152, "REX": 0.112, "BEX": 0.114},
+		512:  {"LEX": 0.845, "PEX": 0.470, "REX": 0.467, "BEX": 0.470},
+		1024: {"LEX": 3.135, "PEX": 2.007, "REX": 2.480, "BEX": 2.005},
+		2048: {"LEX": 14.780, "PEX": 9.032, "REX": 9.245, "BEX": 8.509},
+	},
+	256: {
+		256:  {"LEX": 4.340, "PEX": 0.076, "REX": 0.077, "BEX": 0.076},
+		512:  {"LEX": 4.750, "PEX": 0.120, "REX": 0.120, "BEX": 0.120},
+		1024: {"LEX": 5.968, "PEX": 0.314, "REX": 0.313, "BEX": 0.312},
+		2048: {"LEX": 18.087, "PEX": 1.738, "REX": 2.160, "BEX": 1.668},
+	},
+}
+
+// PaperTable11 holds Table 11: synthetic irregular patterns on 32
+// processors, times in milliseconds, indexed by
+// [algorithm][densityPercent][messageBytes].
+var PaperTable11 = map[string]map[int]map[int]float64{
+	"LS": {
+		10: {256: 4.723, 512: 6.116},
+		25: {256: 11.67, 512: 15.34},
+		50: {256: 29.01, 512: 38.27},
+		75: {256: 50.14, 512: 66.63},
+	},
+	"PS": {
+		10: {256: 1.766, 512: 2.275},
+		25: {256: 3.977, 512: 5.193},
+		50: {256: 6.324, 512: 8.360},
+		75: {256: 7.882, 512: 10.52},
+	},
+	"BS": {
+		10: {256: 1.933, 512: 2.494},
+		25: {256: 3.724, 512: 4.861},
+		50: {256: 6.034, 512: 8.013},
+		75: {256: 7.856, 512: 10.50},
+	},
+	"GS": {
+		10: {256: 1.597, 512: 2.044},
+		25: {256: 3.266, 512: 4.192},
+		50: {256: 6.009, 512: 7.934},
+		75: {256: 9.241, 512: 12.29},
+	},
+}
+
+// RealProblem describes one column of Table 12.
+type RealProblem struct {
+	Name     string
+	Vertices int
+	// BytesPerVertex: 8 for the CG solver (one float64 per ghost), 32
+	// for the Euler solver (four conserved variables).
+	BytesPerVertex int
+	// The paper's reported pattern statistics.
+	PaperDensityPct int
+	PaperAvgBytes   int
+	// Paper times in ms by algorithm.
+	PaperMs map[string]float64
+}
+
+// PaperTable12 holds Table 12: real irregular patterns on 32 processors.
+var PaperTable12 = []RealProblem{
+	{
+		Name: "Conj. Grad. 16K", Vertices: 16384, BytesPerVertex: 8,
+		PaperDensityPct: 9, PaperAvgBytes: 643,
+		PaperMs: map[string]float64{"LS": 8.046, "PS": 6.623, "BS": 7.188, "GS": 5.799},
+	},
+	{
+		Name: "Euler 545", Vertices: 545, BytesPerVertex: 32,
+		PaperDensityPct: 37, PaperAvgBytes: 85,
+		PaperMs: map[string]float64{"LS": 25.87, "PS": 7.374, "BS": 7.386, "GS": 5.656},
+	},
+	{
+		Name: "Euler 2K", Vertices: 2048, BytesPerVertex: 32,
+		PaperDensityPct: 44, PaperAvgBytes: 226,
+		PaperMs: map[string]float64{"LS": 48.88, "PS": 15.04, "BS": 15.07, "GS": 12.30},
+	},
+	{
+		Name: "Euler 3K", Vertices: 3072, BytesPerVertex: 32,
+		PaperDensityPct: 29, PaperAvgBytes: 612,
+		PaperMs: map[string]float64{"LS": 50.78, "PS": 19.98, "BS": 17.57, "GS": 14.34},
+	},
+	{
+		Name: "Euler 9K", Vertices: 9216, BytesPerVertex: 32,
+		PaperDensityPct: 44, PaperAvgBytes: 505,
+		PaperMs: map[string]float64{"LS": 77.13, "PS": 21.91, "BS": 20.19, "GS": 17.01},
+	},
+}

@@ -1,0 +1,349 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/apps/fft"
+	"repro/internal/mesh"
+	"repro/internal/network"
+	"repro/internal/pattern"
+	"repro/internal/sched"
+)
+
+// Fig5MessageSizes are the message sizes swept in Figure 5.
+var Fig5MessageSizes = []int{0, 16, 64, 256, 512, 1024, 2048}
+
+// MachineSizes is the machine-size sweep of Figures 6-8 and 11.
+var MachineSizes = []int{16, 32, 64, 128, 256}
+
+// Fig5 reproduces Figure 5: complete-exchange time versus message size
+// on a 32-node machine for all four algorithms.
+func Fig5(cfg network.Config) (*Table, error) {
+	return exchangeSweepBySize("Figure 5: Complete exchange on 32 nodes (ms)", 32, Fig5MessageSizes, cfg)
+}
+
+func exchangeSweepBySize(title string, n int, sizes []int, cfg network.Config) (*Table, error) {
+	rows := make([]string, len(sizes))
+	for i, s := range sizes {
+		rows[i] = fmt.Sprintf("%d B", s)
+	}
+	t := NewTable(title, rows, ExchangeAlgs)
+	for r, size := range sizes {
+		for c, alg := range ExchangeAlgs {
+			d, err := sched.Exchange(alg, n, size, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.Set(r, c, "%.3f", d.Millis())
+		}
+	}
+	t.Note = "Expected shape (paper): LEX worst throughout; for large messages BEX < PEX < REX."
+	return t, nil
+}
+
+// Fig6 reproduces Figure 6: complete exchange versus machine size at 0
+// and 256 bytes.
+func Fig6(cfg network.Config) (*Table, error) {
+	return exchangeSweepByMachine("Figure 6: Complete exchange vs machine size, 0 B and 256 B (ms)",
+		[]int{0, 256}, cfg)
+}
+
+// Fig7 reproduces Figure 7 (512-byte messages).
+func Fig7(cfg network.Config) (*Table, error) {
+	return exchangeSweepByMachine("Figure 7: Complete exchange vs machine size, 512 B (ms)",
+		[]int{512}, cfg)
+}
+
+// Fig8 reproduces Figure 8 (1920-byte messages).
+func Fig8(cfg network.Config) (*Table, error) {
+	return exchangeSweepByMachine("Figure 8: Complete exchange vs machine size, 1920 B (ms)",
+		[]int{1920}, cfg)
+}
+
+func exchangeSweepByMachine(title string, sizes []int, cfg network.Config) (*Table, error) {
+	var cols []string
+	for _, size := range sizes {
+		for _, alg := range []string{"PEX", "REX", "BEX"} {
+			cols = append(cols, fmt.Sprintf("%s@%dB", alg, size))
+		}
+	}
+	rows := make([]string, len(MachineSizes))
+	for i, n := range MachineSizes {
+		rows[i] = fmt.Sprintf("N=%d", n)
+	}
+	t := NewTable(title, rows, cols)
+	for r, n := range MachineSizes {
+		c := 0
+		for _, size := range sizes {
+			for _, alg := range []string{"PEX", "REX", "BEX"} {
+				d, err := sched.Exchange(alg, n, size, cfg)
+				if err != nil {
+					return nil, err
+				}
+				t.Set(r, c, "%.3f", d.Millis())
+				c++
+			}
+		}
+	}
+	t.Note = "Expected shape (paper): at 0 B REX wins everywhere; at larger sizes PEX/BEX win on small machines and REX overtakes as N grows."
+	return t, nil
+}
+
+// Table5Sizes are the array sizes of the paper's Table 5.
+var Table5Sizes = []int{256, 512, 1024, 2048}
+
+// Table5 reproduces Table 5: 2-D FFT wall time for every exchange
+// algorithm on the given machine size. Array sizes above maxSize are
+// skipped (the 2048x2048 runs are host-expensive).
+func Table5(nprocs int, maxSize int, cfg network.Config) (*Table, error) {
+	var sizes []int
+	for _, s := range Table5Sizes {
+		if maxSize <= 0 || s <= maxSize {
+			sizes = append(sizes, s)
+		}
+	}
+	rows := make([]string, len(sizes))
+	for i, s := range sizes {
+		rows[i] = fmt.Sprintf("%dx%d", s, s)
+	}
+	var cols []string
+	for _, alg := range ExchangeAlgs {
+		cols = append(cols, alg, alg+"(paper)")
+	}
+	t := NewTable(fmt.Sprintf("Table 5: 2-D FFT on %d processors (seconds)", nprocs), rows, cols)
+	for r, size := range sizes {
+		input := fftInput(size, size, int64(size))
+		for a, alg := range ExchangeAlgs {
+			res, err := fft.Run2D(nprocs, input, alg, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.Set(r, 2*a, "%.3f", res.Elapsed.Seconds())
+			if paper, ok := PaperTable5[nprocs][size][alg]; ok {
+				t.Set(r, 2*a+1, "%.3f", paper)
+			} else {
+				t.Set(r, 2*a+1, "-")
+			}
+		}
+	}
+	t.Note = "Expected shape (paper): LEX worst (catastrophically at 256 procs); PEX~BEX; BEX best at 2048^2."
+	return t, nil
+}
+
+func fftInput(rows, cols int, seed int64) [][]complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([][]complex128, rows)
+	for r := range a {
+		a[r] = make([]complex128, cols)
+		for c := range a[r] {
+			a[r][c] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+		}
+	}
+	return a
+}
+
+// Fig10Sizes are the broadcast message sizes swept in Figure 10.
+var Fig10Sizes = []int{0, 64, 256, 1024, 2048, 4096, 8192}
+
+// Fig10 reproduces Figure 10: broadcast time versus message size on 32
+// nodes for LIB, REB and the system broadcast.
+func Fig10(cfg network.Config) (*Table, error) {
+	algs := []string{"LIB", "REB", "SYS"}
+	rows := make([]string, len(Fig10Sizes))
+	for i, s := range Fig10Sizes {
+		rows[i] = fmt.Sprintf("%d B", s)
+	}
+	t := NewTable("Figure 10: Broadcast on 32 nodes (ms)", rows, algs)
+	for r, size := range Fig10Sizes {
+		for c, alg := range algs {
+			d, err := sched.Broadcast(alg, 32, 0, size, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.Set(r, c, "%.3f", d.Millis())
+		}
+	}
+	t.Note = "Expected shape (paper): LIB >> REB; system broadcast wins below ~1 KB, REB above."
+	return t, nil
+}
+
+// Fig11 reproduces Figure 11: REB versus the system broadcast across
+// machine sizes for several message sizes.
+func Fig11(cfg network.Config) (*Table, error) {
+	sizes := []int{256, 1024, 4096}
+	var cols []string
+	for _, s := range sizes {
+		cols = append(cols, fmt.Sprintf("REB@%dB", s))
+	}
+	cols = append(cols, "SYS@256B", "SYS@1024B", "SYS@4096B")
+	rows := make([]string, len(MachineSizes))
+	for i, n := range MachineSizes {
+		rows[i] = fmt.Sprintf("N=%d", n)
+	}
+	t := NewTable("Figure 11: Recursive vs system broadcast across machine sizes (ms)", rows, cols)
+	for r, n := range MachineSizes {
+		for c, s := range sizes {
+			d, err := sched.Broadcast("REB", n, 0, s, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.Set(r, c, "%.3f", d.Millis())
+		}
+		for c, s := range sizes {
+			d, err := sched.Broadcast("SYS", n, 0, s, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.Set(r, len(sizes)+c, "%.3f", d.Millis())
+		}
+	}
+	t.Note = "Expected shape (paper): system broadcast ~flat in N; REB's crossover size grows with N."
+	return t, nil
+}
+
+// Table11Densities and Table11Sizes are the synthetic sweep parameters.
+var (
+	Table11Densities = []int{10, 25, 50, 75}
+	Table11Sizes     = []int{256, 512}
+)
+
+// Table11 reproduces Table 11: the four irregular schedulers on synthetic
+// patterns of 10/25/50/75 % density with 256- and 512-byte messages on 32
+// processors, with the paper's milliseconds alongside.
+func Table11(cfg network.Config) (*Table, error) {
+	var cols []string
+	for _, d := range Table11Densities {
+		for _, s := range Table11Sizes {
+			cols = append(cols, fmt.Sprintf("%d%%/%dB", d, s))
+		}
+	}
+	var rows []string
+	for _, alg := range IrregularAlgs {
+		rows = append(rows, alg, alg+"(paper)")
+	}
+	t := NewTable("Table 11: Irregular scheduling of synthetic patterns on 32 processors (ms)", rows, cols)
+	for a, alg := range IrregularAlgs {
+		c := 0
+		for _, density := range Table11Densities {
+			for _, size := range Table11Sizes {
+				p := pattern.Synthetic(32, float64(density)/100, size, int64(density*1000+size))
+				s, err := sched.Irregular(alg, p)
+				if err != nil {
+					return nil, err
+				}
+				d, err := sched.Run(s, cfg)
+				if err != nil {
+					return nil, err
+				}
+				t.Set(2*a, c, "%.3f", d.Millis())
+				t.Set(2*a+1, c, "%.3f", PaperTable11[alg][density][size])
+				c++
+			}
+		}
+	}
+	t.Note = "Expected shape (paper): LS worst everywhere; GS best below 50% density; BS best at 75%."
+	return t, nil
+}
+
+// RealPatternResult carries one Table 12 column's measurements.
+type RealPatternResult struct {
+	Problem    RealProblem
+	Pattern    pattern.Matrix
+	DensityPct float64
+	AvgBytes   float64
+	TimesMs    map[string]float64
+	StepCounts map[string]int
+}
+
+// RealPatterns builds the halo patterns for the paper's five real
+// problems from synthetic meshes of matching vertex counts partitioned
+// over nprocs processors (see DESIGN.md for the substitution argument).
+// The Euler problems use a distance-2 halo: the paper's meshes are
+// three-dimensional, with far denser processor connectivity than a
+// planar one-hop halo produces.
+func RealPatterns(nprocs int) ([]pattern.Matrix, error) {
+	var out []pattern.Matrix
+	for _, prob := range PaperTable12 {
+		m := mesh.Generate(prob.Vertices, int64(prob.Vertices))
+		owner := mesh.PartitionRCB(m, nprocs)
+		pt, err := mesh.NewPartition(m, owner, nprocs)
+		if err != nil {
+			return nil, err
+		}
+		if prob.BytesPerVertex == 32 { // Euler problems
+			out = append(out, pt.WideHaloPattern(prob.BytesPerVertex))
+		} else {
+			out = append(out, pt.HaloPattern(prob.BytesPerVertex))
+		}
+	}
+	return out, nil
+}
+
+// Table12 reproduces Table 12: the four schedulers on the real halo
+// patterns (CG 16K and the four Euler meshes) on 32 processors.
+func Table12(cfg network.Config) (*Table, []RealPatternResult, error) {
+	patterns, err := RealPatterns(32)
+	if err != nil {
+		return nil, nil, err
+	}
+	var results []RealPatternResult
+	cols := make([]string, len(PaperTable12))
+	for i, prob := range PaperTable12 {
+		cols[i] = prob.Name
+	}
+	var rows []string
+	for _, alg := range IrregularAlgs {
+		rows = append(rows, alg, alg+"(paper)")
+	}
+	rows = append(rows, "density %", "density(paper) %", "avg bytes", "avg bytes(paper)")
+	t := NewTable("Table 12: Irregular scheduling of real patterns on 32 processors (ms)", rows, cols)
+
+	for c, prob := range PaperTable12 {
+		p := patterns[c]
+		res := RealPatternResult{
+			Problem:    prob,
+			Pattern:    p,
+			DensityPct: 100 * p.Density(),
+			AvgBytes:   p.AvgBytes(),
+			TimesMs:    map[string]float64{},
+			StepCounts: map[string]int{},
+		}
+		for a, alg := range IrregularAlgs {
+			s, err := sched.Irregular(alg, p)
+			if err != nil {
+				return nil, nil, err
+			}
+			d, err := sched.Run(s, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			res.TimesMs[alg] = d.Millis()
+			res.StepCounts[alg] = s.NumSteps()
+			t.Set(2*a, c, "%.3f", d.Millis())
+			t.Set(2*a+1, c, "%.3f", prob.PaperMs[alg])
+		}
+		t.Set(2*len(IrregularAlgs), c, "%.0f", res.DensityPct)
+		t.Set(2*len(IrregularAlgs)+1, c, "%d", prob.PaperDensityPct)
+		t.Set(2*len(IrregularAlgs)+2, c, "%.0f", res.AvgBytes)
+		t.Set(2*len(IrregularAlgs)+3, c, "%d", prob.PaperAvgBytes)
+		results = append(results, res)
+	}
+	t.Note = "Expected shape (paper): all real densities < 50% so GS wins every column; LS worst. " +
+		"Patterns come from synthetic planar meshes of the paper's vertex counts (DESIGN.md)."
+	return t, results, nil
+}
+
+// ScheduleTables renders the paper's schedule tables 1-4 (8-processor
+// complete exchange) and 7-10 (pattern P).
+func ScheduleTables() string {
+	p := pattern.PaperP(1)
+	out := ""
+	for _, s := range []*sched.Schedule{
+		sched.LEX(8, 1), sched.PEX(8, 1), sched.REX(8, 1), sched.BEX(8, 1),
+		sched.LS(p), sched.PS(p), sched.BS(p), sched.GS(p),
+	} {
+		out += fmt.Sprintf("%s schedule (%d steps):\n%s\n", s.Algorithm, s.NumSteps(), s.Table())
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+// Package exp is the experiment harness: one runner per table and figure
+// of the paper's evaluation, producing aligned text tables with the
+// paper's published values alongside the simulator's measurements where
+// the paper reports numbers (Tables 5, 11, 12).
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title      string
+	Note       string
+	ColHeaders []string
+	RowHeaders []string
+	Cells      [][]string
+}
+
+// NewTable allocates a rows x cols table with empty cells.
+func NewTable(title string, rowHeaders, colHeaders []string) *Table {
+	cells := make([][]string, len(rowHeaders))
+	for i := range cells {
+		cells[i] = make([]string, len(colHeaders))
+	}
+	return &Table{Title: title, RowHeaders: rowHeaders, ColHeaders: colHeaders, Cells: cells}
+}
+
+// Set writes a cell.
+func (t *Table) Set(row, col int, format string, args ...interface{}) {
+	t.Cells[row][col] = fmt.Sprintf(format, args...)
+}
+
+// Render produces an aligned text table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("=", len(t.Title)))
+	b.WriteByte('\n')
+
+	// Column widths.
+	rowHeadW := 0
+	for _, h := range t.RowHeaders {
+		if len(h) > rowHeadW {
+			rowHeadW = len(h)
+		}
+	}
+	colW := make([]int, len(t.ColHeaders))
+	for c, h := range t.ColHeaders {
+		colW[c] = len(h)
+		for r := range t.RowHeaders {
+			if len(t.Cells[r][c]) > colW[c] {
+				colW[c] = len(t.Cells[r][c])
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", rowHeadW, "")
+	for c, h := range t.ColHeaders {
+		fmt.Fprintf(&b, "  %*s", colW[c], h)
+	}
+	b.WriteByte('\n')
+	for r, h := range t.RowHeaders {
+		fmt.Fprintf(&b, "%-*s", rowHeadW, h)
+		for c := range t.ColHeaders {
+			fmt.Fprintf(&b, "  %*s", colW[c], t.Cells[r][c])
+		}
+		b.WriteByte('\n')
+	}
+	if t.Note != "" {
+		b.WriteByte('\n')
+		b.WriteString(t.Note)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

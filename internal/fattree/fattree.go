@@ -1,0 +1,170 @@
+// Package fattree models the CM-5 data-network topology: a 4-ary fat tree
+// over the processing nodes of a partition.
+//
+// Nodes are grouped in clusters of 4, clusters of 4 clusters (16 nodes),
+// and so on. The least-common-ancestor (LCA) level of two nodes determines
+// both the route a message takes and the peak bandwidth available to it:
+// the CM-5 delivered 20 MB/s between nodes in the same cluster of 4,
+// 10 MB/s within a cluster of 16, and a guaranteed 5 MB/s system-wide
+// (the tree "thins" toward the root).
+package fattree
+
+import "fmt"
+
+// Arity is the branching factor of the CM-5 data network.
+const Arity = 4
+
+// Topology describes a fat tree over N leaves (processing nodes).
+// N need not be a power of 4 — CM-5 partitions came in powers of two —
+// but must be a power of 2 and at least 2.
+type Topology struct {
+	n      int
+	levels int // number of grouping levels: smallest L with Arity^L >= n
+}
+
+// New returns the fat-tree topology for an n-node partition.
+// n must be a power of two, 2 <= n <= 16384 (the CM-5's maximum).
+func New(n int) (*Topology, error) {
+	if n < 2 || n > 16384 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fattree: invalid partition size %d (need power of 2 in [2,16384])", n)
+	}
+	levels := 0
+	for c := 1; c < n; c *= Arity {
+		levels++
+	}
+	return &Topology{n: n, levels: levels}, nil
+}
+
+// MustNew is New but panics on error; for tests and literals.
+func MustNew(n int) *Topology {
+	t, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// N returns the number of nodes.
+func (t *Topology) N() int { return t.n }
+
+// Levels returns the number of grouping levels above the leaves.
+// A node's cluster-of-4 is level 1, cluster-of-16 level 2, and so on;
+// level Levels() contains the whole partition.
+func (t *Topology) Levels() int { return t.levels }
+
+// Group returns the index of the cluster containing node at the given
+// level (level >= 1). Nodes a and b share a cluster at level l exactly
+// when Group(a,l) == Group(b,l).
+func (t *Topology) Group(node, level int) int {
+	t.checkNode(node)
+	if level < 1 {
+		panic(fmt.Sprintf("fattree: level %d < 1", level))
+	}
+	return node >> (2 * uint(level))
+}
+
+// GroupSize returns the number of node slots in one level-l cluster
+// (Arity^l). The top cluster may be only partially populated when N is
+// not a power of 4.
+func (t *Topology) GroupSize(level int) int {
+	if level < 0 {
+		panic("fattree: negative level")
+	}
+	return 1 << (2 * uint(level))
+}
+
+// NumGroups returns how many level-l clusters the partition spans.
+func (t *Topology) NumGroups(level int) int {
+	gs := t.GroupSize(level)
+	return (t.n + gs - 1) / gs
+}
+
+// LCALevel returns the level of the least common ancestor of nodes a and
+// b: the smallest l >= 1 such that a and b are in the same level-l
+// cluster. LCALevel(a, a) is 0 by convention (no network traversal).
+func (t *Topology) LCALevel(a, b int) int {
+	t.checkNode(a)
+	t.checkNode(b)
+	if a == b {
+		return 0
+	}
+	for l := 1; ; l++ {
+		if a>>(2*uint(l)) == b>>(2*uint(l)) {
+			return l
+		}
+	}
+}
+
+// DistanceClass buckets an LCA level into the CM-5's three published
+// bandwidth regimes: 1 = same cluster of 4 (20 MB/s), 2 = same cluster of
+// 16 (10 MB/s), 3 = beyond (5 MB/s). Class 0 means a == b.
+func (t *Topology) DistanceClass(a, b int) int {
+	l := t.LCALevel(a, b)
+	if l > 3 {
+		return 3
+	}
+	return l
+}
+
+// LinkID identifies one aggregated link group in the tree: the bundle of
+// wires connecting a level-l cluster to the level above, in one direction.
+type LinkID struct {
+	Level int  // 0 = node injection/ejection link, >=1 = cluster uplinks
+	Group int  // node index for level 0, cluster index otherwise
+	Up    bool // true = toward root, false = toward leaves
+}
+
+// String renders a LinkID for diagnostics.
+func (l LinkID) String() string {
+	dir := "down"
+	if l.Up {
+		dir = "up"
+	}
+	return fmt.Sprintf("L%d/%d/%s", l.Level, l.Group, dir)
+}
+
+// Route returns the ordered list of aggregated links a message from src to
+// dst traverses: src's injection link, the uplinks of src's clusters below
+// the LCA, the downlinks of dst's clusters below the LCA, and dst's
+// ejection link. Route(a, a) returns nil: node-local data never enters the
+// network.
+func (t *Topology) Route(src, dst int) []LinkID {
+	t.checkNode(src)
+	t.checkNode(dst)
+	if src == dst {
+		return nil
+	}
+	lca := t.LCALevel(src, dst)
+	route := make([]LinkID, 0, 2*lca)
+	route = append(route, LinkID{Level: 0, Group: src, Up: true})
+	for l := 1; l < lca; l++ {
+		route = append(route, LinkID{Level: l, Group: t.Group(src, l), Up: true})
+	}
+	for l := lca - 1; l >= 1; l-- {
+		route = append(route, LinkID{Level: l, Group: t.Group(dst, l), Up: false})
+	}
+	route = append(route, LinkID{Level: 0, Group: dst, Up: false})
+	return route
+}
+
+// CrossesTop reports whether a message between a and b traverses the top
+// of the partition's tree (its LCA is the partition root). For BEX-style
+// schedule analysis this is the "global exchange" predicate of the paper.
+func (t *Topology) CrossesTop(a, b int) bool {
+	if a == b {
+		return false
+	}
+	return t.LCALevel(a, b) >= t.topLevel()
+}
+
+// topLevel is the level at which the whole partition is one cluster,
+// in terms of the binary-prefix grouping. For power-of-4 sizes this is
+// Levels(); for sizes 2*4^k the two half-partition clusters meet at
+// Levels() as well (the partial top level).
+func (t *Topology) topLevel() int { return t.levels }
+
+func (t *Topology) checkNode(node int) {
+	if node < 0 || node >= t.n {
+		panic(fmt.Sprintf("fattree: node %d out of range [0,%d)", node, t.n))
+	}
+}

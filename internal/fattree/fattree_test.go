@@ -1,0 +1,302 @@
+package fattree
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidSizes(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 16384} {
+		topo, err := New(n)
+		if err != nil {
+			t.Fatalf("New(%d): %v", n, err)
+		}
+		if topo.N() != n {
+			t.Fatalf("N() = %d, want %d", topo.N(), n)
+		}
+	}
+}
+
+func TestNewRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{-4, 0, 1, 3, 6, 12, 100, 1000, 32768} {
+		if _, err := New(n); err == nil {
+			t.Fatalf("New(%d) should fail", n)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(3) should panic")
+		}
+	}()
+	MustNew(3)
+}
+
+func TestLevels(t *testing.T) {
+	cases := map[int]int{2: 1, 4: 1, 8: 2, 16: 2, 32: 3, 64: 3, 128: 4, 256: 4, 1024: 5}
+	for n, want := range cases {
+		if got := MustNew(n).Levels(); got != want {
+			t.Errorf("Levels(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestGroup(t *testing.T) {
+	topo := MustNew(32)
+	// Level 1: clusters of 4.
+	if topo.Group(0, 1) != 0 || topo.Group(3, 1) != 0 || topo.Group(4, 1) != 1 || topo.Group(31, 1) != 7 {
+		t.Error("level-1 grouping wrong")
+	}
+	// Level 2: clusters of 16.
+	if topo.Group(15, 2) != 0 || topo.Group(16, 2) != 1 || topo.Group(31, 2) != 1 {
+		t.Error("level-2 grouping wrong")
+	}
+}
+
+func TestGroupSizeAndNumGroups(t *testing.T) {
+	topo := MustNew(32)
+	if topo.GroupSize(1) != 4 || topo.GroupSize(2) != 16 || topo.GroupSize(3) != 64 {
+		t.Error("GroupSize wrong")
+	}
+	if topo.NumGroups(1) != 8 || topo.NumGroups(2) != 2 || topo.NumGroups(3) != 1 {
+		t.Error("NumGroups wrong")
+	}
+}
+
+func TestLCALevel(t *testing.T) {
+	topo := MustNew(64)
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 1},
+		{0, 4, 2},
+		{0, 15, 2},
+		{0, 16, 3},
+		{0, 63, 3},
+		{5, 7, 1},
+		{17, 30, 2},
+		{20, 52, 3},
+	}
+	for _, c := range cases {
+		if got := topo.LCALevel(c.a, c.b); got != c.want {
+			t.Errorf("LCALevel(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCALevelSymmetric(t *testing.T) {
+	topo := MustNew(32)
+	for a := 0; a < 32; a++ {
+		for b := 0; b < 32; b++ {
+			if topo.LCALevel(a, b) != topo.LCALevel(b, a) {
+				t.Fatalf("LCALevel not symmetric for (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+func TestDistanceClass(t *testing.T) {
+	topo := MustNew(256)
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 1, 1},   // same cluster of 4 -> 20 MB/s class
+		{0, 5, 2},   // same cluster of 16 -> 10 MB/s class
+		{0, 17, 3},  // beyond -> 5 MB/s class
+		{0, 255, 3}, // LCA level 4 clamps to class 3
+	}
+	for _, c := range cases {
+		if got := topo.DistanceClass(c.a, c.b); got != c.want {
+			t.Errorf("DistanceClass(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRouteLocalIsNil(t *testing.T) {
+	topo := MustNew(8)
+	if r := topo.Route(3, 3); r != nil {
+		t.Fatalf("Route(3,3) = %v, want nil", r)
+	}
+}
+
+func TestRouteNeighbors(t *testing.T) {
+	topo := MustNew(8)
+	r := topo.Route(0, 1)
+	want := []LinkID{
+		{Level: 0, Group: 0, Up: true},
+		{Level: 0, Group: 1, Up: false},
+	}
+	if len(r) != len(want) {
+		t.Fatalf("Route(0,1) = %v", r)
+	}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Route(0,1)[%d] = %v, want %v", i, r[i], want[i])
+		}
+	}
+}
+
+func TestRouteCrossCluster(t *testing.T) {
+	topo := MustNew(32)
+	// 0 -> 20: LCA level 3 (different 16-clusters).
+	r := topo.Route(0, 20)
+	want := []LinkID{
+		{Level: 0, Group: 0, Up: true},
+		{Level: 1, Group: 0, Up: true},
+		{Level: 2, Group: 0, Up: true},
+		{Level: 2, Group: 1, Up: false},
+		{Level: 1, Group: 5, Up: false},
+		{Level: 0, Group: 20, Up: false},
+	}
+	if len(r) != len(want) {
+		t.Fatalf("Route(0,20) = %v", r)
+	}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Route(0,20)[%d] = %v, want %v", i, r[i], want[i])
+		}
+	}
+}
+
+func TestRouteEndpointsAlwaysPresent(t *testing.T) {
+	topo := MustNew(64)
+	for a := 0; a < 64; a += 7 {
+		for b := 0; b < 64; b += 5 {
+			if a == b {
+				continue
+			}
+			r := topo.Route(a, b)
+			if len(r) < 2 {
+				t.Fatalf("Route(%d,%d) too short: %v", a, b, r)
+			}
+			if r[0] != (LinkID{Level: 0, Group: a, Up: true}) {
+				t.Fatalf("Route(%d,%d) first link %v", a, b, r[0])
+			}
+			if r[len(r)-1] != (LinkID{Level: 0, Group: b, Up: false}) {
+				t.Fatalf("Route(%d,%d) last link %v", a, b, r[len(r)-1])
+			}
+		}
+	}
+}
+
+func TestRouteLengthMatchesLCA(t *testing.T) {
+	topo := MustNew(256)
+	for a := 0; a < 256; a += 13 {
+		for b := 0; b < 256; b += 11 {
+			if a == b {
+				continue
+			}
+			lca := topo.LCALevel(a, b)
+			if got, want := len(topo.Route(a, b)), 2*lca; got != want {
+				t.Fatalf("len(Route(%d,%d)) = %d, want %d (lca %d)", a, b, got, want, lca)
+			}
+		}
+	}
+}
+
+func TestCrossesTop(t *testing.T) {
+	topo := MustNew(32)
+	if topo.CrossesTop(0, 0) {
+		t.Error("self never crosses")
+	}
+	if topo.CrossesTop(0, 3) {
+		t.Error("intra-cluster should not cross top")
+	}
+	if topo.CrossesTop(0, 12) {
+		t.Error("within first 16 should not cross top")
+	}
+	if !topo.CrossesTop(0, 16) {
+		t.Error("0<->16 must cross top on 32 nodes")
+	}
+	if !topo.CrossesTop(15, 31) {
+		t.Error("15<->31 must cross top on 32 nodes")
+	}
+}
+
+func TestCrossesTopCountCompleteExchange(t *testing.T) {
+	// On 32 nodes, for each node 16 of the other 31 are across the top.
+	topo := MustNew(32)
+	for a := 0; a < 32; a++ {
+		count := 0
+		for b := 0; b < 32; b++ {
+			if topo.CrossesTop(a, b) {
+				count++
+			}
+		}
+		if count != 16 {
+			t.Fatalf("node %d crosses top to %d peers, want 16", a, count)
+		}
+	}
+}
+
+func TestLinkIDString(t *testing.T) {
+	up := LinkID{Level: 2, Group: 7, Up: true}
+	down := LinkID{Level: 0, Group: 3, Up: false}
+	if up.String() != "L2/7/up" || down.String() != "L0/3/down" {
+		t.Fatalf("String() = %q, %q", up.String(), down.String())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	topo := MustNew(8)
+	for _, fn := range []func(){
+		func() { topo.LCALevel(-1, 0) },
+		func() { topo.LCALevel(0, 8) },
+		func() { topo.Route(8, 0) },
+		func() { topo.Group(9, 1) },
+		func() { topo.Group(0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: LCA level is within [1, Levels] for distinct nodes, and the
+// distance class never exceeds 3.
+func TestQuickLCABounds(t *testing.T) {
+	topo := MustNew(256)
+	f := func(ar, br uint16) bool {
+		a, b := int(ar)%256, int(br)%256
+		if a == b {
+			return topo.LCALevel(a, b) == 0 && topo.DistanceClass(a, b) == 0
+		}
+		l := topo.LCALevel(a, b)
+		dc := topo.DistanceClass(a, b)
+		return l >= 1 && l <= topo.Levels() && dc >= 1 && dc <= 3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: routes of a->b and b->a are mirror images (same levels, up and
+// down swapped, endpoint groups swapped).
+func TestQuickRouteMirror(t *testing.T) {
+	topo := MustNew(64)
+	f := func(ar, br uint8) bool {
+		a, b := int(ar)%64, int(br)%64
+		fwd := topo.Route(a, b)
+		rev := topo.Route(b, a)
+		if len(fwd) != len(rev) {
+			return false
+		}
+		n := len(fwd)
+		for i := 0; i < n; i++ {
+			m := rev[n-1-i]
+			if fwd[i].Level != m.Level || fwd[i].Group != m.Group || fwd[i].Up == m.Up {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+// Package mesh provides the unstructured-mesh substrate for the paper's
+// irregular-communication experiments: synthetic planar triangular meshes
+// standing in for the Mavriplis Euler meshes (545/2K/3K/9K vertices) and
+// the 16K-vertex conjugate-gradient problem, a recursive coordinate
+// bisection partitioner, and halo-exchange pattern extraction.
+//
+// The substitution is documented in DESIGN.md: the paper's schedulers
+// consume only the communication matrix (density, bytes per neighbor
+// pair), which synthetic meshes of matched size and partitioning
+// reproduce.
+package mesh
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Point is a 2-D vertex position.
+type Point struct{ X, Y float64 }
+
+// Mesh is an unstructured triangular mesh.
+type Mesh struct {
+	Pts  []Point
+	Tris [][3]int
+
+	edges [][2]int // unique vertex pairs (a < b), built lazily
+	adj   [][]int  // vertex adjacency, built lazily
+}
+
+// NumVertices returns the vertex count.
+func (m *Mesh) NumVertices() int { return len(m.Pts) }
+
+// NumTriangles returns the triangle count.
+func (m *Mesh) NumTriangles() int { return len(m.Tris) }
+
+// Generate builds a jittered triangulated grid with approximately nv
+// vertices (exactly rows*cols where rows*cols is the closest grid at or
+// above nv's square root split). Interior vertices are perturbed
+// pseudo-randomly so partition boundaries are irregular, like a real
+// unstructured CFD mesh. Deterministic for a given seed.
+func Generate(nv int, seed int64) *Mesh {
+	if nv < 4 {
+		nv = 4
+	}
+	rows := int(math.Sqrt(float64(nv)))
+	if rows < 2 {
+		rows = 2
+	}
+	cols := (nv + rows - 1) / rows
+	rng := rand.New(rand.NewSource(seed))
+
+	m := &Mesh{}
+	jitter := 0.35
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			x, y := float64(c), float64(r)
+			if r > 0 && r < rows-1 && c > 0 && c < cols-1 {
+				x += jitter * (2*rng.Float64() - 1)
+				y += jitter * (2*rng.Float64() - 1)
+			}
+			m.Pts = append(m.Pts, Point{X: x, Y: y})
+		}
+	}
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows-1; r++ {
+		for c := 0; c < cols-1; c++ {
+			a, b := id(r, c), id(r, c+1)
+			d, e := id(r+1, c), id(r+1, c+1)
+			// Alternate the quad diagonal pseudo-randomly for
+			// irregularity.
+			if rng.Intn(2) == 0 {
+				m.Tris = append(m.Tris, [3]int{a, b, d}, [3]int{b, e, d})
+			} else {
+				m.Tris = append(m.Tris, [3]int{a, b, e}, [3]int{a, e, d})
+			}
+		}
+	}
+	return m
+}
+
+// Edges returns the unique undirected edges (a < b), sorted.
+func (m *Mesh) Edges() [][2]int {
+	if m.edges != nil {
+		return m.edges
+	}
+	seen := make(map[[2]int]bool)
+	add := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		seen[[2]int{a, b}] = true
+	}
+	for _, t := range m.Tris {
+		add(t[0], t[1])
+		add(t[1], t[2])
+		add(t[0], t[2])
+	}
+	edges := make([][2]int, 0, len(seen))
+	for e := range seen {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	m.edges = edges
+	return edges
+}
+
+// Adjacency returns, for each vertex, its sorted neighbor list.
+func (m *Mesh) Adjacency() [][]int {
+	if m.adj != nil {
+		return m.adj
+	}
+	adj := make([][]int, m.NumVertices())
+	for _, e := range m.Edges() {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	m.adj = adj
+	return adj
+}
+
+// Validate checks structural invariants: triangle indices in range,
+// non-degenerate triangles, and a connected vertex set.
+func (m *Mesh) Validate() error {
+	n := m.NumVertices()
+	for ti, t := range m.Tris {
+		for _, v := range t {
+			if v < 0 || v >= n {
+				return fmt.Errorf("mesh: triangle %d references vertex %d of %d", ti, v, n)
+			}
+		}
+		if t[0] == t[1] || t[1] == t[2] || t[0] == t[2] {
+			return fmt.Errorf("mesh: degenerate triangle %d: %v", ti, t)
+		}
+	}
+	if n > 0 && !m.connected() {
+		return fmt.Errorf("mesh: vertex graph is not connected")
+	}
+	return nil
+}
+
+func (m *Mesh) connected() bool {
+	n := m.NumVertices()
+	if n == 0 {
+		return true
+	}
+	adj := m.Adjacency()
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
+// PartitionRCB assigns each vertex to one of p parts by recursive
+// coordinate bisection: split the vertex set at the median of its wider
+// coordinate extent, recursing until p parts exist. p must be a power of
+// two. The result balances part sizes within one vertex.
+func PartitionRCB(m *Mesh, p int) []int {
+	if p < 1 || p&(p-1) != 0 {
+		panic(fmt.Sprintf("mesh: part count %d must be a power of two", p))
+	}
+	owner := make([]int, m.NumVertices())
+	idx := make([]int, m.NumVertices())
+	for i := range idx {
+		idx[i] = i
+	}
+	rcb(m.Pts, idx, 0, p, owner)
+	return owner
+}
+
+func rcb(pts []Point, idx []int, base, parts int, owner []int) {
+	if parts == 1 {
+		for _, v := range idx {
+			owner[v] = base
+		}
+		return
+	}
+	// Choose the wider axis.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, v := range idx {
+		p := pts[v]
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	byX := maxX-minX >= maxY-minY
+	sort.Slice(idx, func(i, j int) bool {
+		a, b := pts[idx[i]], pts[idx[j]]
+		if byX {
+			if a.X != b.X {
+				return a.X < b.X
+			}
+			return a.Y < b.Y
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.X < b.X
+	})
+	mid := len(idx) / 2
+	rcb(pts, idx[:mid], base, parts/2, owner)
+	rcb(pts, idx[mid:], base+parts/2, parts/2, owner)
+}
+
+// PartSizes returns the number of vertices per part.
+func PartSizes(owner []int, p int) []int {
+	sizes := make([]int, p)
+	for _, o := range owner {
+		sizes[o]++
+	}
+	return sizes
+}

@@ -1,0 +1,376 @@
+package network
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/fattree"
+	"repro/internal/sim"
+)
+
+// completionSlack pads each flow-completion event by one nanosecond so
+// floating-point rounding can never schedule a completion fractionally
+// before the flow's remaining bytes reach zero.
+const completionSlack = sim.Nanosecond
+
+// remainingEpsilon is the residual byte count below which a flow counts
+// as finished (absorbs float rounding across rate changes).
+const remainingEpsilon = 1e-3
+
+// link is one aggregated link group with a finite capacity.
+type link struct {
+	id      fattree.LinkID
+	cap     float64
+	flows   map[*Flow]struct{}
+	carried float64 // total bytes carried, for utilization reports
+}
+
+// Flow is one in-flight message transfer on the data network.
+type Flow struct {
+	Src, Dst  int
+	WireBytes int
+	seq       int // creation order; makes allocation order deterministic
+
+	remaining float64
+	rate      float64
+	links     []*link
+	done      func()
+	active    bool
+	started   sim.Time
+}
+
+// Rate returns the flow's current bandwidth allocation in bytes/s.
+// It is only meaningful while the flow is active.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// DataNet is the flow-level CM-5 data-network simulator. All methods must
+// be called from engine context (an event callback or a running process).
+type DataNet struct {
+	eng   *sim.Engine
+	topo  *fattree.Topology
+	cfg   Config
+	links map[fattree.LinkID]*link
+	flows map[*Flow]struct{}
+
+	lastAdvance sim.Time
+	tickGen     uint64 // invalidates stale completion events
+	tickAt      sim.Time
+	tickSet     bool
+
+	// Stats.
+	totalFlows     int
+	totalWireBytes int64
+}
+
+// NewDataNet creates a data network for the given topology.
+func NewDataNet(eng *sim.Engine, topo *fattree.Topology, cfg Config) *DataNet {
+	return &DataNet{
+		eng:   eng,
+		topo:  topo,
+		cfg:   cfg,
+		links: make(map[fattree.LinkID]*link),
+		flows: make(map[*Flow]struct{}),
+	}
+}
+
+// Topology returns the fat tree the network runs over.
+func (d *DataNet) Topology() *fattree.Topology { return d.topo }
+
+// Config returns the timing constants in use.
+func (d *DataNet) Config() Config { return d.cfg }
+
+// ActiveFlows returns the number of in-flight flows.
+func (d *DataNet) ActiveFlows() int { return len(d.flows) }
+
+// TotalFlows returns the number of flows ever started.
+func (d *DataNet) TotalFlows() int { return d.totalFlows }
+
+// TotalWireBytes returns the sum of wire bytes over all started flows.
+func (d *DataNet) TotalWireBytes() int64 { return d.totalWireBytes }
+
+func (d *DataNet) linkFor(id fattree.LinkID) *link {
+	l, ok := d.links[id]
+	if !ok {
+		var capacity float64
+		if id.Level == 0 {
+			capacity = d.cfg.NodeLinkRate
+		} else {
+			capacity = d.cfg.ClusterUpRate(id.Level)
+		}
+		l = &link{id: id, cap: capacity, flows: make(map[*Flow]struct{})}
+		d.links[id] = l
+	}
+	return l
+}
+
+// Start begins transferring userBytes from src to dst. When the last byte
+// arrives, done runs in engine context. Start returns the new flow.
+// src must differ from dst: node-local copies never enter the network.
+func (d *DataNet) Start(src, dst, userBytes int, done func()) *Flow {
+	if src == dst {
+		panic(fmt.Sprintf("network: self-flow %d->%d", src, dst))
+	}
+	wire := d.cfg.WireBytes(userBytes)
+	f := &Flow{
+		Src:       src,
+		Dst:       dst,
+		WireBytes: wire,
+		seq:       d.totalFlows,
+		remaining: float64(wire),
+		done:      done,
+		active:    true,
+		started:   d.eng.Now(),
+	}
+	for _, id := range d.topo.Route(src, dst) {
+		l := d.linkFor(id)
+		l.flows[f] = struct{}{}
+		f.links = append(f.links, l)
+	}
+	d.advance()
+	d.flows[f] = struct{}{}
+	d.totalFlows++
+	d.totalWireBytes += int64(wire)
+	d.reallocate()
+	return f
+}
+
+// advance applies the current rates over the time elapsed since the last
+// call, decrementing every active flow's remaining bytes.
+func (d *DataNet) advance() {
+	now := d.eng.Now()
+	if now == d.lastAdvance {
+		return
+	}
+	dt := (now - d.lastAdvance).Seconds()
+	for f := range d.flows {
+		moved := f.rate * dt
+		f.remaining -= moved
+		for _, l := range f.links {
+			l.carried += moved
+		}
+	}
+	d.lastAdvance = now
+}
+
+// LinkCarried returns the total wire bytes each link has carried so far,
+// keyed by link. Only links that ever carried traffic appear.
+func (d *DataNet) LinkCarried() map[fattree.LinkID]float64 {
+	out := make(map[fattree.LinkID]float64, len(d.links))
+	for id, l := range d.links {
+		if l.carried > 0 {
+			out[id] = l.carried
+		}
+	}
+	return out
+}
+
+// LevelCarried aggregates LinkCarried by tree level (both directions
+// combined): how many wire bytes crossed each level of the fat tree.
+func (d *DataNet) LevelCarried() map[int]float64 {
+	out := make(map[int]float64)
+	for id, l := range d.links {
+		if l.carried > 0 {
+			out[id.Level] += l.carried
+		}
+	}
+	return out
+}
+
+// LevelUtilization returns, per tree level, carried bytes divided by the
+// level's aggregate capacity x elapsed time — the fraction of the
+// level's capacity the run actually used. Elapsed must be the
+// simulation's makespan.
+func (d *DataNet) LevelUtilization(elapsed sim.Time) map[int]float64 {
+	secs := elapsed.Seconds()
+	out := make(map[int]float64)
+	if secs <= 0 {
+		return out
+	}
+	capacity := make(map[int]float64)
+	for id, l := range d.links {
+		if l.carried == 0 {
+			continue
+		}
+		out[id.Level] += l.carried
+		capacity[id.Level] += l.cap
+	}
+	for level := range out {
+		out[level] /= capacity[level] * secs
+	}
+	return out
+}
+
+// reallocate recomputes max-min fair rates, completes any finished flows,
+// and schedules the next completion event.
+func (d *DataNet) reallocate() {
+	// Complete flows whose remaining bytes have hit zero.
+	var finished []*Flow
+	for f := range d.flows {
+		if f.remaining <= remainingEpsilon {
+			finished = append(finished, f)
+		}
+	}
+	for _, f := range finished {
+		d.remove(f)
+	}
+	// Run completion callbacks in a deterministic order (start order is
+	// not tracked; sort by src then dst, which is unique per in-flight
+	// pair in all our workloads and stable regardless).
+	sortFlows(finished)
+	d.maxmin()
+	d.scheduleNextCompletion()
+	for _, f := range finished {
+		if f.done != nil {
+			f.done()
+		}
+	}
+}
+
+func (d *DataNet) remove(f *Flow) {
+	f.active = false
+	f.rate = 0
+	delete(d.flows, f)
+	for _, l := range f.links {
+		delete(l.flows, f)
+	}
+}
+
+// maxmin computes the max-min fair allocation by iterative water-filling
+// over the links (each flow is additionally capped by its node links,
+// which are part of its route, so no separate per-flow cap is needed).
+// All iteration follows deterministic orders — flows by creation
+// sequence, links by first touch — so floating-point results are
+// bit-identical across runs.
+func (d *DataNet) maxmin() {
+	if len(d.flows) == 0 {
+		return
+	}
+	type linkState struct {
+		l       *link
+		avail   float64
+		unfixed int
+	}
+	flowList := make([]*Flow, 0, len(d.flows))
+	for f := range d.flows {
+		flowList = append(flowList, f)
+	}
+	sort.Slice(flowList, func(i, j int) bool { return flowList[i].seq < flowList[j].seq })
+
+	states := make(map[*link]*linkState)
+	var stateList []*linkState
+	unfixed := len(flowList)
+	fixed := make(map[*Flow]bool, len(flowList))
+	for _, f := range flowList {
+		f.rate = 0
+		for _, l := range f.links {
+			st, ok := states[l]
+			if !ok {
+				st = &linkState{l: l, avail: l.cap}
+				states[l] = st
+				stateList = append(stateList, st)
+			}
+			st.unfixed++
+		}
+	}
+	for unfixed > 0 {
+		// Find the bottleneck link: minimum fair share among links that
+		// still carry unfixed flows (ties resolved by first touch).
+		var bottleneck *linkState
+		share := math.Inf(1)
+		for _, st := range stateList {
+			if st.unfixed == 0 {
+				continue
+			}
+			s := st.avail / float64(st.unfixed)
+			if s < share {
+				share = s
+				bottleneck = st
+			}
+		}
+		if bottleneck == nil {
+			// No constraining link (cannot happen: every flow crosses
+			// its node links). Guard against an infinite loop anyway.
+			for _, f := range flowList {
+				if !fixed[f] {
+					f.rate = d.cfg.NodeLinkRate
+					fixed[f] = true
+				}
+			}
+			break
+		}
+		// Fix every unfixed flow crossing the bottleneck at the share,
+		// in creation order.
+		for _, f := range flowList {
+			if fixed[f] {
+				continue
+			}
+			if _, on := bottleneck.l.flows[f]; !on {
+				continue
+			}
+			f.rate = share
+			fixed[f] = true
+			unfixed--
+			for _, l := range f.links {
+				st := states[l]
+				st.avail -= share
+				if st.avail < 0 {
+					st.avail = 0
+				}
+				st.unfixed--
+			}
+		}
+	}
+}
+
+// scheduleNextCompletion arms a single event at the earliest projected
+// flow completion. Any rate change bumps tickGen, invalidating the old
+// event.
+func (d *DataNet) scheduleNextCompletion() {
+	d.tickGen++
+	gen := d.tickGen
+	if len(d.flows) == 0 {
+		d.tickSet = false
+		return
+	}
+	soonest := math.Inf(1)
+	for f := range d.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		t := f.remaining / f.rate
+		if t < soonest {
+			soonest = t
+		}
+	}
+	if math.IsInf(soonest, 1) {
+		// All rates zero with active flows: model bug.
+		panic("network: active flows with zero total rate")
+	}
+	at := d.eng.Now() + sim.FromSeconds(soonest) + completionSlack
+	d.tickAt = at
+	d.tickSet = true
+	d.eng.Schedule(at, func() {
+		if gen != d.tickGen {
+			return // superseded by a later reallocation
+		}
+		d.advance()
+		d.reallocate()
+	})
+}
+
+// sortFlows orders flows deterministically by (src, dst).
+func sortFlows(fs []*Flow) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && lessFlow(fs[j], fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+func lessFlow(a, b *Flow) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Dst < b.Dst
+}

@@ -1,0 +1,246 @@
+// Package pattern represents interprocessor communication patterns as the
+// paper does: a two-dimensional matrix where element [i][j] is the number
+// of bytes processor i must send to processor j.
+//
+// The package provides the paper's example 8-processor pattern 'P'
+// (Table 6), synthetic generators producing patterns of a given density
+// (Section 4.5 uses 10/25/50/75 % of complete exchange), and statistics
+// (density, average message size) matching those reported in Table 12.
+package pattern
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Matrix is a communication pattern: Matrix[i][j] bytes flow from
+// processor i to processor j. The diagonal must be zero.
+type Matrix [][]int
+
+// New returns an n x n zero pattern.
+func New(n int) Matrix {
+	m := make(Matrix, n)
+	cells := make([]int, n*n)
+	for i := range m {
+		m[i], cells = cells[:n], cells[n:]
+	}
+	return m
+}
+
+// N returns the number of processors the pattern spans.
+func (m Matrix) N() int { return len(m) }
+
+// Clone returns a deep copy.
+func (m Matrix) Clone() Matrix {
+	c := New(m.N())
+	for i := range m {
+		copy(c[i], m[i])
+	}
+	return c
+}
+
+// Validate checks structural invariants: square, non-negative entries,
+// zero diagonal.
+func (m Matrix) Validate() error {
+	n := m.N()
+	for i, row := range m {
+		if len(row) != n {
+			return fmt.Errorf("pattern: row %d has %d columns, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			if v < 0 {
+				return fmt.Errorf("pattern: negative entry [%d][%d] = %d", i, j, v)
+			}
+			if i == j && v != 0 {
+				return fmt.Errorf("pattern: nonzero diagonal [%d][%d] = %d", i, j, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Messages returns the number of nonzero entries (point-to-point
+// messages the pattern requires).
+func (m Matrix) Messages() int {
+	count := 0
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] > 0 {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// TotalBytes returns the sum of all entries.
+func (m Matrix) TotalBytes() int64 {
+	var total int64
+	for i := range m {
+		for _, v := range m[i] {
+			total += int64(v)
+		}
+	}
+	return total
+}
+
+// Density returns the fraction of possible (src,dst) pairs that
+// communicate, relative to a complete exchange: Messages / (N*(N-1)).
+// This is the paper's "percentage of communication operations with
+// respect to complete exchange".
+func (m Matrix) Density() float64 {
+	n := m.N()
+	if n < 2 {
+		return 0
+	}
+	return float64(m.Messages()) / float64(n*(n-1))
+}
+
+// AvgBytes returns the average bytes per message (0 for empty patterns) —
+// the paper's "average number of bytes transferred per communication
+// operation".
+func (m Matrix) AvgBytes() float64 {
+	msgs := m.Messages()
+	if msgs == 0 {
+		return 0
+	}
+	return float64(m.TotalBytes()) / float64(msgs)
+}
+
+// MaxEntry returns the largest single message size in the pattern.
+func (m Matrix) MaxEntry() int {
+	max := 0
+	for i := range m {
+		for _, v := range m[i] {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// IsSymmetricShape reports whether communication is bidirectional for
+// every pair: m[i][j] > 0 iff m[j][i] > 0 (byte counts may differ).
+// Halo-exchange patterns from meshes have this property; synthetic
+// patterns generally do not.
+func (m Matrix) IsSymmetricShape() bool {
+	for i := range m {
+		for j := range m[i] {
+			if (m[i][j] > 0) != (m[j][i] > 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the pattern as the paper's Table 6 does: a matrix of
+// byte counts (0/1 entries in the paper's example).
+func (m Matrix) String() string {
+	var b strings.Builder
+	for i := range m {
+		for j := range m[i] {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", m[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CompleteExchange returns the pattern in which every processor sends
+// bytesPerPair to every other processor (all-to-all personalized).
+func CompleteExchange(n, bytesPerPair int) Matrix {
+	m := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m[i][j] = bytesPerPair
+			}
+		}
+	}
+	return m
+}
+
+// PaperP returns the paper's example irregular communication pattern 'P'
+// for 8 processors (Table 6). Entries are 0/1 flags in the paper; the
+// returned matrix scales them by bytesPerMsg (use 1 to get Table 6
+// verbatim).
+func PaperP(bytesPerMsg int) Matrix {
+	flags := [8][8]int{
+		{0, 1, 0, 1, 0, 1, 1, 0},
+		{1, 0, 1, 0, 1, 1, 1, 1},
+		{0, 1, 0, 1, 0, 0, 0, 0},
+		{1, 0, 1, 0, 1, 1, 1, 0},
+		{0, 1, 1, 1, 0, 1, 0, 1},
+		{0, 1, 0, 0, 1, 0, 1, 0},
+		{1, 0, 1, 1, 0, 1, 0, 1},
+		{1, 1, 0, 0, 1, 0, 1, 0},
+	}
+	m := New(8)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			m[i][j] = flags[i][j] * bytesPerMsg
+		}
+	}
+	return m
+}
+
+// Synthetic returns a pattern with the requested density (fraction of
+// the N*(N-1) possible messages, in [0,1]) where every present message
+// carries bytesPerMsg bytes. This reproduces the paper's synthetic
+// workloads: "communication densities of 10%, 25%, 50% and 75% of
+// complete exchange ... for message sizes of 256 and 512 bytes".
+//
+// The generator is deterministic for a given seed. Message slots are
+// chosen uniformly at random without replacement.
+func Synthetic(n int, density float64, bytesPerMsg int, seed int64) Matrix {
+	if density < 0 {
+		density = 0
+	}
+	if density > 1 {
+		density = 1
+	}
+	total := n * (n - 1)
+	want := int(density*float64(total) + 0.5)
+	// Enumerate all off-diagonal slots and shuffle.
+	type slot struct{ i, j int }
+	slots := make([]slot, 0, total)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				slots = append(slots, slot{i, j})
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(slots), func(a, b int) { slots[a], slots[b] = slots[b], slots[a] })
+	m := New(n)
+	for _, s := range slots[:want] {
+		m[s.i][s.j] = bytesPerMsg
+	}
+	return m
+}
+
+// SyntheticVariable is Synthetic with per-message sizes drawn uniformly
+// from [minBytes, maxBytes]; useful for stress tests and ablations.
+func SyntheticVariable(n int, density float64, minBytes, maxBytes int, seed int64) Matrix {
+	m := Synthetic(n, density, 1, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	span := maxBytes - minBytes + 1
+	if span < 1 {
+		span = 1
+	}
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] > 0 {
+				m[i][j] = minBytes + rng.Intn(span)
+			}
+		}
+	}
+	return m
+}

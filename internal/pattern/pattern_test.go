@@ -1,0 +1,227 @@
+package pattern
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroMatrix(t *testing.T) {
+	m := New(4)
+	if m.N() != 4 {
+		t.Fatalf("N = %d", m.N())
+	}
+	if m.Messages() != 0 || m.TotalBytes() != 0 || m.Density() != 0 || m.AvgBytes() != 0 {
+		t.Fatal("fresh matrix should be empty")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	m := New(3)
+	m[1][1] = 5
+	if err := m.Validate(); err == nil {
+		t.Fatal("nonzero diagonal should fail validation")
+	}
+	m = New(3)
+	m[0][1] = -2
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative entry should fail validation")
+	}
+	m = New(3)
+	m[2] = m[2][:2]
+	if err := m.Validate(); err == nil {
+		t.Fatal("ragged matrix should fail validation")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := New(3)
+	m[0][1] = 7
+	c := m.Clone()
+	c[0][1] = 9
+	if m[0][1] != 7 {
+		t.Fatal("Clone aliases original storage")
+	}
+}
+
+func TestCompleteExchange(t *testing.T) {
+	m := CompleteExchange(8, 256)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.Messages() != 8*7 {
+		t.Fatalf("Messages = %d", m.Messages())
+	}
+	if m.Density() != 1.0 {
+		t.Fatalf("Density = %g", m.Density())
+	}
+	if m.AvgBytes() != 256 {
+		t.Fatalf("AvgBytes = %g", m.AvgBytes())
+	}
+	if m.TotalBytes() != 8*7*256 {
+		t.Fatalf("TotalBytes = %d", m.TotalBytes())
+	}
+	if m.MaxEntry() != 256 {
+		t.Fatalf("MaxEntry = %d", m.MaxEntry())
+	}
+	if !m.IsSymmetricShape() {
+		t.Fatal("complete exchange is symmetric")
+	}
+}
+
+// TestPaperPatternP checks the pattern against the paper's Table 6.
+func TestPaperPatternP(t *testing.T) {
+	m := PaperP(1)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	want := strings.TrimLeft(`
+0 1 0 1 0 1 1 0
+1 0 1 0 1 1 1 1
+0 1 0 1 0 0 0 0
+1 0 1 0 1 1 1 0
+0 1 1 1 0 1 0 1
+0 1 0 0 1 0 1 0
+1 0 1 1 0 1 0 1
+1 1 0 0 1 0 1 0
+`, "\n")
+	if m.String() != want {
+		t.Fatalf("pattern P mismatch:\n%s\nwant:\n%s", m.String(), want)
+	}
+	// 34 messages in Table 6.
+	if m.Messages() != 34 {
+		t.Fatalf("Messages = %d, want 34", m.Messages())
+	}
+	scaled := PaperP(256)
+	if scaled.TotalBytes() != 34*256 {
+		t.Fatalf("scaled TotalBytes = %d", scaled.TotalBytes())
+	}
+}
+
+func TestPaperPatternPRow2MatchesTable(t *testing.T) {
+	// Table 6 row for processor 2: sends only to 1 and 3.
+	m := PaperP(1)
+	for j := 0; j < 8; j++ {
+		want := 0
+		if j == 1 || j == 3 {
+			want = 1
+		}
+		if m[2][j] != want {
+			t.Fatalf("P[2][%d] = %d, want %d", j, m[2][j], want)
+		}
+	}
+}
+
+func TestSyntheticDensity(t *testing.T) {
+	for _, d := range []float64{0.10, 0.25, 0.50, 0.75} {
+		m := Synthetic(32, d, 256, 42)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+		if got := m.Density(); math.Abs(got-d) > 0.001 {
+			t.Fatalf("density %g, want %g", got, d)
+		}
+		if m.AvgBytes() != 256 {
+			t.Fatalf("AvgBytes = %g", m.AvgBytes())
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(16, 0.3, 128, 7)
+	b := Synthetic(16, 0.3, 128, 7)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed produced different patterns")
+			}
+		}
+	}
+	c := Synthetic(16, 0.3, 128, 8)
+	same := true
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != c[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical patterns")
+	}
+}
+
+func TestSyntheticDensityClamps(t *testing.T) {
+	if Synthetic(8, -0.5, 10, 1).Messages() != 0 {
+		t.Fatal("negative density should yield empty pattern")
+	}
+	if Synthetic(8, 2.0, 10, 1).Density() != 1.0 {
+		t.Fatal("density > 1 should clamp to complete exchange")
+	}
+}
+
+func TestSyntheticVariableSizes(t *testing.T) {
+	m := SyntheticVariable(16, 0.5, 100, 200, 3)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for i := range m {
+		for j := range m[i] {
+			if v := m[i][j]; v != 0 && (v < 100 || v > 200) {
+				t.Fatalf("entry [%d][%d] = %d outside [100,200]", i, j, v)
+			}
+		}
+	}
+	if math.Abs(m.Density()-0.5) > 0.01 {
+		t.Fatalf("density = %g", m.Density())
+	}
+}
+
+func TestIsSymmetricShape(t *testing.T) {
+	m := New(3)
+	m[0][1], m[1][0] = 5, 9
+	if !m.IsSymmetricShape() {
+		t.Fatal("bidirectional pair should be symmetric in shape")
+	}
+	m[0][2] = 4
+	if m.IsSymmetricShape() {
+		t.Fatal("one-way message should break shape symmetry")
+	}
+}
+
+// Property: synthetic patterns always validate and hit the requested
+// message count exactly.
+func TestQuickSyntheticInvariants(t *testing.T) {
+	f := func(seed int64, dRaw uint8, sizeRaw uint16) bool {
+		d := float64(dRaw%101) / 100
+		size := int(sizeRaw%2048) + 1
+		m := Synthetic(16, d, size, seed)
+		if m.Validate() != nil {
+			return false
+		}
+		want := int(d*float64(16*15) + 0.5)
+		return m.Messages() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: density and average size are consistent with totals.
+func TestQuickStatsConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		m := SyntheticVariable(8, 0.4, 1, 64, seed)
+		msgs := m.Messages()
+		if msgs == 0 {
+			return m.AvgBytes() == 0
+		}
+		return math.Abs(m.AvgBytes()*float64(msgs)-float64(m.TotalBytes())) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/cmmd"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// RunLIB executes the Linear Broadcast (paper Section 3.6): the root
+// sends the message to the other N-1 processors one by one. It returns
+// the simulated time for every node to hold the message.
+func RunLIB(n, root, nbytes int, cfg network.Config) (sim.Time, error) {
+	checkN(n)
+	if root < 0 || root >= n {
+		return 0, fmt.Errorf("sched: broadcast root %d out of range", root)
+	}
+	m, err := cmmd.NewMachine(n, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return m.Run(func(node *cmmd.Node) {
+		if node.ID() == root {
+			for j := 0; j < n; j++ {
+				if j != root {
+					node.SendN(j, 0, nbytes)
+				}
+			}
+		} else {
+			node.Recv(root, 0)
+		}
+	})
+}
+
+// REBPeer returns, for the recursive broadcast relative rank r in a
+// partition of n at step j (1-based), the action this node takes:
+// send to peer, receive from peer, or idle (peer < 0). This follows the
+// paper's Figure 9 with ranks taken relative to the root.
+func REBPeer(r, j, n int) (peer int, send bool) {
+	distance := n >> uint(j) // N / 2^j
+	if distance == 0 || r%distance != 0 {
+		return -1, false
+	}
+	if (r/distance)%2 == 0 {
+		return r + distance, true
+	}
+	return r - distance, false
+}
+
+// RunREB executes the Recursive Broadcast (paper Section 3.6, Figure 9):
+// lg N doubling steps over the data network. Unlike the system broadcast
+// it does not require the whole partition to participate, and for large
+// messages it outruns the control network's limited broadcast bandwidth.
+func RunREB(n, root, nbytes int, cfg network.Config) (sim.Time, error) {
+	checkN(n)
+	if root < 0 || root >= n {
+		return 0, fmt.Errorf("sched: broadcast root %d out of range", root)
+	}
+	m, err := cmmd.NewMachine(n, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return m.Run(func(node *cmmd.Node) { ExecuteREBNode(node, root, nbytes) })
+}
+
+// ExecuteREBNode runs one node's part of the recursive broadcast.
+func ExecuteREBNode(node *cmmd.Node, root, nbytes int) {
+	n := node.N()
+	r := (node.ID() - root + n) % n // rank relative to root
+	steps := LgN(n)
+	for j := 1; j <= steps; j++ {
+		peer, send := REBPeer(r, j, n)
+		if peer < 0 {
+			continue
+		}
+		phys := (peer + root) % n
+		if send {
+			node.SendN(phys, j, nbytes)
+		} else {
+			node.Recv(phys, j)
+		}
+	}
+}
+
+// RunSystemBcast executes the CMMD system broadcast over the control
+// network: all nodes participate; time is dominated by the control
+// network's broadcast bandwidth.
+func RunSystemBcast(n, root, nbytes int, cfg network.Config) (sim.Time, error) {
+	checkN(n)
+	if root < 0 || root >= n {
+		return 0, fmt.Errorf("sched: broadcast root %d out of range", root)
+	}
+	m, err := cmmd.NewMachine(n, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return m.Run(func(node *cmmd.Node) {
+		var data []byte
+		if node.ID() == root && nbytes > 0 {
+			data = make([]byte, nbytes)
+		}
+		node.Bcast(root, data)
+	})
+}
+
+// Broadcast runs the named broadcast algorithm and returns the simulated
+// completion time. Valid names: LIB, REB, SYS.
+func Broadcast(alg string, n, root, nbytes int, cfg network.Config) (sim.Time, error) {
+	switch alg {
+	case "LIB":
+		return RunLIB(n, root, nbytes, cfg)
+	case "REB":
+		return RunREB(n, root, nbytes, cfg)
+	case "SYS":
+		return RunSystemBcast(n, root, nbytes, cfg)
+	}
+	return 0, fmt.Errorf("sched: unknown broadcast algorithm %q", alg)
+}

@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/cmmd"
+	"repro/internal/network"
+	"repro/internal/pattern"
+	"repro/internal/sim"
+)
+
+// DataHooks supply real payloads when a schedule moves application data.
+// With nil hooks the executor sends size-only synthetic messages.
+type DataHooks struct {
+	// OnSend returns the payload for the transfer src->dst in the given
+	// step. Its length overrides the schedule's byte count.
+	OnSend func(step int, src, dst int) []byte
+	// OnRecv consumes a delivered message.
+	OnRecv func(step int, msg cmmd.Message)
+}
+
+// Run executes the schedule on a fresh machine with the given
+// configuration and returns the simulated completion time of the slowest
+// node. Steps are not barrier-separated — just like the paper's
+// algorithms, the pairwise rendezvous themselves enforce ordering —
+// so a node with no work in a step proceeds immediately.
+func Run(s *Schedule, cfg network.Config) (sim.Time, error) {
+	m, err := cmmd.NewMachine(s.N, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return RunOn(m, s, DataHooks{})
+}
+
+// RunAsync is Run with buffered (non-blocking) sends — the what-if of
+// the paper's Section 3.1, which the real CMMD of 1992 did not offer.
+func RunAsync(s *Schedule, cfg network.Config) (sim.Time, error) {
+	m, err := cmmd.NewMachine(s.N, cfg)
+	if err != nil {
+		return 0, err
+	}
+	m.SetAsyncSends(true)
+	return RunOn(m, s, DataHooks{})
+}
+
+// RunOn executes the schedule on an existing (un-run) machine.
+func RunOn(m *cmmd.Machine, s *Schedule, hooks DataHooks) (sim.Time, error) {
+	if m.N() != s.N {
+		return 0, fmt.Errorf("sched: machine has %d nodes, schedule wants %d", m.N(), s.N)
+	}
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	return m.Run(func(n *cmmd.Node) { ExecuteNode(n, s, hooks) })
+}
+
+// ExecuteNode runs one node's part of the schedule; exposed so
+// applications can interleave schedule execution with computation.
+func ExecuteNode(n *cmmd.Node, s *Schedule, hooks DataHooks) {
+	me := n.ID()
+	for step, st := range s.Steps {
+		for _, tr := range st {
+			switch me {
+			case tr.Src:
+				if hooks.OnSend != nil {
+					n.Send(tr.Dst, step, hooks.OnSend(step, tr.Src, tr.Dst))
+				} else {
+					n.SendN(tr.Dst, step, tr.Bytes)
+				}
+			case tr.Dst:
+				msg := n.Recv(tr.Src, step)
+				if hooks.OnRecv != nil {
+					hooks.OnRecv(step, msg)
+				}
+			}
+		}
+	}
+}
+
+// RunREX executes the Recursive Exchange complete exchange of
+// bytesPerPair per processor pair on a fresh machine (paper Figure 3).
+// Unlike the direct algorithms, REX is store-and-forward: each of the
+// lg N steps moves a combined message of bytesPerPair*N/2 bytes and pays
+// pack/unpack memory-copy costs for the reshuffle the paper describes.
+func RunREX(n, bytesPerPair int, cfg network.Config) (sim.Time, error) {
+	checkN(n)
+	m, err := cmmd.NewMachine(n, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return m.Run(func(node *cmmd.Node) { ExecuteREXNode(node, bytesPerPair) })
+}
+
+// ExecuteREXNode runs one node's recursive exchange with synthetic
+// payloads, following Figure 3's ordering exactly: the lower-numbered
+// partner packs and sends before receiving; the higher-numbered partner
+// receives first.
+func ExecuteREXNode(node *cmmd.Node, bytesPerPair int) {
+	n := node.N()
+	me := node.ID()
+	msg := bytesPerPair * n / 2
+	for k := 0; n>>uint(k) >= 2; k++ {
+		peer := REXPartner(me, k, n)
+		if me < peer {
+			node.MemCopy(msg) // pack message to send
+			node.SendN(peer, k, msg)
+			node.Recv(peer, k)
+			node.MemCopy(msg) // unpack received message
+		} else {
+			node.Recv(peer, k)
+			node.MemCopy(msg)
+			node.MemCopy(msg)
+			node.SendN(peer, k, msg)
+		}
+	}
+}
+
+// Exchange runs the named complete-exchange algorithm for an n-processor
+// machine at bytesPerPair bytes and returns the simulated time. Valid
+// names: LEX, PEX, REX, BEX.
+func Exchange(alg string, n, bytesPerPair int, cfg network.Config) (sim.Time, error) {
+	switch alg {
+	case "LEX":
+		return Run(LEX(n, bytesPerPair), cfg)
+	case "PEX":
+		return Run(PEX(n, bytesPerPair), cfg)
+	case "BEX":
+		return Run(BEX(n, bytesPerPair), cfg)
+	case "REX":
+		return RunREX(n, bytesPerPair, cfg)
+	}
+	return 0, fmt.Errorf("sched: unknown exchange algorithm %q", alg)
+}
+
+// Irregular builds the named irregular schedule for a communication
+// pattern. Valid names: LS, PS, BS, GS.
+func Irregular(alg string, m pattern.Matrix) (*Schedule, error) {
+	switch alg {
+	case "LS":
+		return LS(m), nil
+	case "PS":
+		return PS(m), nil
+	case "BS":
+		return BS(m), nil
+	case "GS":
+		return GS(m), nil
+	}
+	return nil, fmt.Errorf("sched: unknown irregular algorithm %q", alg)
+}

@@ -1,0 +1,306 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cmmd"
+	"repro/internal/network"
+	"repro/internal/pattern"
+	"repro/internal/sim"
+)
+
+func cfg() network.Config { return network.DefaultConfig() }
+
+func mustRun(t *testing.T, s *Schedule) sim.Time {
+	t.Helper()
+	d, err := Run(s, cfg())
+	if err != nil {
+		t.Fatalf("Run(%s): %v", s.Algorithm, err)
+	}
+	return d
+}
+
+func TestRunPEXCompletes(t *testing.T) {
+	d := mustRun(t, PEX(8, 256))
+	if d <= 0 {
+		t.Fatal("no time elapsed")
+	}
+}
+
+func TestRunLEXCompletes(t *testing.T) {
+	d := mustRun(t, LEX(8, 256))
+	if d <= 0 {
+		t.Fatal("no time elapsed")
+	}
+}
+
+func TestRunBEXCompletes(t *testing.T) {
+	mustRun(t, BEX(8, 256))
+}
+
+func TestLEXMuchSlowerThanPEX(t *testing.T) {
+	// The paper's headline synchronous-communication effect: LEX
+	// serializes each step at one receiver.
+	lex := mustRun(t, LEX(32, 256))
+	pex := mustRun(t, PEX(32, 256))
+	if lex < 4*pex {
+		t.Fatalf("LEX (%v) should be >= 4x PEX (%v)", lex, pex)
+	}
+}
+
+func TestBEXNoSlowerThanPEXLargeMessages(t *testing.T) {
+	pex := mustRun(t, PEX(32, 1920))
+	bex := mustRun(t, BEX(32, 1920))
+	// Paper Figure 5: BEX beats PEX for large messages on 32 nodes.
+	if bex > pex {
+		t.Fatalf("BEX (%v) slower than PEX (%v) at 1920B", bex, pex)
+	}
+}
+
+func TestREXRunCompletes(t *testing.T) {
+	d, err := RunREX(8, 256, cfg())
+	if err != nil {
+		t.Fatalf("RunREX: %v", err)
+	}
+	if d <= 0 {
+		t.Fatal("no time elapsed")
+	}
+}
+
+func TestREXBestAtZeroBytes(t *testing.T) {
+	// Paper Figure 6: at 0 bytes REX wins for all machine sizes (lg N
+	// rendezvous instead of N-1).
+	rex, err := RunREX(32, 0, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pex := mustRun(t, PEX(32, 0))
+	bex := mustRun(t, BEX(32, 0))
+	if rex >= pex || rex >= bex {
+		t.Fatalf("REX (%v) should beat PEX (%v) and BEX (%v) at 0 bytes", rex, pex, bex)
+	}
+}
+
+func TestExchangeDispatcher(t *testing.T) {
+	for _, alg := range []string{"LEX", "PEX", "REX", "BEX"} {
+		d, err := Exchange(alg, 8, 64, cfg())
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if d <= 0 {
+			t.Fatalf("%s: zero duration", alg)
+		}
+	}
+	if _, err := Exchange("WTF", 8, 64, cfg()); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+}
+
+func TestRunOnSizeMismatch(t *testing.T) {
+	m := cmmd.MustNewMachine(4, cfg())
+	if _, err := RunOn(m, PEX(8, 1), DataHooks{}); err == nil {
+		t.Fatal("size mismatch should error")
+	}
+}
+
+func TestRunWithDataHooksDelivery(t *testing.T) {
+	// Move real payloads through a PS schedule and verify every message
+	// arrives with the right content.
+	p := pattern.PaperP(8)
+	s := PS(p)
+	m := cmmd.MustNewMachine(8, cfg())
+	received := make([][]bool, 8)
+	for i := range received {
+		received[i] = make([]bool, 8)
+	}
+	hooks := DataHooks{
+		OnSend: func(step, src, dst int) []byte {
+			b := make([]byte, p[src][dst])
+			for k := range b {
+				b[k] = byte(src*8 + dst)
+			}
+			return b
+		},
+		OnRecv: func(step int, msg cmmd.Message) {
+			if len(msg.Data) == 0 {
+				return
+			}
+			src := int(msg.Data[0]) / 8
+			dst := int(msg.Data[0]) % 8
+			received[src][dst] = true
+		},
+	}
+	if _, err := RunOn(m, s, hooks); err != nil {
+		t.Fatalf("RunOn: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if (p[i][j] > 0) != received[i][j] {
+				t.Fatalf("message %d->%d: pattern %d, received %v", i, j, p[i][j], received[i][j])
+			}
+		}
+	}
+}
+
+func TestIrregularSchedulesExecute(t *testing.T) {
+	p := pattern.Synthetic(16, 0.4, 256, 11)
+	for _, s := range []*Schedule{LS(p), PS(p), BS(p), GS(p)} {
+		d, err := Run(s, cfg())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Algorithm, err)
+		}
+		if d <= 0 {
+			t.Fatalf("%s: zero duration", s.Algorithm)
+		}
+	}
+}
+
+func TestGreedyBeatsLinearOnSparsePatterns(t *testing.T) {
+	// Paper Table 11 shape at low density: GS < PS/BS << LS.
+	p := pattern.Synthetic(32, 0.25, 256, 7)
+	ls := mustRun(t, LS(p))
+	gs := mustRun(t, GS(p))
+	if gs >= ls {
+		t.Fatalf("GS (%v) should beat LS (%v) at 25%% density", gs, ls)
+	}
+}
+
+func TestBroadcastAlgorithms(t *testing.T) {
+	for _, alg := range []string{"LIB", "REB", "SYS"} {
+		d, err := Broadcast(alg, 32, 0, 1024, cfg())
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if d <= 0 {
+			t.Fatalf("%s: zero duration", alg)
+		}
+	}
+	if _, err := Broadcast("NOPE", 32, 0, 1024, cfg()); err == nil {
+		t.Fatal("unknown broadcast should error")
+	}
+	if _, err := Broadcast("REB", 32, 99, 0, cfg()); err == nil {
+		t.Fatal("bad root should error")
+	}
+}
+
+func TestLIBMuchSlowerThanREB(t *testing.T) {
+	// Paper Figure 10: "the LIB algorithm performs much worse than the
+	// REB algorithm".
+	lib, err := RunLIB(32, 0, 1024, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reb, err := RunREB(32, 0, 1024, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib < 3*reb {
+		t.Fatalf("LIB (%v) should be >= 3x REB (%v)", lib, reb)
+	}
+}
+
+func TestSystemBcastWinsSmallREBWinsLarge(t *testing.T) {
+	// Paper Figures 10/11: the system broadcast wins for small messages;
+	// REB overtakes beyond about 1 KB on 32 nodes.
+	sysSmall, _ := RunSystemBcast(32, 0, 64, cfg())
+	rebSmall, _ := RunREB(32, 0, 64, cfg())
+	if sysSmall >= rebSmall {
+		t.Fatalf("system bcast (%v) should beat REB (%v) at 64B", sysSmall, rebSmall)
+	}
+	sysBig, _ := RunSystemBcast(32, 0, 4096, cfg())
+	rebBig, _ := RunREB(32, 0, 4096, cfg())
+	if rebBig >= sysBig {
+		t.Fatalf("REB (%v) should beat system bcast (%v) at 4KB", rebBig, sysBig)
+	}
+}
+
+func TestREBCrossoverGrowsWithMachineSize(t *testing.T) {
+	// Paper Figure 11: at 256 nodes REB only wins for messages over
+	// ~2KB; the crossover moves right as N grows.
+	crossover := func(n int) int {
+		for _, size := range []int{128, 256, 512, 1024, 2048, 4096, 8192} {
+			sys, _ := RunSystemBcast(n, 0, size, cfg())
+			reb, _ := RunREB(n, 0, size, cfg())
+			if reb < sys {
+				return size
+			}
+		}
+		return 1 << 20
+	}
+	c32, c256 := crossover(32), crossover(256)
+	if c32 >= c256 {
+		t.Fatalf("crossover should grow with N: 32 nodes %dB, 256 nodes %dB", c32, c256)
+	}
+}
+
+func TestREBNonZeroRoot(t *testing.T) {
+	d, err := RunREB(16, 5, 512, cfg())
+	if err != nil {
+		t.Fatalf("RunREB root 5: %v", err)
+	}
+	if d <= 0 {
+		t.Fatal("zero duration")
+	}
+}
+
+func TestREBPeerTable(t *testing.T) {
+	// n=8: step 1 sends 0->4; step 2: 0->2, 4->6; step 3: evens->odds.
+	cases := []struct {
+		r, j, n  int
+		peer     int
+		send, ok bool
+	}{
+		{0, 1, 8, 4, true, true},
+		{4, 1, 8, 0, false, true},
+		{2, 1, 8, -1, false, false},
+		{0, 2, 8, 2, true, true},
+		{4, 2, 8, 6, true, true},
+		{2, 2, 8, 0, false, true},
+		{6, 3, 8, 7, true, true},
+		{7, 3, 8, 6, false, true},
+	}
+	for _, c := range cases {
+		peer, send := REBPeer(c.r, c.j, c.n)
+		if !c.ok {
+			if peer >= 0 {
+				t.Fatalf("REBPeer(%d,%d,%d) = %d, want idle", c.r, c.j, c.n, peer)
+			}
+			continue
+		}
+		if peer != c.peer || send != c.send {
+			t.Fatalf("REBPeer(%d,%d,%d) = (%d,%v), want (%d,%v)", c.r, c.j, c.n, peer, send, c.peer, c.send)
+		}
+	}
+}
+
+// Property: every irregular schedule for random patterns executes to
+// completion (no rendezvous deadlock) with a positive makespan.
+func TestQuickSchedulesExecuteWithoutDeadlock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	f := func(seed int64, dRaw uint8, algRaw uint8) bool {
+		d := float64(dRaw%101) / 100
+		p := pattern.Synthetic(8, d, 64, seed)
+		if p.Messages() == 0 {
+			return true
+		}
+		var s *Schedule
+		switch algRaw % 4 {
+		case 0:
+			s = LS(p)
+		case 1:
+			s = PS(p)
+		case 2:
+			s = BS(p)
+		default:
+			s = GS(p)
+		}
+		dur, err := Run(s, cfg())
+		return err == nil && dur > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

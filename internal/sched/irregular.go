@@ -1,0 +1,164 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pattern"
+)
+
+// LS builds the Linear Scheduling schedule for an irregular pattern
+// (paper Section 4.1, Table 7): linear exchange restricted to the
+// messages the communication matrix requires. In step i the processors
+// with data for processor i send it; everyone else is idle. Steps with no
+// communication are dropped.
+func LS(m pattern.Matrix) *Schedule {
+	n := m.N()
+	s := &Schedule{Algorithm: "LS", N: n}
+	for i := 0; i < n; i++ {
+		var st Step
+		for j := 0; j < n; j++ {
+			if j != i && m[j][i] > 0 {
+				st = append(st, Transfer{Src: j, Dst: i, Bytes: m[j][i]})
+			}
+		}
+		if len(st) > 0 {
+			s.Steps = append(s.Steps, st)
+		}
+	}
+	return s
+}
+
+// PS builds the Pairwise Scheduling schedule (paper Section 4.2,
+// Table 8): pairwise-exchange pairings, with each pair performing an
+// exchange, a single send, or nothing, according to the communication
+// matrix. Empty steps are dropped (the paper's pattern P completes in 6
+// steps rather than PEX's 7).
+func PS(m pattern.Matrix) *Schedule {
+	return pairedIrregular(m, "PS", func(lo, j, n int) int { return PEXPartner(lo, j) })
+}
+
+// BS builds the Balanced Scheduling schedule (paper Section 4.3,
+// Table 9): the balanced-exchange pairings filtered by the communication
+// matrix.
+func BS(m pattern.Matrix) *Schedule {
+	return pairedIrregular(m, "BS", func(lo, j, n int) int { return BEXPartner(lo, j, n) })
+}
+
+func pairedIrregular(m pattern.Matrix, name string, partner func(lo, j, n int) int) *Schedule {
+	n := m.N()
+	checkN(n)
+	s := &Schedule{Algorithm: name, N: n}
+	for j := 1; j < n; j++ {
+		var st Step
+		for lo := 0; lo < n; lo++ {
+			hi := partner(lo, j, n)
+			if lo >= hi {
+				continue
+			}
+			// Keep the exchange ordering [hi->lo, lo->hi] when both
+			// directions exist; otherwise a single transfer.
+			if m[hi][lo] > 0 {
+				st = append(st, Transfer{Src: hi, Dst: lo, Bytes: m[hi][lo]})
+			}
+			if m[lo][hi] > 0 {
+				st = append(st, Transfer{Src: lo, Dst: hi, Bytes: m[lo][hi]})
+			}
+		}
+		if len(st) > 0 {
+			s.Steps = append(s.Steps, st)
+		}
+	}
+	return s
+}
+
+// GSOptions tunes the greedy scheduler.
+type GSOptions struct {
+	// RandomTieBreak selects candidate partners pseudo-randomly (seeded
+	// by Seed) instead of the deterministic next-available scan. Used by
+	// the ablation study.
+	RandomTieBreak bool
+	Seed           int64
+}
+
+// GS builds the Greedy Scheduling schedule (paper Section 4.4,
+// Figure 12, Table 10) with default options.
+func GS(m pattern.Matrix) *Schedule { return GSWith(m, GSOptions{}) }
+
+// GSWith runs the greedy matching of Figure 12: in each iteration every
+// processor, in rank order, grabs the next available processor it still
+// has to send to; if that partner also has data queued in return, the
+// pair performs an exchange. Matched processors are unavailable for the
+// rest of the iteration. Iterations repeat until no messages remain.
+//
+// For a complete exchange this degenerates to pairwise exchange; for
+// sparse patterns it usually needs fewer steps than PS/BS because idle
+// pairings are never scheduled.
+func GSWith(m pattern.Matrix, opts GSOptions) *Schedule {
+	n := m.N()
+	s := &Schedule{Algorithm: "GS", N: n}
+	need := m.Clone()
+	remaining := need.Messages()
+	var rng *rand.Rand
+	if opts.RandomTieBreak {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
+	guard := 0
+	for remaining > 0 {
+		guard++
+		if guard > n*n+n {
+			panic(fmt.Sprintf("sched: GS failed to converge with %d messages left", remaining))
+		}
+		avail := make([]bool, n)
+		for i := range avail {
+			avail[i] = true
+		}
+		var st Step
+		for i := 0; i < n; i++ {
+			if !avail[i] {
+				continue
+			}
+			j := gsPick(need, avail, i, rng)
+			if j < 0 {
+				continue
+			}
+			st = append(st, Transfer{Src: i, Dst: j, Bytes: need[i][j]})
+			need[i][j] = 0
+			remaining--
+			if need[j][i] > 0 {
+				st = append(st, Transfer{Src: j, Dst: i, Bytes: need[j][i]})
+				need[j][i] = 0
+				remaining--
+			}
+			avail[i], avail[j] = false, false
+		}
+		if len(st) > 0 {
+			s.Steps = append(s.Steps, st)
+		}
+	}
+	return s
+}
+
+// gsPick selects the partner processor i sends to this iteration: the
+// next available destination scanning upward from i+1 (wrapping), or a
+// random available destination under RandomTieBreak. The ascending scan
+// makes GS reduce to the round-robin pairwise schedule on a complete
+// exchange, the equivalence the paper notes in Section 4.4.
+func gsPick(need pattern.Matrix, avail []bool, i int, rng *rand.Rand) int {
+	n := need.N()
+	var candidates []int
+	for off := 1; off < n; off++ {
+		j := (i + off) % n
+		if !avail[j] || need[i][j] == 0 {
+			continue
+		}
+		if rng == nil {
+			return j
+		}
+		candidates = append(candidates, j)
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	return candidates[rng.Intn(len(candidates))]
+}

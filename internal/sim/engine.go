@@ -1,0 +1,280 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with a cooperative process model.
+//
+// Each simulated processor runs as its own goroutine, but exactly one
+// goroutine — the engine or a single process — executes at any instant.
+// Control passes by strict channel hand-off, so no locks are needed and a
+// simulation is fully deterministic: the same inputs always produce the
+// same virtual-time trace.
+//
+// Virtual time is measured in integer nanoseconds (type Time).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is virtual simulation time in nanoseconds.
+type Time int64
+
+// Common durations, for readability at call sites.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// Seconds converts a virtual time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros converts a virtual time to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Millis converts a virtual time to floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / 1e6 }
+
+// FromSeconds converts floating-point seconds to a Time, rounding to the
+// nearest nanosecond. Negative and non-finite inputs are clamped to zero.
+func FromSeconds(s float64) Time {
+	if !(s > 0) {
+		return 0
+	}
+	return Time(s*1e9 + 0.5)
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among events at the same instant
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	procNew procState = iota
+	procRunnable
+	procRunning
+	procParked
+	procDone
+)
+
+// Proc is a simulated process (one per simulated processor). Its body
+// function runs on a dedicated goroutine, scheduled cooperatively by the
+// Engine. All Proc methods must be called from the body goroutine.
+type Proc struct {
+	id       int
+	name     string
+	eng      *Engine
+	body     func(*Proc)
+	resume   chan struct{}
+	state    procState
+	wakeable bool // parked via Park (Ready allowed), not via Sleep
+}
+
+// ID returns the process's index in the engine (0-based, creation order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process's debug name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Sleep advances the process's virtual time by d. A non-positive d yields
+// without advancing time (the process re-runs in the same instant after
+// pending same-time events).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	eng := p.eng
+	eng.Schedule(eng.now+d, func() { eng.ready(p) })
+	p.park(false)
+}
+
+// Park blocks the process until another component calls Engine.Ready(p)
+// (typically from an event callback or another process). A Sleep-parked
+// process cannot be woken by Ready; only its own timer resumes it.
+func (p *Proc) Park() { p.park(true) }
+
+func (p *Proc) park(wakeable bool) {
+	p.state = procParked
+	p.wakeable = wakeable
+	p.eng.yield <- p
+	<-p.resume
+	p.state = procRunning
+}
+
+// Engine is a deterministic discrete-event simulator.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	procs  []*Proc
+	runq   []*Proc
+	yield  chan *Proc
+	ran    bool
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan *Proc)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule registers fn to run at virtual time at. Events scheduled for
+// the same instant run in registration order. Scheduling in the past is an
+// error that panics (it indicates a model bug).
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.Schedule(e.now+d, fn)
+}
+
+// Spawn creates a process with the given debug name and body. It must be
+// called before Run.
+func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
+	if e.ran {
+		panic("sim: Spawn after Run")
+	}
+	p := &Proc{
+		id:     len(e.procs),
+		name:   name,
+		eng:    e,
+		body:   body,
+		resume: make(chan struct{}),
+		state:  procNew,
+	}
+	e.procs = append(e.procs, p)
+	return p
+}
+
+// Ready marks a parked process runnable. It must be called from engine
+// context (an event callback or a running process). Readying a process
+// that is not parked panics — it indicates a lost-wakeup or double-wakeup
+// bug in the model.
+func (e *Engine) Ready(p *Proc) {
+	if p.state != procParked {
+		panic(fmt.Sprintf("sim: Ready(%s) in state %d", p.name, p.state))
+	}
+	if !p.wakeable {
+		panic(fmt.Sprintf("sim: Ready(%s) while in timed sleep", p.name))
+	}
+	e.ready(p)
+}
+
+func (e *Engine) ready(p *Proc) {
+	p.state = procRunnable
+	e.runq = append(e.runq, p)
+}
+
+// DeadlockError reports that the simulation stalled with live processes.
+type DeadlockError struct {
+	At      Time
+	Parked  []string // names of parked processes
+	Pending int      // processes not yet finished
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%v ns: %d process(es) parked forever: %v",
+		int64(d.At), d.Pending, d.Parked)
+}
+
+// Run executes the simulation to completion: all processes finished and no
+// events remain, or — if there are no processes — until the event queue
+// drains. It returns the final virtual time. If processes remain parked
+// with no pending events, Run returns a *DeadlockError.
+func (e *Engine) Run() (Time, error) {
+	if e.ran {
+		return e.now, fmt.Errorf("sim: Run called twice")
+	}
+	e.ran = true
+
+	done := 0
+	// Launch all process goroutines; they block until first resumed.
+	for _, p := range e.procs {
+		p := p
+		go func() {
+			<-p.resume
+			p.state = procRunning
+			p.body(p)
+			p.state = procDone
+			e.yield <- p
+		}()
+		e.ready(p)
+	}
+
+	for {
+		// Drain the run queue: run each process until it parks or finishes.
+		for len(e.runq) > 0 {
+			p := e.runq[0]
+			e.runq = e.runq[1:]
+			p.resume <- struct{}{}
+			q := <-e.yield // p (or a proc it transitively woke... always p)
+			if q.state == procDone {
+				done++
+			}
+		}
+		if len(e.events) == 0 {
+			break
+		}
+		ev := heap.Pop(&e.events).(*event)
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+
+	if done != len(e.procs) {
+		var parked []string
+		for _, p := range e.procs {
+			if p.state != procDone {
+				parked = append(parked, p.name)
+			}
+		}
+		sort.Strings(parked)
+		return e.now, &DeadlockError{At: e.now, Parked: parked, Pending: len(parked)}
+	}
+	return e.now, nil
+}
