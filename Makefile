@@ -1,0 +1,39 @@
+GO ?= go
+
+.PHONY: build test race bench-smoke lint vet fmt-check tables
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race pass over the concurrent code introduced by the experiment
+# orchestrator and the rewritten simulation engine. -short trims the
+# heaviest deterministic sweeps; `make test` still runs them raceless.
+race:
+	$(GO) test -race -short ./internal/exp/ ./internal/sim/ ./internal/cmmd/ ./internal/network/
+
+# One iteration of every Figure-5 benchmark: catches compile or assertion
+# breakage in the benchmark harness without paying for stable numbers.
+bench-smoke:
+	$(GO) test -run '^$$' -bench Fig5 -benchtime 1x .
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# CI and humans run the same thing: vet + gofmt always; golangci-lint
+# (configured by .golangci.yml) when installed.
+lint: vet fmt-check
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run; \
+	else \
+		echo "golangci-lint not installed; go vet + gofmt ran"; fi
+
+# Regenerate every table and figure of the paper on all CPUs.
+tables:
+	$(GO) run ./cmd/cmexp -v all

@@ -6,8 +6,10 @@ package repro
 // simulator speed, not CM-5 time).
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/apps/fft"
@@ -228,5 +230,44 @@ func BenchmarkScheduleConstruction(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFig5TableSweep regenerates the whole Figure 5 table through
+// the experiment orchestrator, serially and with one worker per CPU.
+// The parallel/serial ratio measures the orchestrator's fan-out win on
+// the host (on a single-CPU machine the two are equivalent).
+func BenchmarkFig5TableSweep(b *testing.B) {
+	cfg := network.DefaultConfig()
+	widths := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		widths = append(widths, n)
+	}
+	for _, workers := range widths {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec := exp.Fig5Spec(cfg)
+				r := &exp.Runner{Workers: workers}
+				if err := r.Run(context.Background(), spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOrchestratorOverhead measures the pure cost of pushing one
+// cell through the worker pool (no simulation inside).
+func BenchmarkOrchestratorOverhead(b *testing.B) {
+	spec := &exp.TableSpec{Name: "bench"}
+	for i := 0; i < 1000; i++ {
+		spec.AddCell(fmt.Sprintf("bench/%d", i), func(ctx context.Context, _ int64) error { return nil })
+	}
+	r := exp.NewRunner(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Run(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -6,106 +6,187 @@
 //	cmexp [flags] <experiment>...
 //
 // Experiments: fig5 fig6 fig7 fig8 fig10 fig11 table5 table11 table12
-// schedules all
+// schedules ablation-async ablation-fattree ablation-greedy
+// ablation-crossover ablation-crystal ablations all
 //
 // Flags:
 //
-//	-procs N     processor count for table5 (default: both 32 and 256)
-//	-maxsize S   largest FFT array edge for table5 (default 2048)
+//	-procs N      processor count for table5 (default: both 32 and 256)
+//	-maxsize S    largest FFT array edge for table5 (default 2048)
+//	-parallel N   worker pool size (default 0 = all CPUs)
+//	-seed S       perturb the per-cell seeds of stochastic cells
+//	              (default 0 = the canonical tables)
+//	-run REGEXP   only run cells whose key matches (unselected cells
+//	              stay blank in the rendered tables; derived columns
+//	              of partially-selected tables stay blank too)
+//	-v            report per-cell progress and wall-clock time on stderr
+//
+// All experiment cells — one simulation per (figure, algorithm, machine
+// size, message size) tuple — are fanned across one worker pool, so a
+// full "all" sweep uses every core. Results are deterministic: the
+// rendered tables are byte-identical for any -parallel value.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"regexp"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/network"
 )
 
+var tableExperiments = []string{
+	"fig5", "fig6", "fig7", "fig8", "table5", "fig10", "fig11",
+	"table11", "table12",
+	"ablation-async", "ablation-fattree", "ablation-greedy",
+	"ablation-crossover", "ablation-crystal",
+}
+
+var ablationExperiments = []string{
+	"ablation-async", "ablation-fattree", "ablation-greedy",
+	"ablation-crossover", "ablation-crystal",
+}
+
 func main() {
 	procs := flag.Int("procs", 0, "processor count for table5 (0 = both 32 and 256)")
 	maxSize := flag.Int("maxsize", 2048, "largest FFT array edge for table5")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = all CPUs)")
+	seed := flag.Int64("seed", 0, "perturb the per-cell seeds of stochastic cells (0 = canonical tables)")
+	runPat := flag.String("run", "", "only run cells whose key matches this regexp")
+	verbose := flag.Bool("v", false, "report per-cell progress on stderr")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: cmexp [flags] fig5|fig6|fig7|fig8|fig10|fig11|table5|table11|table12|schedules|ablations|all")
 		os.Exit(2)
 	}
-	cfg := network.DefaultConfig()
-	for _, arg := range flag.Args() {
-		if err := run(arg, cfg, *procs, *maxSize); err != nil {
-			fmt.Fprintf(os.Stderr, "cmexp %s: %v\n", arg, err)
-			os.Exit(1)
-		}
+	if err := run(flag.Args(), *procs, *maxSize, *parallel, *seed, *runPat, *verbose); err != nil {
+		fmt.Fprintf(os.Stderr, "cmexp: %v\n", err)
+		os.Exit(1)
 	}
 }
 
-func run(name string, cfg network.Config, procs, maxSize int) error {
-	show := func(t *exp.Table, err error) error {
+func run(args []string, procs, maxSize, parallel int, seed int64, runPat string, verbose bool) error {
+	cfg := network.DefaultConfig()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// Release the signal registration as soon as the first interrupt
+	// cancels the sweep: in-flight cells only notice cancellation when
+	// they finish, and a second Ctrl-C should kill the process rather
+	// than be swallowed.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	// Expand the grouping aliases, preserving the canonical print order.
+	var names []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	for _, arg := range args {
+		switch arg {
+		case "all":
+			add("schedules")
+			for _, n := range tableExperiments {
+				add(n)
+			}
+		case "ablations":
+			for _, n := range ablationExperiments {
+				add(n)
+			}
+		default:
+			add(arg)
+		}
+	}
+
+	// Build the specs for every requested experiment; their cells all
+	// feed one shared worker pool.
+	var specs []*exp.TableSpec
+	printSchedules := false
+	for _, name := range names {
+		switch name {
+		case "schedules":
+			printSchedules = true
+		case "fig5":
+			specs = append(specs, exp.Fig5Spec(cfg))
+		case "fig6":
+			specs = append(specs, exp.Fig6Spec(cfg))
+		case "fig7":
+			specs = append(specs, exp.Fig7Spec(cfg))
+		case "fig8":
+			specs = append(specs, exp.Fig8Spec(cfg))
+		case "fig10":
+			specs = append(specs, exp.Fig10Spec(cfg))
+		case "fig11":
+			specs = append(specs, exp.Fig11Spec(cfg))
+		case "table5":
+			sizes := []int{32, 256}
+			if procs != 0 {
+				sizes = []int{procs}
+			}
+			for _, n := range sizes {
+				specs = append(specs, exp.Table5Spec(n, maxSize, cfg))
+			}
+		case "table11":
+			specs = append(specs, exp.Table11Spec(cfg))
+		case "table12":
+			spec, _, err := exp.Table12Spec(cfg)
+			if err != nil {
+				return err
+			}
+			specs = append(specs, spec)
+		case "ablation-async":
+			specs = append(specs, exp.AblationAsyncSpec(cfg))
+		case "ablation-fattree":
+			specs = append(specs, exp.AblationFatTreeSpec(cfg))
+		case "ablation-greedy":
+			specs = append(specs, exp.AblationGreedySpec(cfg))
+		case "ablation-crossover":
+			specs = append(specs, exp.AblationCrossoverSpec(cfg))
+		case "ablation-crystal":
+			specs = append(specs, exp.AblationCrystalSpec(cfg))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	runner := exp.NewRunner(parallel)
+	runner.Seed = seed
+	if runPat != "" {
+		re, err := regexp.Compile(runPat)
 		if err != nil {
-			return err
+			return fmt.Errorf("bad -run pattern: %w", err)
 		}
-		fmt.Println(t.Render())
-		return nil
+		runner.Filter = re
 	}
-	switch name {
-	case "fig5":
-		return show(exp.Fig5(cfg))
-	case "fig6":
-		return show(exp.Fig6(cfg))
-	case "fig7":
-		return show(exp.Fig7(cfg))
-	case "fig8":
-		return show(exp.Fig8(cfg))
-	case "fig10":
-		return show(exp.Fig10(cfg))
-	case "fig11":
-		return show(exp.Fig11(cfg))
-	case "table5":
-		sizes := []int{32, 256}
-		if procs != 0 {
-			sizes = []int{procs}
+	if verbose {
+		runner.OnProgress = func(p exp.Progress) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", p.Done, p.Total, p.Key)
 		}
-		for _, n := range sizes {
-			if err := show(exp.Table5(n, maxSize, cfg)); err != nil {
-				return err
-			}
-		}
-		return nil
-	case "table11":
-		return show(exp.Table11(cfg))
-	case "table12":
-		t, _, err := exp.Table12(cfg)
-		return show(t, err)
-	case "schedules":
+	}
+
+	start := time.Now()
+	if printSchedules {
 		fmt.Println(exp.ScheduleTables())
-		return nil
-	case "ablation-async":
-		return show(exp.AblationAsync(cfg))
-	case "ablation-fattree":
-		return show(exp.AblationFatTree(cfg))
-	case "ablation-greedy":
-		return show(exp.AblationGreedy(cfg))
-	case "ablation-crossover":
-		return show(exp.AblationCrossover(cfg))
-	case "ablation-crystal":
-		return show(exp.AblationCrystal(cfg))
-	case "ablations":
-		for _, sub := range []string{"ablation-async", "ablation-fattree",
-			"ablation-greedy", "ablation-crossover", "ablation-crystal"} {
-			if err := run(sub, cfg, procs, maxSize); err != nil {
-				return err
-			}
-		}
-		return nil
-	case "all":
-		for _, sub := range []string{"schedules", "fig5", "fig6", "fig7", "fig8",
-			"table5", "fig10", "fig11", "table11", "table12", "ablations"} {
-			if err := run(sub, cfg, procs, maxSize); err != nil {
-				return err
-			}
-		}
-		return nil
 	}
-	return fmt.Errorf("unknown experiment %q", name)
+	if err := runner.Run(ctx, specs...); err != nil {
+		return err
+	}
+	for _, s := range specs {
+		fmt.Println(s.Table.Render())
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr, "cmexp: %d tables, %d workers, %.2fs wall\n",
+			len(specs), runner.Workers, time.Since(start).Seconds())
+	}
+	return nil
 }

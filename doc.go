@@ -4,6 +4,7 @@
 //
 // The public API lives in package repro/cm5. The benchmark harness in
 // bench_test.go regenerates every table and figure of the paper's
-// evaluation; the cmd/cmexp tool prints them as tables. See README.md,
-// DESIGN.md and EXPERIMENTS.md.
+// evaluation; the cmd/cmexp tool prints them as tables, fanning the
+// independent simulation cells across all CPUs. See README.md for the
+// quickstart, the experiment catalogue, and the repository layout.
 package repro

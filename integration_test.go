@@ -120,7 +120,7 @@ func mustSched(t *testing.T, alg string, p cm5.Pattern) *cm5.Schedule {
 }
 
 // TestExperimentIndexComplete checks that every table/figure the paper
-// reports has a working runner (the DESIGN.md experiment index).
+// reports has a working runner (the README.md experiment catalogue).
 func TestExperimentIndexComplete(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs many simulations")

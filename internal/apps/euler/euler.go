@@ -5,7 +5,7 @@
 // explicit time stepping.
 //
 // The paper used Mavriplis's 3-D meshes; we substitute synthetic planar
-// meshes of the same vertex counts (see DESIGN.md). What the scheduling
+// meshes of the same vertex counts (see README.md). What the scheduling
 // experiments consume is the per-iteration halo exchange of the four
 // conserved variables (32 bytes per shared vertex), which this solver
 // produces for any of the paper's four irregular schedulers.

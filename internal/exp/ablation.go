@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/network"
@@ -12,7 +13,11 @@ import (
 // LEX's collapse is the synchronous-send constraint? It reruns LEX and
 // PEX on 32 nodes with buffered (non-blocking) sends alongside the real
 // CMMD synchronous semantics.
-func AblationAsync(cfg network.Config) (*Table, error) {
+func AblationAsync(cfg network.Config) (*Table, error) { return runSpec(AblationAsyncSpec(cfg)) }
+
+// AblationAsyncSpec builds the ablation as one cell per
+// (algorithm, send mode, message size).
+func AblationAsyncSpec(cfg network.Config) *TableSpec {
 	sizes := []int{0, 256, 1024, 2048}
 	rows := make([]string, len(sizes))
 	for i, s := range sizes {
@@ -20,32 +25,41 @@ func AblationAsync(cfg network.Config) (*Table, error) {
 	}
 	cols := []string{"LEX sync", "LEX async", "PEX sync", "PEX async"}
 	t := NewTable("Ablation: synchronous vs buffered sends on 32 nodes (ms)", rows, cols)
+	spec := &TableSpec{Name: "ablation-async", Table: t}
+	variants := []struct {
+		alg   string
+		async bool
+	}{{"LEX", false}, {"LEX", true}, {"PEX", false}, {"PEX", true}}
 	for r, size := range sizes {
-		for c, spec := range []struct {
-			build func() *sched.Schedule
-			async bool
-		}{
-			{func() *sched.Schedule { return sched.LEX(32, size) }, false},
-			{func() *sched.Schedule { return sched.LEX(32, size) }, true},
-			{func() *sched.Schedule { return sched.PEX(32, size) }, false},
-			{func() *sched.Schedule { return sched.PEX(32, size) }, true},
-		} {
-			var d interface{ Millis() float64 }
-			var err error
-			if spec.async {
-				d, err = sched.RunAsync(spec.build(), cfg)
-			} else {
-				d, err = sched.Run(spec.build(), cfg)
+		for c, v := range variants {
+			mode := "sync"
+			if v.async {
+				mode = "async"
 			}
-			if err != nil {
-				return nil, err
-			}
-			t.Set(r, c, "%.3f", d.Millis())
+			spec.AddCell(fmt.Sprintf("ablation-async/%s-%s/%dB", v.alg, mode, size),
+				func(ctx context.Context, _ int64) error {
+					var sch *sched.Schedule
+					if v.alg == "LEX" {
+						sch = sched.LEX(32, size)
+					} else {
+						sch = sched.PEX(32, size)
+					}
+					run := sched.Run
+					if v.async {
+						run = sched.RunAsync
+					}
+					d, err := run(sch, cfg)
+					if err != nil {
+						return err
+					}
+					t.Set(r, c, "%.3f", d.Millis())
+					return nil
+				})
 		}
 	}
 	t.Note = "Buffered sends recover much of LEX's loss (its funnel still serializes at the\n" +
 		"receiver) and help PEX little — scheduling matters even with better primitives."
-	return t, nil
+	return spec
 }
 
 // FlatTreeConfig returns a hypothetical machine whose fat tree does not
@@ -61,7 +75,12 @@ func FlatTreeConfig() network.Config {
 // AblationFatTree compares PEX and BEX on the real thinned fat tree and
 // on a hypothetical full-bandwidth tree: the balanced schedule's win is
 // a property of the thinning, not of the pairing order itself.
-func AblationFatTree(cfg network.Config) (*Table, error) {
+func AblationFatTree(cfg network.Config) (*Table, error) { return runSpec(AblationFatTreeSpec(cfg)) }
+
+// AblationFatTreeSpec builds the ablation as one cell per
+// (algorithm, tree, message size); the gain columns derive from the
+// measurement cells in the Finish hook.
+func AblationFatTreeSpec(cfg network.Config) *TableSpec {
 	sizes := []int{512, 1024, 2048}
 	rows := make([]string, len(sizes))
 	for i, s := range sizes {
@@ -69,39 +88,60 @@ func AblationFatTree(cfg network.Config) (*Table, error) {
 	}
 	cols := []string{"PEX thin", "BEX thin", "gain %", "PEX flat", "BEX flat", "gain %"}
 	t := NewTable("Ablation: BEX's advantage vs fat-tree thinning, 32 nodes (ms)", rows, cols)
+	spec := &TableSpec{Name: "ablation-fattree", Table: t}
 	flat := FlatTreeConfig()
+
+	// secs[row][variant]: PEX thin, BEX thin, PEX flat, BEX flat.
+	secs := make([][4]float64, len(sizes))
+	variants := []struct {
+		alg  string
+		cfg  network.Config
+		tree string
+		col  int
+	}{
+		{"PEX", cfg, "thin", 0}, {"BEX", cfg, "thin", 1},
+		{"PEX", flat, "flat", 3}, {"BEX", flat, "flat", 4},
+	}
 	for r, size := range sizes {
-		pexT, err := sched.Run(sched.PEX(32, size), cfg)
-		if err != nil {
-			return nil, err
+		for vi, v := range variants {
+			spec.AddCell(fmt.Sprintf("ablation-fattree/%s-%s/%dB", v.alg, v.tree, size),
+				func(ctx context.Context, _ int64) error {
+					var sch *sched.Schedule
+					if v.alg == "PEX" {
+						sch = sched.PEX(32, size)
+					} else {
+						sch = sched.BEX(32, size)
+					}
+					d, err := sched.Run(sch, v.cfg)
+					if err != nil {
+						return err
+					}
+					secs[r][vi] = d.Seconds()
+					t.Set(r, v.col, "%.3f", d.Millis())
+					return nil
+				})
 		}
-		bexT, err := sched.Run(sched.BEX(32, size), cfg)
-		if err != nil {
-			return nil, err
+	}
+	spec.Finish = func() error {
+		for r := range sizes {
+			t.Set(r, 2, "%.1f", 100*(1-secs[r][1]/secs[r][0]))
+			t.Set(r, 5, "%.1f", 100*(1-secs[r][3]/secs[r][2]))
 		}
-		pexF, err := sched.Run(sched.PEX(32, size), flat)
-		if err != nil {
-			return nil, err
-		}
-		bexF, err := sched.Run(sched.BEX(32, size), flat)
-		if err != nil {
-			return nil, err
-		}
-		t.Set(r, 0, "%.3f", pexT.Millis())
-		t.Set(r, 1, "%.3f", bexT.Millis())
-		t.Set(r, 2, "%.1f", 100*(1-bexT.Seconds()/pexT.Seconds()))
-		t.Set(r, 3, "%.3f", pexF.Millis())
-		t.Set(r, 4, "%.3f", bexF.Millis())
-		t.Set(r, 5, "%.1f", 100*(1-bexF.Seconds()/pexF.Seconds()))
+		return nil
 	}
 	t.Note = "gain % = BEX improvement over PEX. On the flat tree the schedules tie."
-	return t, nil
+	return spec
 }
 
 // AblationGreedy compares the deterministic next-available greedy
 // scheduler with randomized tie-breaking across densities: step counts
 // and simulated times.
-func AblationGreedy(cfg network.Config) (*Table, error) {
+func AblationGreedy(cfg network.Config) (*Table, error) { return runSpec(AblationGreedySpec(cfg)) }
+
+// AblationGreedySpec builds the ablation as one cell per
+// (density, deterministic|randomized). The best-of-5 randomized scan
+// stays inside one cell so its fixed seed sequence is preserved.
+func AblationGreedySpec(cfg network.Config) *TableSpec {
 	densities := []int{10, 25, 50, 75, 90}
 	rows := make([]string, len(densities))
 	for i, d := range densities {
@@ -109,39 +149,58 @@ func AblationGreedy(cfg network.Config) (*Table, error) {
 	}
 	cols := []string{"GS steps", "GS ms", "GS-rand steps", "GS-rand ms (best of 5)"}
 	t := NewTable("Ablation: greedy tie-breaking on 32 processors, 256 B (ms)", rows, cols)
+	spec := &TableSpec{Name: "ablation-greedy", Table: t}
 	for r, density := range densities {
-		p := pattern.Synthetic(32, float64(density)/100, 256, int64(density))
-		det := sched.GS(p)
-		dDet, err := sched.Run(det, cfg)
-		if err != nil {
-			return nil, err
-		}
-		bestSteps, bestMs := 0, -1.0
-		for seed := int64(0); seed < 5; seed++ {
-			s := sched.GSWith(p, sched.GSOptions{RandomTieBreak: true, Seed: seed})
-			d, err := sched.Run(s, cfg)
-			if err != nil {
-				return nil, err
-			}
-			if bestMs < 0 || d.Millis() < bestMs {
-				bestMs = d.Millis()
-				bestSteps = s.NumSteps()
-			}
-		}
-		t.Set(r, 0, "%d", det.NumSteps())
-		t.Set(r, 1, "%.3f", dDet.Millis())
-		t.Set(r, 2, "%d", bestSteps)
-		t.Set(r, 3, "%.3f", bestMs)
+		spec.AddCell(fmt.Sprintf("ablation-greedy/det/%d%%", density),
+			func(ctx context.Context, _ int64) error {
+				p := pattern.Synthetic(32, float64(density)/100, 256, int64(density))
+				det := sched.GS(p)
+				d, err := sched.Run(det, cfg)
+				if err != nil {
+					return err
+				}
+				t.Set(r, 0, "%d", det.NumSteps())
+				t.Set(r, 1, "%.3f", d.Millis())
+				return nil
+			})
+		randKey := fmt.Sprintf("ablation-greedy/rand/%d%%", density)
+		spec.AddCell(randKey,
+			func(ctx context.Context, cellSeed int64) error {
+				p := pattern.Synthetic(32, float64(density)/100, 256, int64(density))
+				// base is 0 under the canonical Runner.Seed of 0 (the
+				// runner hands the cell CellSeed(key) exactly), keeping
+				// the published table's 0..4 scan; cmexp -seed shifts it.
+				base := cellSeed ^ CellSeed(randKey)
+				bestSteps, bestMs := 0, -1.0
+				for trial := int64(0); trial < 5; trial++ {
+					s := sched.GSWith(p, sched.GSOptions{RandomTieBreak: true, Seed: base ^ trial})
+					d, err := sched.Run(s, cfg)
+					if err != nil {
+						return err
+					}
+					if bestMs < 0 || d.Millis() < bestMs {
+						bestMs = d.Millis()
+						bestSteps = s.NumSteps()
+					}
+				}
+				t.Set(r, 2, "%d", bestSteps)
+				t.Set(r, 3, "%.3f", bestMs)
+				return nil
+			})
 	}
 	t.Note = "Randomized tie-breaking rarely beats the deterministic scan by much:\n" +
 		"the step count is dominated by the busiest processor's degree."
-	return t, nil
+	return spec
 }
 
 // AblationCrystal compares the paper's direct irregular schedulers with
 // the crystal router — the hypercube store-and-forward baseline the
 // paper cites (Fox et al. 1988) — across densities and message sizes.
-func AblationCrystal(cfg network.Config) (*Table, error) {
+func AblationCrystal(cfg network.Config) (*Table, error) { return runSpec(AblationCrystalSpec(cfg)) }
+
+// AblationCrystalSpec builds the comparison as one cell per
+// (case, scheduler); the "best" column derives in the Finish hook.
+func AblationCrystalSpec(cfg network.Config) *TableSpec {
 	type cse struct {
 		density int
 		size    int
@@ -151,75 +210,109 @@ func AblationCrystal(cfg network.Config) (*Table, error) {
 	for i, c := range cases {
 		rows[i] = fmt.Sprintf("%d%%/%dB", c.density, c.size)
 	}
+	algs := []string{"GS", "BS", "Crystal"}
 	cols := []string{"GS", "BS", "Crystal", "best"}
 	t := NewTable("Extension: direct scheduling vs crystal router, 32 processors (ms)", rows, cols)
+	spec := &TableSpec{Name: "ablation-crystal", Table: t}
+	times := make([][]float64, len(cases))
+	for i := range times {
+		times[i] = make([]float64, len(algs))
+	}
 	for r, c := range cases {
-		p := pattern.Synthetic(32, float64(c.density)/100, c.size, int64(c.density+c.size))
-		gs, err := sched.Run(sched.GS(p), cfg)
-		if err != nil {
-			return nil, err
+		for a, alg := range algs {
+			spec.AddCell(fmt.Sprintf("ablation-crystal/%s/%d%%/%dB", alg, c.density, c.size),
+				func(ctx context.Context, _ int64) error {
+					p := pattern.Synthetic(32, float64(c.density)/100, c.size, int64(c.density+c.size))
+					var d interface{ Millis() float64 }
+					var err error
+					if alg == "Crystal" {
+						d, err = sched.RunCrystalRouter(p, cfg)
+					} else {
+						var s *sched.Schedule
+						if s, err = sched.Irregular(alg, p); err == nil {
+							d, err = sched.Run(s, cfg)
+						}
+					}
+					if err != nil {
+						return err
+					}
+					times[r][a] = d.Millis()
+					t.Set(r, a, "%.3f", d.Millis())
+					return nil
+				})
 		}
-		bs, err := sched.Run(sched.BS(p), cfg)
-		if err != nil {
-			return nil, err
-		}
-		cr, err := sched.RunCrystalRouter(p, cfg)
-		if err != nil {
-			return nil, err
-		}
-		times := map[string]float64{"GS": gs.Millis(), "BS": bs.Millis(), "Crystal": cr.Millis()}
-		best := "GS"
-		for _, alg := range []string{"BS", "Crystal"} {
-			if times[alg] < times[best] {
-				best = alg
+	}
+	spec.Finish = func() error {
+		for r := range cases {
+			best := 0
+			for a := 1; a < len(algs); a++ {
+				if times[r][a] < times[r][best] {
+					best = a
+				}
 			}
+			t.Set(r, 3, "%s", algs[best])
 		}
-		t.Set(r, 0, "%.3f", times["GS"])
-		t.Set(r, 1, "%.3f", times["BS"])
-		t.Set(r, 2, "%.3f", times["Crystal"])
-		t.Set(r, 3, "%s", best)
+		return nil
 	}
 	t.Note = "Store-and-forward routing wins only on dense patterns of small messages\n" +
 		"(overhead amortization); the paper's direct schedules win everywhere else."
-	return t, nil
+	return spec
 }
 
 // AblationCrossover sweeps pattern density finely to locate where the
 // greedy scheduler loses to the fixed pairwise/balanced schedules — the
 // paper places the crossover at 50%.
 func AblationCrossover(cfg network.Config) (*Table, error) {
+	return runSpec(AblationCrossoverSpec(cfg))
+}
+
+// AblationCrossoverSpec builds the sweep as one cell per
+// (density, scheduler); the "best" column derives in the Finish hook.
+func AblationCrossoverSpec(cfg network.Config) *TableSpec {
 	densities := []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 	rows := make([]string, len(densities))
 	for i, d := range densities {
 		rows[i] = fmt.Sprintf("%d%%", d)
 	}
+	algs := []string{"PS", "BS", "GS"}
 	cols := []string{"PS", "BS", "GS", "best"}
 	t := NewTable("Ablation: GS-vs-BS density crossover, 32 processors, 256 B (ms)", rows, cols)
+	spec := &TableSpec{Name: "ablation-crossover", Table: t}
+	times := make([][]float64, len(densities))
+	for i := range times {
+		times[i] = make([]float64, len(algs))
+	}
 	for r, density := range densities {
-		p := pattern.Synthetic(32, float64(density)/100, 256, int64(7000+density))
-		times := map[string]float64{}
-		for _, alg := range []string{"PS", "BS", "GS"} {
-			s, err := sched.Irregular(alg, p)
-			if err != nil {
-				return nil, err
-			}
-			d, err := sched.Run(s, cfg)
-			if err != nil {
-				return nil, err
-			}
-			times[alg] = d.Millis()
+		for a, alg := range algs {
+			spec.AddCell(fmt.Sprintf("ablation-crossover/%s/%d%%", alg, density),
+				func(ctx context.Context, _ int64) error {
+					p := pattern.Synthetic(32, float64(density)/100, 256, int64(7000+density))
+					s, err := sched.Irregular(alg, p)
+					if err != nil {
+						return err
+					}
+					d, err := sched.Run(s, cfg)
+					if err != nil {
+						return err
+					}
+					times[r][a] = d.Millis()
+					t.Set(r, a, "%.3f", d.Millis())
+					return nil
+				})
 		}
-		best := "PS"
-		for _, alg := range []string{"BS", "GS"} {
-			if times[alg] < times[best] {
-				best = alg
+	}
+	spec.Finish = func() error {
+		for r := range densities {
+			best := 0
+			for a := 1; a < len(algs); a++ {
+				if times[r][a] < times[r][best] {
+					best = a
+				}
 			}
+			t.Set(r, 3, "%s", algs[best])
 		}
-		t.Set(r, 0, "%.3f", times["PS"])
-		t.Set(r, 1, "%.3f", times["BS"])
-		t.Set(r, 2, "%.3f", times["GS"])
-		t.Set(r, 3, "%s", best)
+		return nil
 	}
 	t.Note = "The paper's rule of thumb: greedy below ~50% density, balanced above."
-	return t, nil
+	return spec
 }

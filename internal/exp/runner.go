@@ -1,0 +1,194 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"regexp"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Cell is one independent unit of a sweep — a single
+// (figure, algorithm, machine size, message size) tuple. Fn runs one
+// simulation and stores its result through the closure it was built
+// with. Cells of one table must write disjoint, pre-assigned slots so
+// the worker pool needs no locks and results land deterministically
+// regardless of completion order.
+type Cell struct {
+	// Key names the cell, e.g. "fig5/LEX/N32/256B". The -run flag of
+	// cmd/cmexp and Runner.Filter match against it, and the per-cell
+	// seed is derived from it.
+	Key string
+	// Fn computes the cell. seed is the runner's deterministic per-cell
+	// seed (CellSeed(Key) xor Runner.Seed); cells with no stochastic
+	// component may ignore it. ctx is cancelled when the sweep aborts.
+	Fn func(ctx context.Context, seed int64) error
+}
+
+// TableSpec couples a table with the independent cells that fill it.
+type TableSpec struct {
+	Name  string // experiment name, e.g. "fig5"
+	Table *Table
+	Cells []Cell
+	// Finish, if non-nil, runs serially after every cell of the spec
+	// completed — for derived columns that combine several cells'
+	// results (ablation gain percentages, "best" columns). It is
+	// skipped when a Filter excluded any of the spec's cells: derived
+	// values computed from partially-filled slots would be garbage, so
+	// they stay blank like the unselected cells themselves.
+	Finish func() error
+}
+
+// AddCell appends a cell to the spec.
+func (s *TableSpec) AddCell(key string, fn func(ctx context.Context, seed int64) error) {
+	s.Cells = append(s.Cells, Cell{Key: key, Fn: fn})
+}
+
+// Progress reports one completed cell. Done counts completions so far
+// (including this one) out of Total selected cells.
+type Progress struct {
+	Done  int
+	Total int
+	Key   string
+}
+
+// CellSeed derives the deterministic seed for a cell key.
+func CellSeed(key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int64(h.Sum64() &^ (1 << 63))
+}
+
+// Runner fans independent experiment cells across a bounded worker pool.
+// Every sweep it runs is deterministic: each cell writes only its own
+// pre-assigned slot, so the rendered tables are byte-identical whether
+// the pool has one worker or many.
+//
+// The zero value is a serial runner; NewRunner(0) uses every CPU.
+type Runner struct {
+	// Workers is the pool size; values < 1 mean one worker.
+	Workers int
+	// Filter, when non-nil, selects which cells run; non-matching cells
+	// are skipped and their table slots keep their zero value.
+	Filter *regexp.Regexp
+	// Seed perturbs every cell's derived seed (0 = the canonical
+	// tables). Cells without a stochastic component ignore it.
+	Seed int64
+	// OnProgress, when non-nil, is called after each cell completes.
+	// Calls are serialized but may come from any worker goroutine.
+	OnProgress func(Progress)
+}
+
+// NewRunner returns a runner with the given pool size; workers < 1 uses
+// GOMAXPROCS workers.
+func NewRunner(workers int) *Runner {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{Workers: workers}
+}
+
+// Run executes every selected cell of the given specs on the pool, then
+// the specs' Finish hooks in order. The first cell error cancels the
+// remaining work and is returned (wrapped with the cell key); a
+// cancelled ctx stops the sweep between cells.
+func (r *Runner) Run(ctx context.Context, specs ...*TableSpec) error {
+	var cells []Cell
+	complete := make([]bool, len(specs))
+	for i, s := range specs {
+		selected := 0
+		for _, c := range s.Cells {
+			if r.Filter == nil || r.Filter.MatchString(c.Key) {
+				cells = append(cells, c)
+				selected++
+			}
+		}
+		complete[i] = selected == len(s.Cells)
+	}
+	if err := r.runCells(ctx, cells); err != nil {
+		return err
+	}
+	for i, s := range specs {
+		if s.Finish != nil && complete[i] {
+			if err := s.Finish(); err != nil {
+				return fmt.Errorf("%s: %w", s.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// RunTable runs a single spec and returns its table.
+func (r *Runner) RunTable(ctx context.Context, spec *TableSpec) (*Table, error) {
+	if err := r.Run(ctx, spec); err != nil {
+		return nil, err
+	}
+	return spec.Table, nil
+}
+
+func (r *Runner) runCells(ctx context.Context, cells []Cell) error {
+	total := len(cells)
+	if total == 0 {
+		return ctx.Err()
+	}
+	workers := r.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > total {
+		workers = total
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex // guards firstErr, done, and OnProgress calls
+		firstErr error
+		next     atomic.Int64
+		done     int
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i >= int64(total) || cctx.Err() != nil {
+					return
+				}
+				c := cells[i]
+				if err := c.Fn(cctx, CellSeed(c.Key)^r.Seed); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("cell %s: %w", c.Key, err)
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				if r.OnProgress != nil {
+					mu.Lock()
+					done++
+					r.OnProgress(Progress{Done: done, Total: total, Key: c.Key})
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// runSpec is the serial-compatible entry used by the per-figure helper
+// functions: run the spec on all CPUs and return its table.
+func runSpec(spec *TableSpec) (*Table, error) {
+	return NewRunner(0).RunTable(context.Background(), spec)
+}

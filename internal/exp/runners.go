@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -19,52 +20,73 @@ var MachineSizes = []int{16, 32, 64, 128, 256}
 
 // Fig5 reproduces Figure 5: complete-exchange time versus message size
 // on a 32-node machine for all four algorithms.
-func Fig5(cfg network.Config) (*Table, error) {
-	return exchangeSweepBySize("Figure 5: Complete exchange on 32 nodes (ms)", 32, Fig5MessageSizes, cfg)
+func Fig5(cfg network.Config) (*Table, error) { return runSpec(Fig5Spec(cfg)) }
+
+// Fig5Spec builds Figure 5 as one cell per (algorithm, message size).
+func Fig5Spec(cfg network.Config) *TableSpec {
+	return exchangeSweepBySizeSpec("fig5",
+		"Figure 5: Complete exchange on 32 nodes (ms)", 32, Fig5MessageSizes, cfg)
 }
 
-func exchangeSweepBySize(title string, n int, sizes []int, cfg network.Config) (*Table, error) {
+func exchangeSweepBySizeSpec(name, title string, n int, sizes []int, cfg network.Config) *TableSpec {
 	rows := make([]string, len(sizes))
 	for i, s := range sizes {
 		rows[i] = fmt.Sprintf("%d B", s)
 	}
 	t := NewTable(title, rows, ExchangeAlgs)
+	spec := &TableSpec{Name: name, Table: t}
 	for r, size := range sizes {
 		for c, alg := range ExchangeAlgs {
-			d, err := sched.Exchange(alg, n, size, cfg)
-			if err != nil {
-				return nil, err
-			}
-			t.Set(r, c, "%.3f", d.Millis())
+			spec.AddCell(fmt.Sprintf("%s/%s/N%d/%dB", name, alg, n, size),
+				func(ctx context.Context, _ int64) error {
+					d, err := sched.Exchange(alg, n, size, cfg)
+					if err != nil {
+						return err
+					}
+					t.Set(r, c, "%.3f", d.Millis())
+					return nil
+				})
 		}
 	}
 	t.Note = "Expected shape (paper): LEX worst throughout; for large messages BEX < PEX < REX."
-	return t, nil
+	return spec
 }
 
 // Fig6 reproduces Figure 6: complete exchange versus machine size at 0
 // and 256 bytes.
-func Fig6(cfg network.Config) (*Table, error) {
-	return exchangeSweepByMachine("Figure 6: Complete exchange vs machine size, 0 B and 256 B (ms)",
-		[]int{0, 256}, cfg)
+func Fig6(cfg network.Config) (*Table, error) { return runSpec(Fig6Spec(cfg)) }
+
+// Fig6Spec builds Figure 6 as one cell per (machine size, message size,
+// algorithm).
+func Fig6Spec(cfg network.Config) *TableSpec {
+	return exchangeSweepByMachineSpec("fig6",
+		"Figure 6: Complete exchange vs machine size, 0 B and 256 B (ms)", []int{0, 256}, cfg)
 }
 
 // Fig7 reproduces Figure 7 (512-byte messages).
-func Fig7(cfg network.Config) (*Table, error) {
-	return exchangeSweepByMachine("Figure 7: Complete exchange vs machine size, 512 B (ms)",
-		[]int{512}, cfg)
+func Fig7(cfg network.Config) (*Table, error) { return runSpec(Fig7Spec(cfg)) }
+
+// Fig7Spec builds Figure 7.
+func Fig7Spec(cfg network.Config) *TableSpec {
+	return exchangeSweepByMachineSpec("fig7",
+		"Figure 7: Complete exchange vs machine size, 512 B (ms)", []int{512}, cfg)
 }
 
 // Fig8 reproduces Figure 8 (1920-byte messages).
-func Fig8(cfg network.Config) (*Table, error) {
-	return exchangeSweepByMachine("Figure 8: Complete exchange vs machine size, 1920 B (ms)",
-		[]int{1920}, cfg)
+func Fig8(cfg network.Config) (*Table, error) { return runSpec(Fig8Spec(cfg)) }
+
+// Fig8Spec builds Figure 8.
+func Fig8Spec(cfg network.Config) *TableSpec {
+	return exchangeSweepByMachineSpec("fig8",
+		"Figure 8: Complete exchange vs machine size, 1920 B (ms)", []int{1920}, cfg)
 }
 
-func exchangeSweepByMachine(title string, sizes []int, cfg network.Config) (*Table, error) {
+var scalingAlgs = []string{"PEX", "REX", "BEX"}
+
+func exchangeSweepByMachineSpec(name, title string, sizes []int, cfg network.Config) *TableSpec {
 	var cols []string
 	for _, size := range sizes {
-		for _, alg := range []string{"PEX", "REX", "BEX"} {
+		for _, alg := range scalingAlgs {
 			cols = append(cols, fmt.Sprintf("%s@%dB", alg, size))
 		}
 	}
@@ -73,21 +95,27 @@ func exchangeSweepByMachine(title string, sizes []int, cfg network.Config) (*Tab
 		rows[i] = fmt.Sprintf("N=%d", n)
 	}
 	t := NewTable(title, rows, cols)
+	spec := &TableSpec{Name: name, Table: t}
 	for r, n := range MachineSizes {
 		c := 0
 		for _, size := range sizes {
-			for _, alg := range []string{"PEX", "REX", "BEX"} {
-				d, err := sched.Exchange(alg, n, size, cfg)
-				if err != nil {
-					return nil, err
-				}
-				t.Set(r, c, "%.3f", d.Millis())
+			for _, alg := range scalingAlgs {
+				col := c
+				spec.AddCell(fmt.Sprintf("%s/%s/N%d/%dB", name, alg, n, size),
+					func(ctx context.Context, _ int64) error {
+						d, err := sched.Exchange(alg, n, size, cfg)
+						if err != nil {
+							return err
+						}
+						t.Set(r, col, "%.3f", d.Millis())
+						return nil
+					})
 				c++
 			}
 		}
 	}
 	t.Note = "Expected shape (paper): at 0 B REX wins everywhere; at larger sizes PEX/BEX win on small machines and REX overtakes as N grows."
-	return t, nil
+	return spec
 }
 
 // Table5Sizes are the array sizes of the paper's Table 5.
@@ -97,6 +125,13 @@ var Table5Sizes = []int{256, 512, 1024, 2048}
 // algorithm on the given machine size. Array sizes above maxSize are
 // skipped (the 2048x2048 runs are host-expensive).
 func Table5(nprocs int, maxSize int, cfg network.Config) (*Table, error) {
+	return runSpec(Table5Spec(nprocs, maxSize, cfg))
+}
+
+// Table5Spec builds Table 5 as one cell per (array size, algorithm).
+// Each cell regenerates its own input matrix from the size-derived seed,
+// so cells share no mutable state.
+func Table5Spec(nprocs int, maxSize int, cfg network.Config) *TableSpec {
 	var sizes []int
 	for _, s := range Table5Sizes {
 		if maxSize <= 0 || s <= maxSize {
@@ -112,23 +147,28 @@ func Table5(nprocs int, maxSize int, cfg network.Config) (*Table, error) {
 		cols = append(cols, alg, alg+"(paper)")
 	}
 	t := NewTable(fmt.Sprintf("Table 5: 2-D FFT on %d processors (seconds)", nprocs), rows, cols)
+	spec := &TableSpec{Name: fmt.Sprintf("table5-%d", nprocs), Table: t}
 	for r, size := range sizes {
-		input := fftInput(size, size, int64(size))
 		for a, alg := range ExchangeAlgs {
-			res, err := fft.Run2D(nprocs, input, alg, cfg)
-			if err != nil {
-				return nil, err
-			}
-			t.Set(r, 2*a, "%.3f", res.Elapsed.Seconds())
-			if paper, ok := PaperTable5[nprocs][size][alg]; ok {
-				t.Set(r, 2*a+1, "%.3f", paper)
-			} else {
-				t.Set(r, 2*a+1, "-")
-			}
+			spec.AddCell(fmt.Sprintf("table5/P%d/%s/%dx%d", nprocs, alg, size, size),
+				func(ctx context.Context, _ int64) error {
+					input := fftInput(size, size, int64(size))
+					res, err := fft.Run2D(nprocs, input, alg, cfg)
+					if err != nil {
+						return err
+					}
+					t.Set(r, 2*a, "%.3f", res.Elapsed.Seconds())
+					if paper, ok := PaperTable5[nprocs][size][alg]; ok {
+						t.Set(r, 2*a+1, "%.3f", paper)
+					} else {
+						t.Set(r, 2*a+1, "-")
+					}
+					return nil
+				})
 		}
 	}
 	t.Note = "Expected shape (paper): LEX worst (catastrophically at 256 procs); PEX~BEX; BEX best at 2048^2."
-	return t, nil
+	return spec
 }
 
 func fftInput(rows, cols int, seed int64) [][]complex128 {
@@ -148,29 +188,41 @@ var Fig10Sizes = []int{0, 64, 256, 1024, 2048, 4096, 8192}
 
 // Fig10 reproduces Figure 10: broadcast time versus message size on 32
 // nodes for LIB, REB and the system broadcast.
-func Fig10(cfg network.Config) (*Table, error) {
+func Fig10(cfg network.Config) (*Table, error) { return runSpec(Fig10Spec(cfg)) }
+
+// Fig10Spec builds Figure 10 as one cell per (algorithm, message size).
+func Fig10Spec(cfg network.Config) *TableSpec {
 	algs := []string{"LIB", "REB", "SYS"}
 	rows := make([]string, len(Fig10Sizes))
 	for i, s := range Fig10Sizes {
 		rows[i] = fmt.Sprintf("%d B", s)
 	}
 	t := NewTable("Figure 10: Broadcast on 32 nodes (ms)", rows, algs)
+	spec := &TableSpec{Name: "fig10", Table: t}
 	for r, size := range Fig10Sizes {
 		for c, alg := range algs {
-			d, err := sched.Broadcast(alg, 32, 0, size, cfg)
-			if err != nil {
-				return nil, err
-			}
-			t.Set(r, c, "%.3f", d.Millis())
+			spec.AddCell(fmt.Sprintf("fig10/%s/N32/%dB", alg, size),
+				func(ctx context.Context, _ int64) error {
+					d, err := sched.Broadcast(alg, 32, 0, size, cfg)
+					if err != nil {
+						return err
+					}
+					t.Set(r, c, "%.3f", d.Millis())
+					return nil
+				})
 		}
 	}
 	t.Note = "Expected shape (paper): LIB >> REB; system broadcast wins below ~1 KB, REB above."
-	return t, nil
+	return spec
 }
 
 // Fig11 reproduces Figure 11: REB versus the system broadcast across
 // machine sizes for several message sizes.
-func Fig11(cfg network.Config) (*Table, error) {
+func Fig11(cfg network.Config) (*Table, error) { return runSpec(Fig11Spec(cfg)) }
+
+// Fig11Spec builds Figure 11 as one cell per (algorithm, machine size,
+// message size).
+func Fig11Spec(cfg network.Config) *TableSpec {
 	sizes := []int{256, 1024, 4096}
 	var cols []string
 	for _, s := range sizes {
@@ -182,24 +234,25 @@ func Fig11(cfg network.Config) (*Table, error) {
 		rows[i] = fmt.Sprintf("N=%d", n)
 	}
 	t := NewTable("Figure 11: Recursive vs system broadcast across machine sizes (ms)", rows, cols)
+	spec := &TableSpec{Name: "fig11", Table: t}
 	for r, n := range MachineSizes {
-		for c, s := range sizes {
-			d, err := sched.Broadcast("REB", n, 0, s, cfg)
-			if err != nil {
-				return nil, err
+		for ci, alg := range []string{"REB", "SYS"} {
+			for c, s := range sizes {
+				col := ci*len(sizes) + c
+				spec.AddCell(fmt.Sprintf("fig11/%s/N%d/%dB", alg, n, s),
+					func(ctx context.Context, _ int64) error {
+						d, err := sched.Broadcast(alg, n, 0, s, cfg)
+						if err != nil {
+							return err
+						}
+						t.Set(r, col, "%.3f", d.Millis())
+						return nil
+					})
 			}
-			t.Set(r, c, "%.3f", d.Millis())
-		}
-		for c, s := range sizes {
-			d, err := sched.Broadcast("SYS", n, 0, s, cfg)
-			if err != nil {
-				return nil, err
-			}
-			t.Set(r, len(sizes)+c, "%.3f", d.Millis())
 		}
 	}
 	t.Note = "Expected shape (paper): system broadcast ~flat in N; REB's crossover size grows with N."
-	return t, nil
+	return spec
 }
 
 // Table11Densities and Table11Sizes are the synthetic sweep parameters.
@@ -211,7 +264,11 @@ var (
 // Table11 reproduces Table 11: the four irregular schedulers on synthetic
 // patterns of 10/25/50/75 % density with 256- and 512-byte messages on 32
 // processors, with the paper's milliseconds alongside.
-func Table11(cfg network.Config) (*Table, error) {
+func Table11(cfg network.Config) (*Table, error) { return runSpec(Table11Spec(cfg)) }
+
+// Table11Spec builds Table 11 as one cell per (algorithm, density,
+// message size). Pattern seeds stay fixed so the table is canonical.
+func Table11Spec(cfg network.Config) *TableSpec {
 	var cols []string
 	for _, d := range Table11Densities {
 		for _, s := range Table11Sizes {
@@ -223,27 +280,33 @@ func Table11(cfg network.Config) (*Table, error) {
 		rows = append(rows, alg, alg+"(paper)")
 	}
 	t := NewTable("Table 11: Irregular scheduling of synthetic patterns on 32 processors (ms)", rows, cols)
+	spec := &TableSpec{Name: "table11", Table: t}
 	for a, alg := range IrregularAlgs {
 		c := 0
 		for _, density := range Table11Densities {
 			for _, size := range Table11Sizes {
-				p := pattern.Synthetic(32, float64(density)/100, size, int64(density*1000+size))
-				s, err := sched.Irregular(alg, p)
-				if err != nil {
-					return nil, err
-				}
-				d, err := sched.Run(s, cfg)
-				if err != nil {
-					return nil, err
-				}
-				t.Set(2*a, c, "%.3f", d.Millis())
-				t.Set(2*a+1, c, "%.3f", PaperTable11[alg][density][size])
+				col := c
+				spec.AddCell(fmt.Sprintf("table11/%s/%d%%/%dB", alg, density, size),
+					func(ctx context.Context, _ int64) error {
+						p := pattern.Synthetic(32, float64(density)/100, size, int64(density*1000+size))
+						s, err := sched.Irregular(alg, p)
+						if err != nil {
+							return err
+						}
+						d, err := sched.Run(s, cfg)
+						if err != nil {
+							return err
+						}
+						t.Set(2*a, col, "%.3f", d.Millis())
+						t.Set(2*a+1, col, "%.3f", PaperTable11[alg][density][size])
+						return nil
+					})
 				c++
 			}
 		}
 	}
 	t.Note = "Expected shape (paper): LS worst everywhere; GS best below 50% density; BS best at 75%."
-	return t, nil
+	return spec
 }
 
 // RealPatternResult carries one Table 12 column's measurements.
@@ -258,7 +321,7 @@ type RealPatternResult struct {
 
 // RealPatterns builds the halo patterns for the paper's five real
 // problems from synthetic meshes of matching vertex counts partitioned
-// over nprocs processors (see DESIGN.md for the substitution argument).
+// over nprocs processors (see README.md for the substitution argument).
 // The Euler problems use a distance-2 halo: the paper's meshes are
 // three-dimensional, with far denser processor connectivity than a
 // planar one-hop halo produces.
@@ -283,11 +346,26 @@ func RealPatterns(nprocs int) ([]pattern.Matrix, error) {
 // Table12 reproduces Table 12: the four schedulers on the real halo
 // patterns (CG 16K and the four Euler meshes) on 32 processors.
 func Table12(cfg network.Config) (*Table, []RealPatternResult, error) {
+	spec, results, err := Table12Spec(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := runSpec(spec); err != nil {
+		return nil, nil, err
+	}
+	return spec.Table, *results, nil
+}
+
+// Table12Spec builds Table 12 as one cell per (problem, algorithm). The
+// halo patterns are generated up front (deterministically) and shared
+// read-only by the cells; the per-problem result structs are assembled
+// by the Finish hook. The results slice is populated once the spec has
+// run.
+func Table12Spec(cfg network.Config) (*TableSpec, *[]RealPatternResult, error) {
 	patterns, err := RealPatterns(32)
 	if err != nil {
 		return nil, nil, err
 	}
-	var results []RealPatternResult
 	cols := make([]string, len(PaperTable12))
 	for i, prob := range PaperTable12 {
 		cols[i] = prob.Name
@@ -299,39 +377,81 @@ func Table12(cfg network.Config) (*Table, []RealPatternResult, error) {
 	rows = append(rows, "density %", "density(paper) %", "avg bytes", "avg bytes(paper)")
 	t := NewTable("Table 12: Irregular scheduling of real patterns on 32 processors (ms)", rows, cols)
 
+	// Workers write into distinct (problem, algorithm) slots here; the
+	// Finish hook folds them into the map-based RealPatternResult form.
+	times := make([][]float64, len(PaperTable12))
+	steps := make([][]int, len(PaperTable12))
+	for i := range times {
+		times[i] = make([]float64, len(IrregularAlgs))
+		steps[i] = make([]int, len(IrregularAlgs))
+	}
+	results := &[]RealPatternResult{}
+
+	spec := &TableSpec{Name: "table12", Table: t}
 	for c, prob := range PaperTable12 {
 		p := patterns[c]
-		res := RealPatternResult{
-			Problem:    prob,
-			Pattern:    p,
-			DensityPct: 100 * p.Density(),
-			AvgBytes:   p.AvgBytes(),
-			TimesMs:    map[string]float64{},
-			StepCounts: map[string]int{},
-		}
 		for a, alg := range IrregularAlgs {
-			s, err := sched.Irregular(alg, p)
-			if err != nil {
-				return nil, nil, err
-			}
-			d, err := sched.Run(s, cfg)
-			if err != nil {
-				return nil, nil, err
-			}
-			res.TimesMs[alg] = d.Millis()
-			res.StepCounts[alg] = s.NumSteps()
-			t.Set(2*a, c, "%.3f", d.Millis())
-			t.Set(2*a+1, c, "%.3f", prob.PaperMs[alg])
+			spec.AddCell(fmt.Sprintf("table12/%s/%s", sanitizeKey(prob.Name), alg),
+				func(ctx context.Context, _ int64) error {
+					s, err := sched.Irregular(alg, p)
+					if err != nil {
+						return err
+					}
+					d, err := sched.Run(s, cfg)
+					if err != nil {
+						return err
+					}
+					times[c][a] = d.Millis()
+					steps[c][a] = s.NumSteps()
+					t.Set(2*a, c, "%.3f", d.Millis())
+					t.Set(2*a+1, c, "%.3f", prob.PaperMs[alg])
+					return nil
+				})
 		}
-		t.Set(2*len(IrregularAlgs), c, "%.0f", res.DensityPct)
-		t.Set(2*len(IrregularAlgs)+1, c, "%d", prob.PaperDensityPct)
-		t.Set(2*len(IrregularAlgs)+2, c, "%.0f", res.AvgBytes)
-		t.Set(2*len(IrregularAlgs)+3, c, "%d", prob.PaperAvgBytes)
-		results = append(results, res)
+	}
+	spec.Finish = func() error {
+		*results = (*results)[:0]
+		for c, prob := range PaperTable12 {
+			p := patterns[c]
+			res := RealPatternResult{
+				Problem:    prob,
+				Pattern:    p,
+				DensityPct: 100 * p.Density(),
+				AvgBytes:   p.AvgBytes(),
+				TimesMs:    map[string]float64{},
+				StepCounts: map[string]int{},
+			}
+			for a, alg := range IrregularAlgs {
+				res.TimesMs[alg] = times[c][a]
+				res.StepCounts[alg] = steps[c][a]
+			}
+			t.Set(2*len(IrregularAlgs), c, "%.0f", res.DensityPct)
+			t.Set(2*len(IrregularAlgs)+1, c, "%d", prob.PaperDensityPct)
+			t.Set(2*len(IrregularAlgs)+2, c, "%.0f", res.AvgBytes)
+			t.Set(2*len(IrregularAlgs)+3, c, "%d", prob.PaperAvgBytes)
+			*results = append(*results, res)
+		}
+		return nil
 	}
 	t.Note = "Expected shape (paper): all real densities < 50% so GS wins every column; LS worst. " +
-		"Patterns come from synthetic planar meshes of the paper's vertex counts (DESIGN.md)."
-	return t, results, nil
+		"Patterns come from synthetic planar meshes of the paper's vertex counts (README.md)."
+	return spec, results, nil
+}
+
+// sanitizeKey makes a problem name usable inside a cell key.
+func sanitizeKey(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == ' ':
+			out = append(out, '_')
+		case c == '.':
+			// drop
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
 }
 
 // ScheduleTables renders the paper's schedule tables 1-4 (8-processor

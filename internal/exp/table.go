@@ -1,7 +1,14 @@
-// Package exp is the experiment harness: one runner per table and figure
-// of the paper's evaluation, producing aligned text tables with the
-// paper's published values alongside the simulator's measurements where
-// the paper reports numbers (Tables 5, 11, 12).
+// Package exp is the experiment harness: one TableSpec per table and
+// figure of the paper's evaluation, producing aligned text tables with
+// the paper's published values alongside the simulator's measurements
+// where the paper reports numbers (Tables 5, 11, 12).
+//
+// A spec decomposes its experiment into independent cells — one
+// simulation per (figure, algorithm, machine size, message size) tuple —
+// which Runner fans across a bounded worker pool. Each cell writes only
+// its own pre-assigned table slot, so results are deterministic and the
+// rendered tables byte-identical regardless of pool width or completion
+// order.
 package exp
 
 import (

@@ -4,7 +4,7 @@
 // the 16K-vertex conjugate-gradient problem, a recursive coordinate
 // bisection partitioner, and halo-exchange pattern extraction.
 //
-// The substitution is documented in DESIGN.md: the paper's schedulers
+// The substitution is documented in README.md: the paper's schedulers
 // consume only the communication matrix (density, bytes per neighbor
 // pair), which synthetic meshes of matched size and partitioning
 // reproduce.

@@ -24,6 +24,11 @@ type link struct {
 	cap     float64
 	flows   map[*Flow]struct{}
 	carried float64 // total bytes carried, for utilization reports
+
+	// maxmin water-filling scratch state (valid only within one call).
+	avail   float64
+	unfixed int
+	touched bool
 }
 
 // Flow is one in-flight message transfer on the data network.
@@ -37,6 +42,7 @@ type Flow struct {
 	links     []*link
 	done      func()
 	active    bool
+	fixed     bool // maxmin scratch (valid only within one call)
 	started   sim.Time
 }
 
@@ -54,9 +60,12 @@ type DataNet struct {
 	flows map[*Flow]struct{}
 
 	lastAdvance sim.Time
-	tickGen     uint64 // invalidates stale completion events
-	tickAt      sim.Time
-	tickSet     bool
+	tick        *sim.Timer // single re-armed earliest-completion event
+
+	// Reusable maxmin scratch buffers: reallocation runs on every flow
+	// start and finish, so it must not allocate.
+	flowScratch []*Flow
+	linkScratch []*link
 
 	// Stats.
 	totalFlows     int
@@ -246,55 +255,49 @@ func (d *DataNet) maxmin() {
 	if len(d.flows) == 0 {
 		return
 	}
-	type linkState struct {
-		l       *link
-		avail   float64
-		unfixed int
-	}
-	flowList := make([]*Flow, 0, len(d.flows))
+	flowList := d.flowScratch[:0]
 	for f := range d.flows {
 		flowList = append(flowList, f)
 	}
 	sort.Slice(flowList, func(i, j int) bool { return flowList[i].seq < flowList[j].seq })
 
-	states := make(map[*link]*linkState)
-	var stateList []*linkState
+	linkList := d.linkScratch[:0]
 	unfixed := len(flowList)
-	fixed := make(map[*Flow]bool, len(flowList))
 	for _, f := range flowList {
 		f.rate = 0
+		f.fixed = false
 		for _, l := range f.links {
-			st, ok := states[l]
-			if !ok {
-				st = &linkState{l: l, avail: l.cap}
-				states[l] = st
-				stateList = append(stateList, st)
+			if !l.touched {
+				l.touched = true
+				l.avail = l.cap
+				l.unfixed = 0
+				linkList = append(linkList, l)
 			}
-			st.unfixed++
+			l.unfixed++
 		}
 	}
 	for unfixed > 0 {
 		// Find the bottleneck link: minimum fair share among links that
 		// still carry unfixed flows (ties resolved by first touch).
-		var bottleneck *linkState
+		var bottleneck *link
 		share := math.Inf(1)
-		for _, st := range stateList {
-			if st.unfixed == 0 {
+		for _, l := range linkList {
+			if l.unfixed == 0 {
 				continue
 			}
-			s := st.avail / float64(st.unfixed)
+			s := l.avail / float64(l.unfixed)
 			if s < share {
 				share = s
-				bottleneck = st
+				bottleneck = l
 			}
 		}
 		if bottleneck == nil {
 			// No constraining link (cannot happen: every flow crosses
 			// its node links). Guard against an infinite loop anyway.
 			for _, f := range flowList {
-				if !fixed[f] {
+				if !f.fixed {
 					f.rate = d.cfg.NodeLinkRate
-					fixed[f] = true
+					f.fixed = true
 				}
 			}
 			break
@@ -302,35 +305,39 @@ func (d *DataNet) maxmin() {
 		// Fix every unfixed flow crossing the bottleneck at the share,
 		// in creation order.
 		for _, f := range flowList {
-			if fixed[f] {
+			if f.fixed {
 				continue
 			}
-			if _, on := bottleneck.l.flows[f]; !on {
+			if _, on := bottleneck.flows[f]; !on {
 				continue
 			}
 			f.rate = share
-			fixed[f] = true
+			f.fixed = true
 			unfixed--
 			for _, l := range f.links {
-				st := states[l]
-				st.avail -= share
-				if st.avail < 0 {
-					st.avail = 0
+				l.avail -= share
+				if l.avail < 0 {
+					l.avail = 0
 				}
-				st.unfixed--
+				l.unfixed--
 			}
 		}
 	}
+	for _, l := range linkList {
+		l.touched = false
+	}
+	d.flowScratch = flowList
+	d.linkScratch = linkList
 }
 
-// scheduleNextCompletion arms a single event at the earliest projected
-// flow completion. Any rate change bumps tickGen, invalidating the old
-// event.
+// scheduleNextCompletion arms a single timer at the earliest projected
+// flow completion. Rate changes re-arm the same timer in place, so no
+// stale events ever sit in the engine's queue.
 func (d *DataNet) scheduleNextCompletion() {
-	d.tickGen++
-	gen := d.tickGen
 	if len(d.flows) == 0 {
-		d.tickSet = false
+		if d.tick != nil {
+			d.tick.Stop()
+		}
 		return
 	}
 	soonest := math.Inf(1)
@@ -347,16 +354,13 @@ func (d *DataNet) scheduleNextCompletion() {
 		// All rates zero with active flows: model bug.
 		panic("network: active flows with zero total rate")
 	}
-	at := d.eng.Now() + sim.FromSeconds(soonest) + completionSlack
-	d.tickAt = at
-	d.tickSet = true
-	d.eng.Schedule(at, func() {
-		if gen != d.tickGen {
-			return // superseded by a later reallocation
-		}
-		d.advance()
-		d.reallocate()
-	})
+	if d.tick == nil {
+		d.tick = d.eng.NewTimer(func() {
+			d.advance()
+			d.reallocate()
+		})
+	}
+	d.tick.Reset(d.eng.Now() + sim.FromSeconds(soonest) + completionSlack)
 }
 
 // sortFlows orders flows deterministically by (src, dst).

@@ -2,16 +2,18 @@
 // with a cooperative process model.
 //
 // Each simulated processor runs as its own goroutine, but exactly one
-// goroutine — the engine or a single process — executes at any instant.
-// Control passes by strict channel hand-off, so no locks are needed and a
-// simulation is fully deterministic: the same inputs always produce the
-// same virtual-time trace.
+// goroutine executes at any instant. The scheduler runs inline on
+// whichever goroutine is yielding: a parking process drains the event
+// queue itself and hands control directly to the next runnable process
+// (one channel operation), or — when its own timer is next — simply keeps
+// running with no channel traffic at all. Control transfer is therefore
+// strictly sequential and a simulation is fully deterministic: the same
+// inputs always produce the same virtual-time trace.
 //
 // Virtual time is measured in integer nanoseconds (type Time).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -45,31 +47,16 @@ func FromSeconds(s float64) Time {
 	return Time(s*1e9 + 0.5)
 }
 
-// event is a scheduled callback.
+// event is a scheduled callback or a timed process wakeup. Events are
+// pooled: the engine recycles them instead of allocating one per
+// Schedule/Sleep call.
 type event struct {
-	at  Time
-	seq uint64 // tie-break: FIFO among events at the same instant
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	at    Time
+	seq   uint64 // tie-break: FIFO among events at the same instant
+	idx   int    // heap position, -1 when not queued
+	fn    func()
+	proc  *Proc  // timed wakeup: ready proc directly, no closure
+	timer *Timer // owned by a Timer: reusable, never pooled
 }
 
 // procState tracks where a process is in its lifecycle.
@@ -116,7 +103,9 @@ func (p *Proc) Sleep(d Time) {
 		d = 0
 	}
 	eng := p.eng
-	eng.Schedule(eng.now+d, func() { eng.ready(p) })
+	ev := eng.getEvent()
+	ev.proc = p
+	eng.enqueue(eng.now+d, ev)
 	p.park(false)
 }
 
@@ -128,29 +117,68 @@ func (p *Proc) Park() { p.park(true) }
 func (p *Proc) park(wakeable bool) {
 	p.state = procParked
 	p.wakeable = wakeable
-	p.eng.yield <- p
-	<-p.resume
+	if !p.eng.dispatch(p) {
+		<-p.resume
+	}
 	p.state = procRunning
 }
 
 // Engine is a deterministic discrete-event simulator.
 type Engine struct {
-	now    Time
-	events eventHeap
-	seq    uint64
-	procs  []*Proc
-	runq   []*Proc
-	yield  chan *Proc
-	ran    bool
+	now      Time
+	events   []*event // binary heap ordered by (at, seq)
+	nowq     []*event // FIFO of events scheduled for the current instant
+	nowqHead int
+	seq      uint64
+	procs    []*Proc
+	runq     []*Proc
+	runqHead int
+	free     []*event      // event pool
+	idle     chan struct{} // wakes Run when the simulation exhausts
+	done     int           // finished processes
+	running  bool
+	ran      bool
 }
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{yield: make(chan *Proc)}
+	return &Engine{idle: make(chan struct{}, 1)}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+func (e *Engine) getEvent() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{idx: -1}
+}
+
+func (e *Engine) putEvent(ev *event) {
+	ev.fn = nil
+	ev.proc = nil
+	ev.idx = -1
+	e.free = append(e.free, ev)
+}
+
+// enqueue stamps the event with the next sequence number and queues it.
+// Events for the current instant go to a plain FIFO instead of the heap
+// when no queued event shares the instant (queued ones carry smaller
+// sequence numbers and must fire first, which only the heap can order).
+func (e *Engine) enqueue(at Time, ev *event) {
+	e.seq++
+	ev.at = at
+	ev.seq = e.seq
+	if e.running && at == e.now && (len(e.events) == 0 || e.events[0].at != e.now) {
+		e.nowq = append(e.nowq, ev)
+		return
+	}
+	e.heapPush(ev)
+}
 
 // Schedule registers fn to run at virtual time at. Events scheduled for
 // the same instant run in registration order. Scheduling in the past is an
@@ -159,8 +187,9 @@ func (e *Engine) Schedule(at Time, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
 	}
-	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	ev := e.getEvent()
+	ev.fn = fn
+	e.enqueue(at, ev)
 }
 
 // After schedules fn to run d from now.
@@ -182,7 +211,7 @@ func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 		name:   name,
 		eng:    e,
 		body:   body,
-		resume: make(chan struct{}),
+		resume: make(chan struct{}, 1),
 		state:  procNew,
 	}
 	e.procs = append(e.procs, p)
@@ -208,6 +237,68 @@ func (e *Engine) ready(p *Proc) {
 	e.runq = append(e.runq, p)
 }
 
+// fire runs one due event on the calling goroutine.
+func (e *Engine) fire(ev *event) {
+	if ev.proc != nil {
+		e.ready(ev.proc)
+		e.putEvent(ev)
+		return
+	}
+	if ev.timer != nil {
+		ev.fn() // reusable: the timer keeps owning the event
+		return
+	}
+	fn := ev.fn
+	e.putEvent(ev)
+	fn()
+}
+
+// dispatch runs the scheduler inline on the calling goroutine until the
+// next runnable process is found. It returns true when that process is
+// self, meaning the caller continues with no context switch at all.
+// Otherwise control has been handed to the next process (or back to Run
+// when the simulation is exhausted) and the caller must wait on its own
+// resume channel — or simply return, if it is finished.
+func (e *Engine) dispatch(self *Proc) bool {
+	for {
+		// Run-queue first: woken processes run before the clock moves.
+		if e.runqHead < len(e.runq) {
+			next := e.runq[e.runqHead]
+			e.runq[e.runqHead] = nil
+			e.runqHead++
+			if next == self {
+				return true
+			}
+			next.resume <- struct{}{}
+			return false
+		}
+		e.runq = e.runq[:0]
+		e.runqHead = 0
+
+		// Same-instant events appended while processing this instant.
+		if e.nowqHead < len(e.nowq) {
+			ev := e.nowq[e.nowqHead]
+			e.nowq[e.nowqHead] = nil
+			e.nowqHead++
+			e.fire(ev)
+			continue
+		}
+		e.nowq = e.nowq[:0]
+		e.nowqHead = 0
+
+		if len(e.events) == 0 {
+			e.idle <- struct{}{}
+			return false
+		}
+		ev := e.heapPop()
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		e.fire(ev)
+	}
+}
+
 // DeadlockError reports that the simulation stalled with live processes.
 type DeadlockError struct {
 	At      Time
@@ -229,9 +320,10 @@ func (e *Engine) Run() (Time, error) {
 		return e.now, fmt.Errorf("sim: Run called twice")
 	}
 	e.ran = true
+	e.running = true
 
-	done := 0
-	// Launch all process goroutines; they block until first resumed.
+	// Launch all process goroutines; they block until first resumed. A
+	// finishing process dispatches onward itself, then its goroutine exits.
 	for _, p := range e.procs {
 		p := p
 		go func() {
@@ -239,34 +331,17 @@ func (e *Engine) Run() (Time, error) {
 			p.state = procRunning
 			p.body(p)
 			p.state = procDone
-			e.yield <- p
+			e.done++
+			e.dispatch(nil)
 		}()
 		e.ready(p)
 	}
 
-	for {
-		// Drain the run queue: run each process until it parks or finishes.
-		for len(e.runq) > 0 {
-			p := e.runq[0]
-			e.runq = e.runq[1:]
-			p.resume <- struct{}{}
-			q := <-e.yield // p (or a proc it transitively woke... always p)
-			if q.state == procDone {
-				done++
-			}
-		}
-		if len(e.events) == 0 {
-			break
-		}
-		ev := heap.Pop(&e.events).(*event)
-		if ev.at < e.now {
-			panic("sim: time went backwards")
-		}
-		e.now = ev.at
-		ev.fn()
-	}
+	e.dispatch(nil)
+	<-e.idle
+	e.running = false
 
-	if done != len(e.procs) {
+	if e.done != len(e.procs) {
 		var parked []string
 		for _, p := range e.procs {
 			if p.state != procDone {
@@ -277,4 +352,143 @@ func (e *Engine) Run() (Time, error) {
 		return e.now, &DeadlockError{At: e.now, Parked: parked, Pending: len(parked)}
 	}
 	return e.now, nil
+}
+
+// Timer is a reusable, reschedulable event. It exists for the
+// schedule-then-supersede pattern (e.g. the data network's
+// earliest-completion tick, re-armed on every rate change): Reset moves
+// the timer's single heap entry instead of abandoning a stale event and
+// allocating a fresh closure each time.
+type Timer struct {
+	eng *Engine
+	ev  *event
+}
+
+// NewTimer returns a stopped timer that runs fn in engine context when it
+// fires.
+func (e *Engine) NewTimer(fn func()) *Timer {
+	t := &Timer{eng: e, ev: &event{idx: -1, fn: fn}}
+	t.ev.timer = t
+	return t
+}
+
+// Active reports whether the timer is currently scheduled.
+func (t *Timer) Active() bool { return t.ev.idx >= 0 }
+
+// Reset schedules the timer to fire at the given time, rescheduling it if
+// already pending. Like Schedule, resetting into the past panics.
+func (t *Timer) Reset(at Time) {
+	e := t.eng
+	if at < e.now {
+		panic(fmt.Sprintf("sim: timer reset at %d before now %d", at, e.now))
+	}
+	e.seq++
+	ev := t.ev
+	ev.at = at
+	ev.seq = e.seq
+	if ev.idx >= 0 {
+		e.heapFix(ev)
+	} else {
+		e.heapPush(ev)
+	}
+}
+
+// Stop unschedules the timer if pending. Stopping a stopped timer is a
+// no-op.
+func (t *Timer) Stop() {
+	if t.ev.idx >= 0 {
+		t.eng.heapRemove(t.ev)
+	}
+}
+
+// Event heap: a hand-rolled binary heap over (at, seq) with position
+// tracking, avoiding container/heap's interface boxing on the hottest
+// path in the simulator.
+
+func (e *Engine) heapLess(i, j int) bool {
+	a, b := e.events[i], e.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapSwap(i, j int) {
+	e.events[i], e.events[j] = e.events[j], e.events[i]
+	e.events[i].idx = i
+	e.events[j].idx = j
+}
+
+func (e *Engine) heapPush(ev *event) {
+	ev.idx = len(e.events)
+	e.events = append(e.events, ev)
+	e.siftUp(ev.idx)
+}
+
+func (e *Engine) heapPop() *event {
+	top := e.events[0]
+	last := len(e.events) - 1
+	e.events[0] = e.events[last]
+	e.events[0].idx = 0
+	e.events[last] = nil
+	e.events = e.events[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+	top.idx = -1
+	return top
+}
+
+func (e *Engine) heapRemove(ev *event) {
+	i := ev.idx
+	last := len(e.events) - 1
+	if i != last {
+		e.events[i] = e.events[last]
+		e.events[i].idx = i
+	}
+	e.events[last] = nil
+	e.events = e.events[:last]
+	if i < last {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+	ev.idx = -1
+}
+
+func (e *Engine) heapFix(ev *event) {
+	i := ev.idx
+	e.siftDown(i)
+	if e.events[i] == ev {
+		e.siftUp(i)
+	}
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.heapLess(i, parent) {
+			break
+		}
+		e.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.events)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		small := left
+		if right := left + 1; right < n && e.heapLess(right, left) {
+			small = right
+		}
+		if !e.heapLess(small, i) {
+			break
+		}
+		e.heapSwap(i, small)
+		i = small
+	}
 }

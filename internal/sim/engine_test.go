@@ -455,3 +455,132 @@ func TestQuickProcFinishTimes(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTimerResetMovesSingleEvent(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	tm := e.NewTimer(func() { fired = append(fired, e.Now()) })
+	e.Schedule(0, func() {
+		tm.Reset(100)
+		tm.Reset(40) // earlier: must move, not duplicate
+	})
+	e.Schedule(60, func() { tm.Reset(70) }) // re-arm after firing
+	end, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 2 || fired[0] != 40 || fired[1] != 70 {
+		t.Fatalf("fired = %v, want [40 70]", fired)
+	}
+	if end != 70 {
+		t.Fatalf("end = %d, want 70", end)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.NewTimer(func() { fired = true })
+	e.Schedule(0, func() {
+		tm.Reset(50)
+		if !tm.Active() {
+			t.Error("timer should be active after Reset")
+		}
+		tm.Stop()
+		tm.Stop() // stopping a stopped timer is a no-op
+		if tm.Active() {
+			t.Error("timer should be inactive after Stop")
+		}
+	})
+	end, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if end != 0 {
+		t.Fatalf("end = %d, want 0", end)
+	}
+}
+
+func TestTimerInterleavesWithEventsBySeq(t *testing.T) {
+	// A timer Reset to the same instant as an existing event must fire
+	// after it (the event was registered first).
+	e := NewEngine()
+	var order []string
+	tm := e.NewTimer(func() { order = append(order, "timer") })
+	e.Schedule(10, func() { order = append(order, "event") })
+	e.Schedule(0, func() { tm.Reset(10) })
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 2 || order[0] != "event" || order[1] != "timer" {
+		t.Fatalf("order = %v, want [event timer]", order)
+	}
+}
+
+func TestTimerResetPastPanics(t *testing.T) {
+	e := NewEngine()
+	tm := e.NewTimer(func() {})
+	e.Schedule(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Reset into the past should panic")
+			}
+		}()
+		tm.Reset(50)
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEventPoolReuseKeepsOrdering(t *testing.T) {
+	// Heavy schedule/fire churn through the pool must not disturb the
+	// (at, seq) ordering contract.
+	e := NewEngine()
+	var got []int
+	n := 0
+	for round := 0; round < 50; round++ {
+		round := round
+		e.Schedule(Time(round), func() {
+			for k := 0; k < 4; k++ {
+				v := n
+				n++
+				e.After(0, func() { got = append(got, v) })
+			}
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 200 {
+		t.Fatalf("got %d events, want 200", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant burst out of order at %d: %v...", i, got[:i+1])
+		}
+	}
+}
+
+func TestSelfResumeNeedsNoOtherProcs(t *testing.T) {
+	// A lone process sleeping repeatedly exercises the self-resume fast
+	// path (dispatch returns control without a channel hand-off).
+	e := NewEngine()
+	var at Time
+	e.Spawn("solo", func(p *Proc) {
+		for i := 0; i < 1000; i++ {
+			p.Sleep(1)
+		}
+		at = p.Now()
+	})
+	end, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 1000 || end != 1000 {
+		t.Fatalf("at=%d end=%d, want 1000", at, end)
+	}
+}
