@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench-smoke lint vet fmt-check tables
+.PHONY: build test race bench bench-smoke lint vet fmt-check tables examples linkcheck
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,25 @@ test:
 race:
 	$(GO) test -race -short ./internal/exp/ ./internal/sim/ ./internal/cmmd/ ./internal/network/
 
+# Full paper-scale experiment benchmarks (host ns/op + simulated-time
+# metrics); see also the engine micro-benchmarks in internal/sim.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 10x .
+
 # One iteration of every Figure-5 benchmark: catches compile or assertion
 # breakage in the benchmark harness without paying for stable numbers.
 bench-smoke:
 	$(GO) test -run '^$$' -bench Fig5 -benchtime 1x .
+
+# Run every example program end to end — the documentation smoke test.
+examples:
+	@set -e; for d in examples/*/; do \
+		echo "== go run ./$$d"; $(GO) run ./$$d >/dev/null; done
+	@echo "examples: all ran"
+
+# Verify that every relative markdown link in the repo resolves.
+linkcheck:
+	$(GO) run ./cmd/linkcheck
 
 vet:
 	$(GO) vet ./...

@@ -21,6 +21,14 @@
 //
 // Node-level programming (the CMMD model: synchronous Send/Recv,
 // barriers, control-network collectives) is available through NewMachine.
+//
+// The collectives library (Collectives, RunCollective, CollectivePattern,
+// GhostExchange and the Node methods Scatter, Gather, AllGather,
+// ReduceData, AllReduceData, Transpose, CShift, GhostExchange) provides
+// every collective in two interchangeable forms: a CMMD node program and
+// a schedulable traffic matrix. Workloads and WorkloadPattern expose the
+// scenario catalogue (transpose, butterfly, hotspot, permutation,
+// stencils, bisection) the experiment harness sweeps.
 package cm5
 
 import (

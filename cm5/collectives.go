@@ -1,0 +1,75 @@
+package cm5
+
+import (
+	"fmt"
+
+	"repro/internal/cmmd"
+	"repro/internal/pattern"
+)
+
+// ReduceOp is the reduction operator of Node.AllReduce, Node.ReduceData
+// and Node.AllReduceData.
+type ReduceOp = cmmd.ReduceOp
+
+// Supported reduction operators.
+const (
+	OpSum = cmmd.OpSum
+	OpMax = cmmd.OpMax
+	OpMin = cmmd.OpMin
+)
+
+// Collectives lists the collective operations in canonical order:
+// scatter, gather, allgather, reduce, allreduce, transpose (all-to-all
+// personalized), cshift (circular shift) and halo (stencil ghost
+// exchange). Each exists in two interchangeable forms: a node program
+// run by RunCollective (the Node methods Scatter, Gather, AllGather,
+// ReduceData, AllReduceData, Transpose, CShift and GhostExchange), and
+// the equivalent traffic matrix from CollectivePattern, which can be
+// scheduled with ScheduleIrregular and executed with RunSchedule.
+func Collectives() []string { return cmmd.CollectiveNames() }
+
+// CollectivePattern returns the communication matrix of the named
+// collective on n nodes with nbytes per block: the collective's logical
+// direct-delivery traffic, which for forwarding algorithms (the ring
+// allgather) differs from the node program's hop-by-hop wire traffic.
+// Roots default to node 0,
+// the circular shift to offset 1, the halo to the 2-D stencil of the
+// machine size, and the reduction vectors to whole float64 elements.
+func CollectivePattern(name string, n, nbytes int) (Pattern, error) {
+	return cmmd.CollectivePattern(name, n, nbytes)
+}
+
+// RunCollective executes the named collective as a CMMD node program on
+// a fresh n-node machine (n a power of two) and returns the simulated
+// completion time of the slowest node.
+func RunCollective(name string, n, nbytes int, cfg Config) (Duration, error) {
+	return cmmd.RunCollective(name, n, nbytes, cfg)
+}
+
+// GhostExchange runs the halo exchange of an arbitrary symmetric-shape
+// pattern as a node program: node i sends p[i][j] bytes to every
+// neighbor j and receives p[j][i] back. Stencil halos from the workload
+// catalogue (stencil2d, stencil3d) and mesh partitions all qualify.
+func GhostExchange(p Pattern, cfg Config) (Duration, error) {
+	return cmmd.RunGhostExchange(p, cfg)
+}
+
+// Workloads lists the scenario catalogue's pattern generators:
+// transpose, butterfly, hotspot, permutation, stencil2d, stencil3d and
+// bisection. Use WorkloadPattern to generate one.
+func Workloads() []string { return pattern.WorkloadNames() }
+
+// WorkloadPattern generates the named catalogue workload for n
+// processors (a power of two, like every machine size) with nbytes per
+// message. Only the stochastic generators (permutation) consume the
+// seed.
+func WorkloadPattern(name string, n, nbytes int, seed int64) (Pattern, error) {
+	w, ok := pattern.WorkloadByName(name)
+	if !ok {
+		return nil, fmt.Errorf("cm5: unknown workload %q (have %v)", name, pattern.WorkloadNames())
+	}
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("cm5: workload size %d must be a power of two >= 2", n)
+	}
+	return w.Gen(n, nbytes, seed), nil
+}

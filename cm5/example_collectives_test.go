@@ -1,0 +1,196 @@
+package cm5_test
+
+import (
+	"fmt"
+
+	"repro/cm5"
+)
+
+// ExampleNode_Scatter distributes one block per node from a root.
+func ExampleNode_Scatter() {
+	m, _ := cm5.NewMachine(4, cm5.DefaultConfig())
+	got := make([]byte, 4)
+	m.Run(func(n *cm5.Node) {
+		var parts [][]byte
+		if n.ID() == 0 {
+			parts = [][]byte{{10}, {11}, {12}, {13}}
+		}
+		got[n.ID()] = n.Scatter(0, parts)[0]
+	})
+	fmt.Println("blocks:", got)
+	// Output:
+	// blocks: [10 11 12 13]
+}
+
+// ExampleNode_Gather collects one block from every node at a root.
+func ExampleNode_Gather() {
+	m, _ := cm5.NewMachine(4, cm5.DefaultConfig())
+	var at2 []byte
+	m.Run(func(n *cm5.Node) {
+		blocks := n.Gather(2, []byte{byte(10 * n.ID())})
+		if n.ID() == 2 {
+			for _, b := range blocks {
+				at2 = append(at2, b[0])
+			}
+		}
+	})
+	fmt.Println("gathered at 2:", at2)
+	// Output:
+	// gathered at 2: [0 10 20 30]
+}
+
+// ExampleNode_AllGather gives every node every block via the ring
+// algorithm.
+func ExampleNode_AllGather() {
+	m, _ := cm5.NewMachine(4, cm5.DefaultConfig())
+	rows := make([][]byte, 4)
+	m.Run(func(n *cm5.Node) {
+		var row []byte
+		for _, b := range n.AllGather([]byte{byte(n.ID() + 1)}) {
+			row = append(row, b[0])
+		}
+		rows[n.ID()] = row
+	})
+	fmt.Println("node 0:", rows[0])
+	fmt.Println("node 3:", rows[3])
+	// Output:
+	// node 0: [1 2 3 4]
+	// node 3: [1 2 3 4]
+}
+
+// ExampleNode_ReduceData folds one vector per node into the root over
+// the data network's binomial tree.
+func ExampleNode_ReduceData() {
+	m, _ := cm5.NewMachine(8, cm5.DefaultConfig())
+	var sums []float64
+	m.Run(func(n *cm5.Node) {
+		res := n.ReduceData(0, []float64{float64(n.ID()), 1}, cm5.OpSum)
+		if n.ID() == 0 {
+			sums = res
+		}
+	})
+	fmt.Println("root holds:", sums)
+	// Output:
+	// root holds: [28 8]
+}
+
+// ExampleNode_AllReduceData combines vectors with the recursive-doubling
+// butterfly; every node gets the bit-identical result.
+func ExampleNode_AllReduceData() {
+	m, _ := cm5.NewMachine(8, cm5.DefaultConfig())
+	maxima := make([]float64, 8)
+	m.Run(func(n *cm5.Node) {
+		res := n.AllReduceData([]float64{float64(n.ID() * n.ID())}, cm5.OpMax)
+		maxima[n.ID()] = res[0]
+	})
+	fmt.Println("every node sees max:", maxima)
+	// Output:
+	// every node sees max: [49 49 49 49 49 49 49 49]
+}
+
+// ExampleNode_Transpose performs the all-to-all personalized exchange:
+// block j of node i ends up as block i of node j.
+func ExampleNode_Transpose() {
+	m, _ := cm5.NewMachine(4, cm5.DefaultConfig())
+	var at1 []byte
+	m.Run(func(n *cm5.Node) {
+		parts := make([][]byte, 4)
+		for j := range parts {
+			parts[j] = []byte{byte(10*n.ID() + j)}
+		}
+		blocks := n.Transpose(parts)
+		if n.ID() == 1 {
+			for _, b := range blocks {
+				at1 = append(at1, b[0])
+			}
+		}
+	})
+	fmt.Println("node 1 received:", at1)
+	// Output:
+	// node 1 received: [1 11 21 31]
+}
+
+// ExampleNode_CShift rotates one buffer around the ring in two parallel
+// waves.
+func ExampleNode_CShift() {
+	m, _ := cm5.NewMachine(8, cm5.DefaultConfig())
+	got := make([]byte, 8)
+	m.Run(func(n *cm5.Node) {
+		got[n.ID()] = n.CShift(3, []byte{byte(n.ID())})[0]
+	})
+	fmt.Println("after shift by 3:", got)
+	// Output:
+	// after shift by 3: [5 6 7 0 1 2 3 4]
+}
+
+// ExampleNode_GhostExchange swaps halo data along a 2-D stencil: each
+// node learns its torus neighbors' ids.
+func ExampleNode_GhostExchange() {
+	halo, _ := cm5.WorkloadPattern("stencil2d", 16, 1, 0)
+	m, _ := cm5.NewMachine(16, cm5.DefaultConfig())
+	var neighbors []int
+	m.Run(func(n *cm5.Node) {
+		out := make([][]byte, 16)
+		for j, b := range halo[n.ID()] {
+			if b > 0 {
+				out[j] = []byte{byte(n.ID())}
+			}
+		}
+		in := n.GhostExchange(out)
+		if n.ID() == 5 {
+			for j, b := range in {
+				if b != nil {
+					neighbors = append(neighbors, j)
+				}
+			}
+		}
+	})
+	fmt.Println("node 5's stencil neighbors:", neighbors)
+	// Output:
+	// node 5's stencil neighbors: [1 4 6 9]
+}
+
+// ExampleRunCollective times a collective as a direct CMMD node program,
+// and ExampleCollectivePattern shows the same traffic as a schedulable
+// matrix — the two interchangeable forms of every collective.
+func ExampleRunCollective() {
+	cfg := cm5.DefaultConfig()
+	direct, _ := cm5.RunCollective("allreduce", 32, 1024, cfg)
+	reduce, _ := cm5.RunCollective("reduce", 32, 1024, cfg)
+	fmt.Println("allreduce costs more than reduce:", direct > reduce)
+	fmt.Println("both complete:", direct > 0 && reduce > 0)
+	// Output:
+	// allreduce costs more than reduce: true
+	// both complete: true
+}
+
+// ExampleCollectivePattern schedules a collective's traffic matrix with
+// the paper's greedy scheduler instead of running its node program.
+func ExampleCollectivePattern() {
+	p, _ := cm5.CollectivePattern("allreduce", 16, 256)
+	s, _ := cm5.ScheduleIrregular("GS", p)
+	fmt.Println("butterfly messages:", p.Messages())
+	fmt.Println("greedy schedule steps:", s.NumSteps())
+	// Output:
+	// butterfly messages: 64
+	// greedy schedule steps: 4
+}
+
+// ExampleWorkloadPattern generates a catalogue workload and reports its
+// statistics.
+func ExampleWorkloadPattern() {
+	p, _ := cm5.WorkloadPattern("bisection", 16, 512, 0)
+	st := p.Stats()
+	fmt.Printf("messages=%d maxfanin=%d symmetric=%v\n", st.Messages, st.MaxFanIn, st.Symmetric)
+	// Output:
+	// messages=16 maxfanin=1 symmetric=true
+}
+
+// ExampleGhostExchange times the halo exchange of a 3-D stencil pattern.
+func ExampleGhostExchange() {
+	p, _ := cm5.WorkloadPattern("stencil3d", 64, 256, 0)
+	d, _ := cm5.GhostExchange(p, cm5.DefaultConfig())
+	fmt.Println("halo swap completes:", d > 0)
+	// Output:
+	// halo swap completes: true
+}

@@ -6,8 +6,15 @@
 //	cmexp [flags] <experiment>...
 //
 // Experiments: fig5 fig6 fig7 fig8 fig10 fig11 table5 table11 table12
-// schedules ablation-async ablation-fattree ablation-greedy
-// ablation-crossover ablation-crystal ablations all
+// schedules scenarios collectives ablation-async ablation-fattree
+// ablation-greedy ablation-crossover ablation-crystal ablations all
+//
+// Beyond the paper's evaluation, "scenarios" sweeps the workload
+// catalogue of internal/pattern (transpose, butterfly, hotspot,
+// permutation, stencils, bisection) through all four irregular
+// schedulers at several machine sizes plus a per-pattern statistics
+// table, and "collectives" scales every collective operation to 1024
+// nodes both as a direct CMMD node program and as a scheduled matrix.
 //
 // Flags:
 //
@@ -42,7 +49,7 @@ import (
 
 var tableExperiments = []string{
 	"fig5", "fig6", "fig7", "fig8", "table5", "fig10", "fig11",
-	"table11", "table12",
+	"table11", "table12", "scenarios", "collectives",
 	"ablation-async", "ablation-fattree", "ablation-greedy",
 	"ablation-crossover", "ablation-crystal",
 }
@@ -61,7 +68,7 @@ func main() {
 	verbose := flag.Bool("v", false, "report per-cell progress on stderr")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: cmexp [flags] fig5|fig6|fig7|fig8|fig10|fig11|table5|table11|table12|schedules|ablations|all")
+		fmt.Fprintln(os.Stderr, "usage: cmexp [flags] fig5|fig6|fig7|fig8|fig10|fig11|table5|table11|table12|scenarios|collectives|schedules|ablations|all")
 		os.Exit(2)
 	}
 	if err := run(flag.Args(), *procs, *maxSize, *parallel, *seed, *runPat, *verbose); err != nil {
@@ -136,6 +143,10 @@ func run(args []string, procs, maxSize, parallel int, seed int64, runPat string,
 			for _, n := range sizes {
 				specs = append(specs, exp.Table5Spec(n, maxSize, cfg))
 			}
+		case "scenarios":
+			specs = append(specs, exp.ScenariosSpec(cfg), exp.ScenarioStatsSpec(cfg))
+		case "collectives":
+			specs = append(specs, exp.CollectivesSpec(cfg))
 		case "table11":
 			specs = append(specs, exp.Table11Spec(cfg))
 		case "table12":

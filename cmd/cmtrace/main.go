@@ -9,6 +9,12 @@
 //
 //	cmtrace -alg lex -n 32 -bytes 256
 //	cmtrace -alg gs -n 32 -density 0.25 -bytes 256
+//	cmtrace -alg gs -n 64 -pattern hotspot -nodes
+//
+// With -pattern, the irregular schedulers trace a workload from the
+// scenario catalogue (transpose, butterfly, hotspot, permutation,
+// stencil2d, stencil3d, bisection) instead of a synthetic random
+// pattern. -nodes appends the per-node rendezvous wait table.
 package main
 
 import (
@@ -30,6 +36,8 @@ func main() {
 	bytes := flag.Int("bytes", 256, "bytes per message")
 	density := flag.Float64("density", 0.5, "density for irregular patterns")
 	seed := flag.Int64("seed", 1, "pattern seed")
+	workload := flag.String("pattern", "", "catalogue workload for the irregular schedulers "+
+		"(transpose|butterfly|hotspot|permutation|stencil2d|stencil3d|bisection); empty = synthetic")
 	perNode := flag.Bool("nodes", false, "print the per-node wait table")
 	flag.Parse()
 
@@ -42,7 +50,22 @@ func main() {
 	case "BEX":
 		s = sched.BEX(*n, *bytes)
 	case "LS", "PS", "BS", "GS":
-		p := pattern.Synthetic(*n, *density, *bytes, *seed)
+		var p pattern.Matrix
+		if *workload != "" {
+			w, ok := pattern.WorkloadByName(*workload)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "cmtrace: unknown workload %q (have %s)\n",
+					*workload, strings.Join(pattern.WorkloadNames(), " "))
+				os.Exit(1)
+			}
+			if *n < 2 || *n&(*n-1) != 0 {
+				fmt.Fprintf(os.Stderr, "cmtrace: -n %d must be a power of two >= 2\n", *n)
+				os.Exit(1)
+			}
+			p = w.Gen(*n, *bytes, *seed)
+		} else {
+			p = pattern.Synthetic(*n, *density, *bytes, *seed)
+		}
 		var err error
 		s, err = sched.Irregular(strings.ToUpper(*alg), p)
 		if err != nil {

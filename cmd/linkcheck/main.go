@@ -1,0 +1,83 @@
+// Command linkcheck verifies intra-repository markdown links: every
+// relative link target in every *.md file must exist on disk. External
+// links (http/https/mailto), pure anchors, and links that resolve
+// outside the repository root (GitHub-relative tricks like CI badge
+// paths) are skipped. Exit status 1 with one line per broken link.
+//
+// Usage:
+//
+//	linkcheck [root]
+//
+// root defaults to the current directory.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches the target of inline markdown links: [text](target).
+var linkRE = regexp.MustCompile(`\]\(([^()\s]+)\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(2)
+	}
+	broken := 0
+	checked := 0
+	err = filepath.WalkDir(absRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == ".github" {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(absRoot, path)
+		for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if !strings.HasPrefix(resolved, absRoot+string(filepath.Separator)) {
+				continue // escapes the repo (e.g. GitHub badge paths)
+			}
+			checked++
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Printf("%s: broken link %q\n", rel, m[1])
+				broken++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("linkcheck: %d intra-repo links checked, %d broken\n", checked, broken)
+	if broken > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,60 @@
+// Collectives: every collective operation of the cm5 library run on a
+// simulated 32-node CM-5, both as its natural CMMD node program and as
+// a communication matrix scheduled with the paper's greedy scheduler —
+// the two interchangeable forms the scenario harness compares at scale.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/cm5"
+)
+
+func main() {
+	cfg := cm5.DefaultConfig()
+	const n, nbytes = 32, 1024
+
+	fmt.Printf("Collectives on a simulated %d-node CM-5, %d B blocks (times in ms)\n\n", n, nbytes)
+	fmt.Printf("%-10s  %10s  %12s  %6s\n", "collective", "CMMD prog", "GS schedule", "msgs")
+	for _, name := range cm5.Collectives() {
+		direct, err := cm5.RunCollective(name, n, nbytes, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := cm5.CollectivePattern(name, n, nbytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := cm5.ScheduleIrregular("GS", p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scheduled, err := cm5.RunSchedule(s, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s  %10.3f  %12.3f  %6d\n",
+			name, direct.Millis(), scheduled.Millis(), p.Messages())
+	}
+
+	// The data-carrying side of the same API: a global vector sum.
+	m, err := cm5.NewMachine(n, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sum float64
+	elapsed, err := m.Run(func(nd *cm5.Node) {
+		res := nd.AllReduceData([]float64{float64(nd.ID())}, cm5.OpSum)
+		if nd.ID() == 0 {
+			sum = res[0]
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nallreduce of ranks 0..%d = %.0f in %.3f ms simulated\n", n-1, sum, elapsed.Millis())
+	fmt.Println("\nThe rendezvous model shows through: the ring allgather and the butterfly")
+	fmt.Println("allreduce pipeline perfectly, while any schedule of the same traffic pays")
+	fmt.Println("the scheduler's step structure (see `cmexp collectives` for the sweep).")
+}

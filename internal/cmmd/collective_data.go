@@ -1,0 +1,204 @@
+package cmmd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Data-network collectives beyond Gather/Scatter/AllGather: reductions
+// carrying real vectors, the all-to-all-personalized transpose, circular
+// shift, and the halo/ghost exchange of stencil codes. All of them are
+// node programs over synchronous rendezvous messaging — every step is a
+// perfect matching (or a tree edge), so none can deadlock under CMMD's
+// blocking sends.
+
+// Tags reserved by these collectives (continuing the gather.go range).
+const (
+	tagReduce    = 1<<28 + 3
+	tagAllReduce = 1<<28 + 4
+	tagTranspose = 1<<28 + 5
+	tagCShift    = 1<<28 + 6
+	tagHalo      = 1<<28 + 7
+)
+
+// encodeFloats packs a float64 vector into its 8-byte-per-element wire
+// form (what CMMD programs put on the data network for vector
+// reductions).
+func encodeFloats(vec []float64) []byte {
+	out := make([]byte, 8*len(vec))
+	for i, v := range vec {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// decodeFloats unpacks the wire form produced by encodeFloats.
+func decodeFloats(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// ReduceData combines one float64 vector per node element-wise with op
+// and delivers the result to root over the data network, using a
+// binomial tree of lg N rounds (the vector analogue of the
+// control-network AllReduce, which moves only a scalar). All nodes must
+// call it with equal-length vectors; non-root nodes return nil.
+func (n *Node) ReduceData(root int, vec []float64, op ReduceOp) []float64 {
+	size := n.N()
+	if root < 0 || root >= size {
+		panic(fmt.Sprintf("cmmd: reduce root %d out of range", root))
+	}
+	rel := (n.id - root + size) % size
+	acc := append([]float64(nil), vec...)
+	for bit := 1; bit < size; bit <<= 1 {
+		if rel&bit != 0 {
+			// This subtree is folded: hand the partial to the parent.
+			parent := (rel - bit + root) % size
+			n.Send(parent, tagReduce, encodeFloats(acc))
+			return nil
+		}
+		if rel+bit < size {
+			child := (rel + bit + root) % size
+			other := decodeFloats(n.Recv(child, tagReduce).Data)
+			if len(other) != len(acc) {
+				panic(fmt.Sprintf("cmmd: reduce vector length %d != %d", len(other), len(acc)))
+			}
+			for i := range acc {
+				acc[i] = op.apply(acc[i], other[i])
+			}
+		}
+	}
+	return acc
+}
+
+// AllReduceData combines one float64 vector per node element-wise with
+// op and delivers the result to every node, using the recursive-doubling
+// butterfly: lg N rounds of pairwise exchange with partner id XOR 2^k.
+// Each round is a perfect matching, executed with Figure 2's
+// lower-rank-receives-first ordering. All nodes get bit-identical
+// results (op is applied to the same operand pair on both sides of every
+// exchange).
+func (n *Node) AllReduceData(vec []float64, op ReduceOp) []float64 {
+	size := n.N()
+	acc := append([]float64(nil), vec...)
+	for bit := 1; bit < size; bit <<= 1 {
+		peer := n.id ^ bit
+		var got Message
+		if n.id < peer {
+			got = n.Recv(peer, tagAllReduce)
+			n.Send(peer, tagAllReduce, encodeFloats(acc))
+		} else {
+			n.Send(peer, tagAllReduce, encodeFloats(acc))
+			got = n.Recv(peer, tagAllReduce)
+		}
+		other := decodeFloats(got.Data)
+		if len(other) != len(acc) {
+			panic(fmt.Sprintf("cmmd: allreduce vector length %d != %d", len(other), len(acc)))
+		}
+		for i := range acc {
+			acc[i] = op.apply(acc[i], other[i])
+		}
+	}
+	return acc
+}
+
+// Transpose performs the all-to-all personalized exchange: parts[j] goes
+// to node j, and the returned slice holds the block received from every
+// node (the local block is kept, charged one memory copy). The N-1
+// rounds follow the Pairwise Exchange pairing (partner id XOR j) with
+// the deadlock-free ordering of the paper's Figure 2.
+func (n *Node) Transpose(parts [][]byte) [][]byte {
+	size := n.N()
+	if len(parts) != size {
+		panic(fmt.Sprintf("cmmd: transpose with %d parts for %d nodes", len(parts), size))
+	}
+	out := make([][]byte, size)
+	out[n.id] = append([]byte(nil), parts[n.id]...)
+	n.MemCopy(len(parts[n.id]))
+	for j := 1; j < size; j++ {
+		peer := n.id ^ j
+		if n.id < peer {
+			got := n.Recv(peer, tagTranspose)
+			n.Send(peer, tagTranspose, parts[peer])
+			out[peer] = got.Data
+		} else {
+			n.Send(peer, tagTranspose, parts[peer])
+			out[peer] = n.Recv(peer, tagTranspose).Data
+		}
+	}
+	return out
+}
+
+// CShift circularly shifts data by offset: every node sends its buffer
+// to (id + offset) mod N and returns the buffer received from
+// (id - offset) mod N. The shift permutation decomposes into cycles of
+// even length (N is a power of two); alternating send-first and
+// receive-first positions around each cycle completes the shift in two
+// parallel waves instead of cascading serially. A zero offset is a local
+// copy.
+func (n *Node) CShift(offset int, data []byte) []byte {
+	size := n.N()
+	offset = ((offset % size) + size) % size
+	if offset == 0 {
+		n.MemCopy(len(data))
+		return append([]byte(nil), data...)
+	}
+	dst := (n.id + offset) % size
+	src := (n.id - offset + size) % size
+	// The cycles of i -> i+offset are the residue classes mod
+	// g = gcd(N, offset), and position parity within a cycle reduces to
+	// (id/g) mod 2 (both N and g are powers of two, so every cycle has
+	// even length and the 2-coloring is consistent).
+	g := gcd(size, offset)
+	if (n.id/g)%2 == 0 {
+		n.Send(dst, tagCShift, data)
+		return n.Recv(src, tagCShift).Data
+	}
+	got := n.Recv(src, tagCShift).Data
+	n.Send(dst, tagCShift, data)
+	return got
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// GhostExchange swaps halo data with neighbors: out[j] non-nil means
+// "send out[j] to node j and expect a block back from j". The returned
+// slice holds the received blocks, indexed by neighbor. The exchange
+// shape must be symmetric (j expects me iff I expect j — the
+// pattern.Matrix IsSymmetricShape property every halo pattern has);
+// an asymmetric shape deadlocks the machine, which Run reports as a
+// DeadlockError. Rounds follow the Pairwise Exchange pairing, so nodes
+// whose neighbor sets are sparse skip all-but-a-few rounds for free.
+func (n *Node) GhostExchange(out [][]byte) [][]byte {
+	size := n.N()
+	if len(out) != size {
+		panic(fmt.Sprintf("cmmd: ghost exchange with %d slots for %d nodes", len(out), size))
+	}
+	if out[n.id] != nil {
+		panic(fmt.Sprintf("cmmd: node %d lists itself as a ghost neighbor", n.id))
+	}
+	in := make([][]byte, size)
+	for j := 1; j < size; j++ {
+		peer := n.id ^ j
+		if out[peer] == nil {
+			continue
+		}
+		if n.id < peer {
+			in[peer] = n.Recv(peer, tagHalo).Data
+			n.Send(peer, tagHalo, out[peer])
+		} else {
+			n.Send(peer, tagHalo, out[peer])
+			in[peer] = n.Recv(peer, tagHalo).Data
+		}
+	}
+	return in
+}

@@ -1,0 +1,161 @@
+package cmmd
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/pattern"
+	"repro/internal/sim"
+)
+
+// Every collective exists in two forms: a CMMD node program (the methods
+// in gather.go and collective_data.go) and a pattern.Matrix describing
+// the same wire traffic, so the experiment harness can run it either
+// directly or through the LS/PS/BS/GS schedulers and compare.
+
+// CollectiveNames lists the collectives in canonical order. Roots
+// default to node 0, the circular shift to offset 1, and the halo
+// exchange to the 2-D stencil of the machine size.
+func CollectiveNames() []string {
+	return []string{"scatter", "gather", "allgather", "reduce", "allreduce",
+		"transpose", "cshift", "halo"}
+}
+
+// reduceWireBytes is the vector payload the reduction collectives put on
+// the wire for a requested block size: whole float64 elements, at least
+// one.
+func reduceWireBytes(nbytes int) int {
+	if nbytes < 8 {
+		return 8
+	}
+	return 8 * (nbytes / 8)
+}
+
+// reduceVec returns the per-node input vector matching reduceWireBytes.
+func reduceVec(id, nbytes int) []float64 {
+	vec := make([]float64, reduceWireBytes(nbytes)/8)
+	for i := range vec {
+		vec[i] = float64(id + i)
+	}
+	return vec
+}
+
+// CollectivePattern returns the communication matrix of the named
+// collective on n nodes with nbytes per block: its logical
+// direct-delivery traffic (every block point-to-point from producer to
+// consumer) as a schedulable workload. For the store-and-forward
+// algorithms this differs from the node program's wire traffic — the
+// ring AllGather forwards blocks hop by hop — which is exactly what the
+// collectives experiment compares.
+func CollectivePattern(name string, n, nbytes int) (pattern.Matrix, error) {
+	m := pattern.New(n)
+	switch name {
+	case "scatter":
+		for j := 1; j < n; j++ {
+			m[0][j] = nbytes
+		}
+	case "gather":
+		for i := 1; i < n; i++ {
+			m[i][0] = nbytes
+		}
+	case "allgather", "transpose":
+		m = pattern.CompleteExchange(n, nbytes)
+	case "reduce":
+		// Binomial tree to root 0: every node hands its partial to the
+		// node that clears its lowest set bit.
+		wire := reduceWireBytes(nbytes)
+		for i := 1; i < n; i++ {
+			m[i][i&(i-1)] = wire
+		}
+	case "allreduce":
+		// Recursive-doubling butterfly: all hypercube edges.
+		wire := reduceWireBytes(nbytes)
+		for i := 0; i < n; i++ {
+			for bit := 1; bit < n; bit <<= 1 {
+				m[i][i^bit] = wire
+			}
+		}
+	case "cshift":
+		for i := 0; i < n; i++ {
+			m[i][(i+1)%n] = nbytes
+		}
+	case "halo":
+		m = pattern.Stencil2D(n, nbytes)
+	default:
+		return nil, fmt.Errorf("cmmd: unknown collective %q", name)
+	}
+	return m, nil
+}
+
+// RunCollective executes the named collective as a node program on a
+// fresh n-node machine with nbytes per block and returns the simulated
+// completion time of the slowest node.
+func RunCollective(name string, n, nbytes int, cfg network.Config) (sim.Time, error) {
+	var program func(*Node)
+	switch name {
+	case "scatter":
+		program = func(nd *Node) {
+			var parts [][]byte
+			if nd.ID() == 0 {
+				parts = make([][]byte, nd.N())
+				for i := range parts {
+					parts[i] = make([]byte, nbytes)
+				}
+			}
+			nd.Scatter(0, parts)
+		}
+	case "gather":
+		program = func(nd *Node) { nd.Gather(0, make([]byte, nbytes)) }
+	case "allgather":
+		program = func(nd *Node) { nd.AllGather(make([]byte, nbytes)) }
+	case "reduce":
+		program = func(nd *Node) { nd.ReduceData(0, reduceVec(nd.ID(), nbytes), OpSum) }
+	case "allreduce":
+		program = func(nd *Node) { nd.AllReduceData(reduceVec(nd.ID(), nbytes), OpSum) }
+	case "transpose":
+		program = func(nd *Node) {
+			parts := make([][]byte, nd.N())
+			for i := range parts {
+				parts[i] = make([]byte, nbytes)
+			}
+			nd.Transpose(parts)
+		}
+	case "cshift":
+		program = func(nd *Node) { nd.CShift(1, make([]byte, nbytes)) }
+	case "halo":
+		return RunGhostExchange(pattern.Stencil2D(n, nbytes), cfg)
+	default:
+		return 0, fmt.Errorf("cmmd: unknown collective %q", name)
+	}
+	m, err := NewMachine(n, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return m.Run(program)
+}
+
+// RunGhostExchange executes the halo exchange for an arbitrary
+// symmetric-shape pattern as a node program on a fresh machine: node i
+// sends p[i][j] bytes to every neighbor j and receives p[j][i] back.
+func RunGhostExchange(p pattern.Matrix, cfg network.Config) (sim.Time, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if !p.IsSymmetricShape() {
+		return 0, fmt.Errorf("cmmd: ghost exchange needs a symmetric-shape pattern")
+	}
+	m, err := NewMachine(p.N(), cfg)
+	if err != nil {
+		return 0, err
+	}
+	return m.Run(func(nd *Node) {
+		row := p[nd.ID()]
+		out := make([][]byte, nd.N())
+		for j, b := range row {
+			if b > 0 {
+				out[j] = make([]byte, b)
+			}
+		}
+		nd.GhostExchange(out)
+	})
+}

@@ -1,0 +1,301 @@
+package pattern
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file is the workload catalogue: named generators for the
+// communication shapes that stress a fat tree in distinct ways, beyond
+// the paper's complete-exchange / broadcast / random-irregular trio.
+// Every generator is deterministic for a given (n, nbytes, seed) and
+// the returned matrices satisfy Validate.
+
+// Grid2D factors n into the most-square rows x cols grid with
+// rows <= cols and rows*cols == n. For power-of-two n both factors are
+// powers of two.
+func Grid2D(n int) (rows, cols int) {
+	rows = largestDivisorAtMost(n, isqrt(n))
+	return rows, n / rows
+}
+
+// Grid3D factors n into the most-cubic x <= y <= z grid with x*y*z == n.
+func Grid3D(n int) (x, y, z int) {
+	x = largestDivisorAtMost(n, icbrt(n))
+	y, z = Grid2D(n / x)
+	return x, y, z
+}
+
+// largestDivisorAtMost returns the largest divisor of n that is <= limit
+// (at least 1).
+func largestDivisorAtMost(n, limit int) int {
+	for d := limit; d > 1; d-- {
+		if n%d == 0 {
+			return d
+		}
+	}
+	return 1
+}
+
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+func icbrt(n int) int {
+	r := 0
+	for (r+1)*(r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// Transpose returns the grid-transpose permutation: the n processors are
+// laid out row-major on the Grid2D(n) rows x cols grid, and processor
+// (i,j) sends its whole block of nbytes to the processor holding the
+// transposed block — position (j,i) of the cols x rows grid. Diagonal
+// blocks stay local. This is the communication phase of a distributed
+// matrix transpose when each processor owns one block.
+func Transpose(n, nbytes int) Matrix {
+	rows, cols := Grid2D(n)
+	m := New(n)
+	for p := 0; p < n; p++ {
+		i, j := p/cols, p%cols
+		dst := j*rows + i // (j,i) in the transposed cols x rows grid
+		if dst != p {
+			m[p][dst] = nbytes
+		}
+	}
+	return m
+}
+
+// Butterfly returns the hypercube/butterfly pattern: every processor
+// exchanges nbytes with each of its lg N hypercube neighbors (i XOR 2^k
+// for every bit k). This is the union of all stages of an FFT butterfly
+// or a recursive-doubling reduction. n must be a power of two.
+func Butterfly(n, nbytes int) Matrix {
+	if n < 2 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("pattern: butterfly size %d must be a power of two >= 2", n))
+	}
+	m := New(n)
+	for i := 0; i < n; i++ {
+		for bit := 1; bit < n; bit <<= 1 {
+			m[i][i^bit] = nbytes
+		}
+	}
+	return m
+}
+
+// HotSpot returns the many-to-one pattern: every processor sends nbytes
+// to the single target. Under synchronous rendezvous the target
+// serializes all n-1 transfers — the funnel that collapses LEX/LS,
+// isolated as its own workload.
+func HotSpot(n, target, nbytes int) Matrix {
+	if target < 0 || target >= n {
+		panic(fmt.Sprintf("pattern: hot-spot target %d out of range [0,%d)", target, n))
+	}
+	m := New(n)
+	for i := 0; i < n; i++ {
+		if i != target {
+			m[i][target] = nbytes
+		}
+	}
+	return m
+}
+
+// RandomPermutation returns a fixed-point-free random permutation
+// pattern: every processor sends nbytes to exactly one distinct other
+// processor and receives from exactly one. Deterministic for a given
+// seed.
+func RandomPermutation(n, nbytes int, seed int64) Matrix {
+	if n < 2 {
+		panic(fmt.Sprintf("pattern: permutation needs >= 2 processors, got %d", n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	// Remove fixed points by rotating them among themselves (a derangement
+	// of the fixed set); one leftover fixed point swaps with its neighbor.
+	var fixed []int
+	for i, d := range perm {
+		if i == d {
+			fixed = append(fixed, i)
+		}
+	}
+	for k, i := range fixed {
+		perm[i] = fixed[(k+1)%len(fixed)]
+	}
+	if len(fixed) == 1 {
+		i := fixed[0]
+		j := (i + 1) % n
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	m := New(n)
+	for i, d := range perm {
+		m[i][d] = nbytes
+	}
+	return m
+}
+
+// Stencil2D returns the 4-point halo pattern of a periodic rows x cols
+// processor grid (Grid2D(n)): every processor exchanges nbytes with its
+// north/south/east/west torus neighbors. Degenerate dimensions fold:
+// on a 2-wide torus both horizontal neighbors are the same processor
+// and the byte counts accumulate.
+func Stencil2D(n, nbytes int) Matrix {
+	rows, cols := Grid2D(n)
+	m := New(n)
+	at := func(i, j int) int {
+		return ((i+rows)%rows)*cols + (j+cols)%cols
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			p := at(i, j)
+			for _, nb := range []int{at(i-1, j), at(i+1, j), at(i, j-1), at(i, j+1)} {
+				if nb != p {
+					m[p][nb] += nbytes
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Stencil3D returns the 6-point halo pattern of a periodic x*y*z
+// processor grid (Grid3D(n)), the three-dimensional analogue of
+// Stencil2D.
+func Stencil3D(n, nbytes int) Matrix {
+	x, y, z := Grid3D(n)
+	m := New(n)
+	at := func(a, b, c int) int {
+		return ((a+x)%x)*y*z + ((b+y)%y)*z + (c+z)%z
+	}
+	for a := 0; a < x; a++ {
+		for b := 0; b < y; b++ {
+			for c := 0; c < z; c++ {
+				p := at(a, b, c)
+				for _, nb := range []int{
+					at(a-1, b, c), at(a+1, b, c),
+					at(a, b-1, c), at(a, b+1, c),
+					at(a, b, c-1), at(a, b, c+1),
+				} {
+					if nb != p {
+						m[p][nb] += nbytes
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// BisectionStress returns the pattern in which processor i exchanges
+// nbytes with processor i XOR n/2: every single message crosses the top
+// of the fat tree, so the workload is limited purely by the machine's
+// bisection bandwidth. n must be a power of two.
+func BisectionStress(n, nbytes int) Matrix {
+	if n < 2 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("pattern: bisection size %d must be a power of two >= 2", n))
+	}
+	m := New(n)
+	for i := 0; i < n; i++ {
+		m[i][i^(n/2)] = nbytes
+	}
+	return m
+}
+
+// MaxFanIn returns the largest number of distinct senders converging on
+// a single destination — the serialization bound of synchronous
+// rendezvous receives (n-1 for a hot spot, 1 for a permutation).
+func (m Matrix) MaxFanIn() int {
+	maxIn := 0
+	for j := 0; j < m.N(); j++ {
+		in := 0
+		for i := 0; i < m.N(); i++ {
+			if m[i][j] > 0 {
+				in++
+			}
+		}
+		if in > maxIn {
+			maxIn = in
+		}
+	}
+	return maxIn
+}
+
+// Stats summarizes a pattern for the scenario catalogue tables.
+type Stats struct {
+	Procs      int
+	Messages   int
+	TotalBytes int64
+	DensityPct float64 // percentage of complete exchange
+	AvgBytes   float64
+	MaxBytes   int
+	MaxFanIn   int
+	Symmetric  bool // bidirectional shape (m[i][j]>0 iff m[j][i]>0)
+}
+
+// Stats computes the summary statistics of the pattern.
+func (m Matrix) Stats() Stats {
+	return Stats{
+		Procs:      m.N(),
+		Messages:   m.Messages(),
+		TotalBytes: m.TotalBytes(),
+		DensityPct: 100 * m.Density(),
+		AvgBytes:   m.AvgBytes(),
+		MaxBytes:   m.MaxEntry(),
+		MaxFanIn:   m.MaxFanIn(),
+		Symmetric:  m.IsSymmetricShape(),
+	}
+}
+
+// Workload is a named catalogue entry: a deterministic pattern generator
+// parameterized by machine size, message size and seed (generators
+// without a stochastic component ignore the seed).
+type Workload struct {
+	Name string
+	Desc string
+	Gen  func(n, nbytes int, seed int64) Matrix
+}
+
+// Workloads returns the scenario catalogue in canonical order.
+func Workloads() []Workload {
+	return []Workload{
+		{"transpose", "grid block transpose (permutation)",
+			func(n, nbytes int, _ int64) Matrix { return Transpose(n, nbytes) }},
+		{"butterfly", "all lg N hypercube exchange stages",
+			func(n, nbytes int, _ int64) Matrix { return Butterfly(n, nbytes) }},
+		{"hotspot", "many-to-one funnel into node 0",
+			func(n, nbytes int, _ int64) Matrix { return HotSpot(n, 0, nbytes) }},
+		{"permutation", "random fixed-point-free permutation",
+			RandomPermutation},
+		{"stencil2d", "4-point halo on a periodic 2-D grid",
+			func(n, nbytes int, _ int64) Matrix { return Stencil2D(n, nbytes) }},
+		{"stencil3d", "6-point halo on a periodic 3-D grid",
+			func(n, nbytes int, _ int64) Matrix { return Stencil3D(n, nbytes) }},
+		{"bisection", "pairwise exchange across the root bisection",
+			func(n, nbytes int, _ int64) Matrix { return BisectionStress(n, nbytes) }},
+	}
+}
+
+// WorkloadByName looks a catalogue entry up by name.
+func WorkloadByName(name string) (Workload, bool) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// WorkloadNames returns the catalogue names in canonical order.
+func WorkloadNames() []string {
+	ws := Workloads()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return names
+}

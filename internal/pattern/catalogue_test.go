@@ -1,0 +1,192 @@
+package pattern
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGridFactorizations(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024} {
+		r, c := Grid2D(n)
+		if r*c != n || r > c {
+			t.Fatalf("Grid2D(%d) = %dx%d", n, r, c)
+		}
+		x, y, z := Grid3D(n)
+		if x*y*z != n || x > y || y > z {
+			t.Fatalf("Grid3D(%d) = %dx%dx%d", n, x, y, z)
+		}
+	}
+	if r, c := Grid2D(64); r != 8 || c != 8 {
+		t.Fatalf("Grid2D(64) = %dx%d, want 8x8", r, c)
+	}
+	if x, y, z := Grid3D(64); x != 4 || y != 4 || z != 4 {
+		t.Fatalf("Grid3D(64) = %dx%dx%d, want 4x4x4", x, y, z)
+	}
+}
+
+func TestCatalogueShapesValidate(t *testing.T) {
+	for _, w := range Workloads() {
+		for _, n := range []int{4, 16, 32, 64, 256} {
+			m := w.Gen(n, 256, 7)
+			if err := m.Validate(); err != nil {
+				t.Fatalf("%s at n=%d: %v", w.Name, n, err)
+			}
+			if m.Messages() == 0 {
+				t.Fatalf("%s at n=%d: empty pattern", w.Name, n)
+			}
+		}
+	}
+}
+
+func TestTransposeIsPermutationOffDiagonal(t *testing.T) {
+	m := Transpose(16, 64) // 4x4 grid: 4 diagonal blocks stay local
+	if got, want := m.Messages(), 12; got != want {
+		t.Fatalf("messages = %d, want %d", got, want)
+	}
+	if m.MaxFanIn() != 1 {
+		t.Fatalf("transpose fan-in = %d, want 1", m.MaxFanIn())
+	}
+	// Transpose is an involution: i sends to j iff j sends to i.
+	if !m.IsSymmetricShape() {
+		t.Fatal("transpose shape must be symmetric")
+	}
+}
+
+func TestButterflyDegree(t *testing.T) {
+	m := Butterfly(32, 128)
+	if got, want := m.Messages(), 32*5; got != want {
+		t.Fatalf("messages = %d, want %d", got, want)
+	}
+	for i := range m {
+		out := 0
+		for _, v := range m[i] {
+			if v > 0 {
+				out++
+			}
+		}
+		if out != 5 {
+			t.Fatalf("node %d has %d neighbors, want lg 32 = 5", i, out)
+		}
+	}
+}
+
+func TestHotSpotFunnels(t *testing.T) {
+	m := HotSpot(64, 3, 256)
+	if m.MaxFanIn() != 63 {
+		t.Fatalf("fan-in = %d, want 63", m.MaxFanIn())
+	}
+	if m.Messages() != 63 {
+		t.Fatalf("messages = %d, want 63", m.Messages())
+	}
+	for i := range m {
+		for j, v := range m[i] {
+			if v > 0 && j != 3 {
+				t.Fatalf("unexpected message %d->%d", i, j)
+			}
+		}
+	}
+}
+
+func TestRandomPermutationProperties(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		m := RandomPermutation(32, 512, seed)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if m.Messages() != 32 {
+			t.Fatalf("seed %d: %d messages, want 32", seed, m.Messages())
+		}
+		if m.MaxFanIn() != 1 {
+			t.Fatalf("seed %d: fan-in %d, want 1", seed, m.MaxFanIn())
+		}
+	}
+	a := RandomPermutation(32, 512, 5)
+	b := RandomPermutation(32, 512, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must give the same permutation")
+	}
+	c := RandomPermutation(32, 512, 6)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should give different permutations")
+	}
+}
+
+func TestStencilNeighborCounts(t *testing.T) {
+	m := Stencil2D(64, 100) // 8x8 torus: 4 distinct neighbors everywhere
+	for i := range m {
+		out, bytes := 0, 0
+		for _, v := range m[i] {
+			if v > 0 {
+				out++
+				bytes += v
+			}
+		}
+		if out != 4 || bytes != 400 {
+			t.Fatalf("2-D node %d: %d neighbors %d bytes", i, out, bytes)
+		}
+	}
+	if !m.IsSymmetricShape() {
+		t.Fatal("stencil shape must be symmetric")
+	}
+
+	m3 := Stencil3D(64, 100) // 4x4x4 torus: 6 distinct neighbors
+	for i := range m3 {
+		out, bytes := 0, 0
+		for _, v := range m3[i] {
+			if v > 0 {
+				out++
+				bytes += v
+			}
+		}
+		if out != 6 || bytes != 600 {
+			t.Fatalf("3-D node %d: %d neighbors %d bytes", i, out, bytes)
+		}
+	}
+}
+
+func TestStencilDegenerateDimsFold(t *testing.T) {
+	// 1x2 grid: both horizontal neighbors are the same node, and the
+	// vertical wrap is the node itself (skipped). Bytes accumulate.
+	m := Stencil2D(2, 10)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m[0][1] != 20 || m[1][0] != 20 {
+		t.Fatalf("folded stencil = %v", m)
+	}
+}
+
+func TestBisectionCrossesTop(t *testing.T) {
+	m := BisectionStress(16, 256)
+	if m.Messages() != 16 {
+		t.Fatalf("messages = %d, want 16", m.Messages())
+	}
+	for i := range m {
+		if m[i][i^8] != 256 {
+			t.Fatalf("node %d missing cross-bisection message", i)
+		}
+	}
+}
+
+func TestStatsSummarizes(t *testing.T) {
+	s := HotSpot(8, 0, 100).Stats()
+	want := Stats{Procs: 8, Messages: 7, TotalBytes: 700, DensityPct: 12.5,
+		AvgBytes: 100, MaxBytes: 100, MaxFanIn: 7, Symmetric: false}
+	if s != want {
+		t.Fatalf("stats = %+v, want %+v", s, want)
+	}
+}
+
+func TestWorkloadLookup(t *testing.T) {
+	if len(WorkloadNames()) < 6 {
+		t.Fatalf("catalogue has %d workloads, want >= 6", len(WorkloadNames()))
+	}
+	for _, name := range WorkloadNames() {
+		if _, ok := WorkloadByName(name); !ok {
+			t.Fatalf("lookup failed for %q", name)
+		}
+	}
+	if _, ok := WorkloadByName("nope"); ok {
+		t.Fatal("lookup of unknown name should fail")
+	}
+}
