@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke lint vet fmt-check tables examples linkcheck
+.PHONY: build test race bench bench-smoke lint vet fmt-check tables examples linkcheck api api-check
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,19 @@ examples:
 # Verify that every relative markdown link in the repo resolves.
 linkcheck:
 	$(GO) run ./cmd/linkcheck
+
+# Snapshot the public API surface. Run after intentionally changing
+# exported cm5 declarations; CI's api job diffs against this file.
+api:
+	$(GO) doc -all ./cm5 > cm5/api.txt
+
+# Fail when the exported cm5 surface drifts from the api.txt snapshot.
+api-check:
+	@tmp="$$(mktemp)"; $(GO) doc -all ./cm5 > "$$tmp"; \
+	if ! diff -u cm5/api.txt "$$tmp"; then \
+		echo; echo "public cm5 API changed: run 'make api' and commit cm5/api.txt"; \
+		rm -f "$$tmp"; exit 1; fi; rm -f "$$tmp"; \
+	echo "api-check: cm5 surface matches cm5/api.txt"
 
 vet:
 	$(GO) vet ./...

@@ -5,30 +5,47 @@
 // Choudhary and Fox, "Scheduling Regular and Irregular Communication
 // Patterns on the CM-5" (SC 1992).
 //
+// The API has three nouns. An Algorithm is a typed identifier resolved
+// through the central registry (LookupAlgorithm, Algorithms,
+// AlgorithmsOf); it carries a Kind — exchange, broadcast, irregular, or
+// collective — and a doc string. A Job says what to run: an algorithm
+// plus a machine size and message size (NewJob), a communication
+// pattern (PatternJob), or an explicit schedule (ScheduleJob), refined
+// by functional options such as WithConfig, WithSeed, WithAsync,
+// WithObserver and WithTrace. Run executes a Job and returns a Result:
+// the simulated makespan plus schedule statistics (steps, messages,
+// bytes, max fan-in) and network metrics (per-step completion times,
+// per-level fat-tree utilization).
+//
 // Quick start:
 //
-//	cfg := cm5.DefaultConfig()
-//	pex, _ := cm5.CompleteExchange("PEX", 32, 1024, cfg)
-//	bex, _ := cm5.CompleteExchange("BEX", 32, 1024, cfg)
-//	fmt.Printf("PEX %.3f ms  BEX %.3f ms\n", pex.Millis(), bex.Millis())
+//	pex, _ := cm5.Run(cm5.NewJob(cm5.MustAlgorithm("PEX"), 32, 1024))
+//	bex, _ := cm5.Run(cm5.NewJob(cm5.MustAlgorithm("BEX"), 32, 1024))
+//	fmt.Printf("PEX %.3f ms  BEX %.3f ms\n", pex.Elapsed.Millis(), bex.Elapsed.Millis())
 //
-// For irregular patterns, build a Pattern (bytes from processor i to j),
-// schedule it, and run:
+// For irregular patterns, build a Pattern (bytes from processor i to j)
+// and run it through one of the schedulers:
 //
 //	p := cm5.SyntheticPattern(32, 0.25, 256, 1)
-//	s, _ := cm5.ScheduleIrregular("GS", p)
-//	d, _ := cm5.RunSchedule(s, cfg)
+//	gs, _ := cm5.Run(cm5.PatternJob(cm5.MustAlgorithm("GS"), p))
+//	fmt.Printf("GS: %d steps, %.3f ms\n", gs.Steps, gs.Elapsed.Millis())
+//
+// Plan builds the explicit Schedule a job would run without executing
+// it — the registry's planners are the paper's Tables 1-4 and 7-10.
 //
 // Node-level programming (the CMMD model: synchronous Send/Recv,
-// barriers, control-network collectives) is available through NewMachine.
-//
-// The collectives library (Collectives, RunCollective, CollectivePattern,
+// barriers, control-network collectives) is available through
+// NewMachine. The collectives library (Collectives, CollectivePattern,
 // GhostExchange and the Node methods Scatter, Gather, AllGather,
 // ReduceData, AllReduceData, Transpose, CShift, GhostExchange) provides
-// every collective in two interchangeable forms: a CMMD node program and
-// a schedulable traffic matrix. Workloads and WorkloadPattern expose the
-// scenario catalogue (transpose, butterfly, hotspot, permutation,
-// stencils, bisection) the experiment harness sweeps.
+// every collective both as a registered algorithm (KindCollective) and
+// as a schedulable traffic matrix. Workloads and WorkloadPattern expose
+// the scenario catalogue the experiment harness sweeps.
+//
+// The pre-registry facade (CompleteExchange, Broadcast,
+// ScheduleIrregular, RunSchedule, Shift, CrystalRouter) remains as thin
+// deprecated wrappers over Run; see ARCHITECTURE.md for the migration
+// table.
 package cm5
 
 import (
@@ -83,54 +100,88 @@ func PaperPatternP(bytesPerMsg int) Pattern { return pattern.PaperP(bytesPerMsg)
 // CompleteExchange runs the named all-to-all algorithm (LEX, PEX, REX,
 // BEX) on an n-node machine with bytesPerPair per processor pair and
 // returns the simulated time.
+//
+// Deprecated: Use Run with a registry Algorithm, which also returns
+// the schedule statistics and network metrics:
+//
+//	res, err := cm5.Run(cm5.NewJob(alg, n, bytesPerPair, cm5.WithConfig(cfg)))
 func CompleteExchange(alg string, n, bytesPerPair int, cfg Config) (Duration, error) {
-	return sched.Exchange(alg, n, bytesPerPair, cfg)
+	a, err := kindAlgorithm(alg, KindExchange)
+	if err != nil {
+		return 0, err
+	}
+	return runElapsed(NewJob(a, n, bytesPerPair, WithConfig(cfg)))
 }
 
 // Broadcast runs the named one-to-all algorithm (LIB, REB, SYS) from
 // root and returns the simulated time for all nodes to hold nbytes.
+//
+// Deprecated: Use Run with a registry Algorithm and WithRoot.
 func Broadcast(alg string, n, root, nbytes int, cfg Config) (Duration, error) {
-	return sched.Broadcast(alg, n, root, nbytes, cfg)
+	a, err := kindAlgorithm(alg, KindBroadcast)
+	if err != nil {
+		return 0, err
+	}
+	return runElapsed(NewJob(a, n, nbytes, WithRoot(root), WithConfig(cfg)))
 }
 
 // ScheduleIrregular builds a schedule for an irregular pattern with the
 // named scheduler (LS, PS, BS, GS).
+//
+// Deprecated: Use Plan with a registry Algorithm:
+//
+//	s, err := cm5.Plan(cm5.PatternJob(alg, p))
 func ScheduleIrregular(alg string, p Pattern) (*Schedule, error) {
-	return sched.Irregular(alg, p)
+	a, err := kindAlgorithm(alg, KindIrregular)
+	if err != nil {
+		return nil, err
+	}
+	return Plan(PatternJob(a, p))
 }
 
 // RunSchedule executes a schedule on a fresh machine and returns the
 // simulated completion time of the slowest node.
+//
+// Deprecated: Use Run with ScheduleJob, which also returns the
+// schedule statistics and network metrics.
 func RunSchedule(s *Schedule, cfg Config) (Duration, error) {
-	return sched.Run(s, cfg)
-}
-
-// Shift runs the circular-shift regular pattern: every processor sends
-// nbytes to (rank + offset) mod n, two-phase ordered so it completes in
-// two parallel waves under synchronous sends.
-func Shift(n, offset, nbytes int, cfg Config) (Duration, error) {
-	return sched.Run(sched.Shift(n, offset, nbytes), cfg)
-}
-
-// CrystalRouter runs an irregular pattern through the hypercube
-// store-and-forward crystal router (Fox et al. 1988) — the baseline the
-// paper cites — instead of a direct schedule.
-func CrystalRouter(p Pattern, cfg Config) (Duration, error) {
-	return sched.RunCrystalRouter(p, cfg)
+	return runElapsed(ScheduleJob(s, WithConfig(cfg)))
 }
 
 // RunScheduleAsync executes a schedule with buffered (non-blocking)
 // sends: the what-if of the paper's Section 3.1 (real CMMD 1.x was
 // synchronous-only).
+//
+// Deprecated: Use Run with ScheduleJob and WithAsync(true).
 func RunScheduleAsync(s *Schedule, cfg Config) (Duration, error) {
-	return sched.RunAsync(s, cfg)
+	return runElapsed(ScheduleJob(s, WithConfig(cfg), WithAsync(true)))
 }
 
-// ExchangeAlgorithms lists the complete-exchange algorithm names.
-func ExchangeAlgorithms() []string { return []string{"LEX", "PEX", "REX", "BEX"} }
+// Shift runs the circular-shift regular pattern: every processor sends
+// nbytes to (rank + offset) mod n, two-phase ordered so it completes in
+// two parallel waves under synchronous sends.
+//
+// Deprecated: Use Run with the SHIFT Algorithm and WithOffset.
+func Shift(n, offset, nbytes int, cfg Config) (Duration, error) {
+	return runElapsed(NewJob(MustAlgorithm("SHIFT"), n, nbytes,
+		WithOffset(offset), WithConfig(cfg)))
+}
+
+// CrystalRouter runs an irregular pattern through the hypercube
+// store-and-forward crystal router (Fox et al. 1988) — the baseline the
+// paper cites — instead of a direct schedule.
+//
+// Deprecated: Use Run with the CRYSTAL Algorithm and PatternJob.
+func CrystalRouter(p Pattern, cfg Config) (Duration, error) {
+	return runElapsed(PatternJob(MustAlgorithm("CRYSTAL"), p, WithConfig(cfg)))
+}
+
+// ExchangeAlgorithms lists the complete-exchange algorithm names — a
+// registry query for the non-auxiliary KindExchange entries.
+func ExchangeAlgorithms() []string { return sched.FamilyNames(KindExchange) }
 
 // BroadcastAlgorithms lists the broadcast algorithm names.
-func BroadcastAlgorithms() []string { return []string{"LIB", "REB", "SYS"} }
+func BroadcastAlgorithms() []string { return sched.FamilyNames(KindBroadcast) }
 
 // IrregularAlgorithms lists the irregular scheduler names.
-func IrregularAlgorithms() []string { return []string{"LS", "PS", "BS", "GS"} }
+func IrregularAlgorithms() []string { return sched.FamilyNames(KindIrregular) }

@@ -21,12 +21,19 @@ const (
 // Collectives lists the collective operations in canonical order:
 // scatter, gather, allgather, reduce, allreduce, transpose (all-to-all
 // personalized), cshift (circular shift) and halo (stencil ghost
-// exchange). Each exists in two interchangeable forms: a node program
-// run by RunCollective (the Node methods Scatter, Gather, AllGather,
+// exchange) — a registry query for the KindCollective names. Each
+// exists in two interchangeable forms: a registered algorithm run
+// through Run (backed by the Node methods Scatter, Gather, AllGather,
 // ReduceData, AllReduceData, Transpose, CShift and GhostExchange), and
 // the equivalent traffic matrix from CollectivePattern, which can be
-// scheduled with ScheduleIrregular and executed with RunSchedule.
-func Collectives() []string { return cmmd.CollectiveNames() }
+// planned with an irregular scheduler and executed the same way.
+func Collectives() []string {
+	var out []string
+	for _, a := range AlgorithmsOf(KindCollective) {
+		out = append(out, a.Name())
+	}
+	return out
+}
 
 // CollectivePattern returns the communication matrix of the named
 // collective on n nodes with nbytes per block: the collective's logical
@@ -42,8 +49,15 @@ func CollectivePattern(name string, n, nbytes int) (Pattern, error) {
 // RunCollective executes the named collective as a CMMD node program on
 // a fresh n-node machine (n a power of two) and returns the simulated
 // completion time of the slowest node.
+//
+// Deprecated: Use Run with a KindCollective registry Algorithm, which
+// also returns message counts and network metrics.
 func RunCollective(name string, n, nbytes int, cfg Config) (Duration, error) {
-	return cmmd.RunCollective(name, n, nbytes, cfg)
+	a, err := kindAlgorithm(name, KindCollective)
+	if err != nil {
+		return 0, err
+	}
+	return runElapsed(NewJob(a, n, nbytes, WithConfig(cfg)))
 }
 
 // GhostExchange runs the halo exchange of an arbitrary symmetric-shape

@@ -1,0 +1,218 @@
+package cm5_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/cm5"
+)
+
+// The deprecated facade must be a thin veneer: every wrapper returns
+// exactly what the equivalent Run(Job) call returns, for every
+// registered algorithm of its kind, at N=16.
+
+const compatN = 16
+
+func TestCompatCompleteExchange(t *testing.T) {
+	cfg := cm5.DefaultConfig()
+	algs := cm5.ExchangeAlgorithms()
+	if want := []string{"LEX", "PEX", "REX", "BEX"}; !reflect.DeepEqual(algs, want) {
+		t.Fatalf("ExchangeAlgorithms() = %v, want %v", algs, want)
+	}
+	for _, name := range algs {
+		old, err := cm5.CompleteExchange(name, compatN, 512, cfg)
+		if err != nil {
+			t.Fatalf("CompleteExchange(%s): %v", name, err)
+		}
+		res, err := cm5.Run(cm5.NewJob(cm5.MustAlgorithm(name), compatN, 512, cm5.WithConfig(cfg)))
+		if err != nil {
+			t.Fatalf("Run(%s): %v", name, err)
+		}
+		if old != res.Elapsed {
+			t.Errorf("%s: wrapper %v != Run %v", name, old, res.Elapsed)
+		}
+	}
+}
+
+func TestCompatBroadcast(t *testing.T) {
+	cfg := cm5.DefaultConfig()
+	algs := cm5.BroadcastAlgorithms()
+	if want := []string{"LIB", "REB", "SYS"}; !reflect.DeepEqual(algs, want) {
+		t.Fatalf("BroadcastAlgorithms() = %v, want %v", algs, want)
+	}
+	for _, name := range algs {
+		for _, root := range []int{0, 5} {
+			old, err := cm5.Broadcast(name, compatN, root, 2048, cfg)
+			if err != nil {
+				t.Fatalf("Broadcast(%s, root %d): %v", name, root, err)
+			}
+			res, err := cm5.Run(cm5.NewJob(cm5.MustAlgorithm(name), compatN, 2048,
+				cm5.WithRoot(root), cm5.WithConfig(cfg)))
+			if err != nil {
+				t.Fatalf("Run(%s, root %d): %v", name, root, err)
+			}
+			if old != res.Elapsed {
+				t.Errorf("%s root %d: wrapper %v != Run %v", name, root, old, res.Elapsed)
+			}
+		}
+	}
+}
+
+func TestCompatIrregular(t *testing.T) {
+	cfg := cm5.DefaultConfig()
+	algs := cm5.IrregularAlgorithms()
+	if want := []string{"LS", "PS", "BS", "GS"}; !reflect.DeepEqual(algs, want) {
+		t.Fatalf("IrregularAlgorithms() = %v, want %v", algs, want)
+	}
+	p := cm5.SyntheticPattern(compatN, 0.4, 256, 3)
+	for _, name := range algs {
+		s, err := cm5.ScheduleIrregular(name, p)
+		if err != nil {
+			t.Fatalf("ScheduleIrregular(%s): %v", name, err)
+		}
+		planned, err := cm5.Plan(cm5.PatternJob(cm5.MustAlgorithm(name), p))
+		if err != nil {
+			t.Fatalf("Plan(%s): %v", name, err)
+		}
+		if !reflect.DeepEqual(s, planned) {
+			t.Errorf("%s: ScheduleIrregular and Plan disagree", name)
+		}
+		old, err := cm5.RunSchedule(s, cfg)
+		if err != nil {
+			t.Fatalf("RunSchedule(%s): %v", name, err)
+		}
+		res, err := cm5.Run(cm5.PatternJob(cm5.MustAlgorithm(name), p, cm5.WithConfig(cfg)))
+		if err != nil {
+			t.Fatalf("Run(%s): %v", name, err)
+		}
+		if old != res.Elapsed {
+			t.Errorf("%s: RunSchedule %v != Run %v", name, old, res.Elapsed)
+		}
+		if res.Steps != s.NumSteps() || res.Messages != s.Messages() ||
+			res.TotalBytes != s.TotalBytes() || res.MaxFanIn != s.MaxFanIn() {
+			t.Errorf("%s: Result schedule stats disagree with the planned schedule", name)
+		}
+	}
+}
+
+func TestCompatRunScheduleAsync(t *testing.T) {
+	cfg := cm5.DefaultConfig()
+	s, err := cm5.Plan(cm5.NewJob(cm5.MustAlgorithm("LEX"), compatN, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := cm5.RunScheduleAsync(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cm5.Run(cm5.ScheduleJob(s, cm5.WithConfig(cfg), cm5.WithAsync(true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != res.Elapsed {
+		t.Errorf("RunScheduleAsync %v != Run %v", old, res.Elapsed)
+	}
+	sync, err := cm5.Run(cm5.ScheduleJob(s, cm5.WithConfig(cfg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed >= sync.Elapsed {
+		t.Errorf("buffered LEX (%v) should beat synchronous LEX (%v)", res.Elapsed, sync.Elapsed)
+	}
+}
+
+func TestCompatShift(t *testing.T) {
+	cfg := cm5.DefaultConfig()
+	for _, offset := range []int{1, 3, compatN - 1} {
+		old, err := cm5.Shift(compatN, offset, 1024, cfg)
+		if err != nil {
+			t.Fatalf("Shift(offset %d): %v", offset, err)
+		}
+		res, err := cm5.Run(cm5.NewJob(cm5.MustAlgorithm("SHIFT"), compatN, 1024,
+			cm5.WithOffset(offset), cm5.WithConfig(cfg)))
+		if err != nil {
+			t.Fatalf("Run(SHIFT, offset %d): %v", offset, err)
+		}
+		if old != res.Elapsed {
+			t.Errorf("offset %d: Shift %v != Run %v", offset, old, res.Elapsed)
+		}
+	}
+}
+
+func TestCompatCrystalRouter(t *testing.T) {
+	cfg := cm5.DefaultConfig()
+	p := cm5.SyntheticPattern(compatN, 0.3, 512, 9)
+	old, err := cm5.CrystalRouter(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cm5.Run(cm5.PatternJob(cm5.MustAlgorithm("CRYSTAL"), p, cm5.WithConfig(cfg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != res.Elapsed {
+		t.Errorf("CrystalRouter %v != Run %v", old, res.Elapsed)
+	}
+}
+
+func TestCompatRunCollective(t *testing.T) {
+	cfg := cm5.DefaultConfig()
+	for _, name := range cm5.Collectives() {
+		old, err := cm5.RunCollective(name, compatN, 256, cfg)
+		if err != nil {
+			t.Fatalf("RunCollective(%s): %v", name, err)
+		}
+		res, err := cm5.Run(cm5.NewJob(cm5.MustAlgorithm(name), compatN, 256, cm5.WithConfig(cfg)))
+		if err != nil {
+			t.Fatalf("Run(%s): %v", name, err)
+		}
+		if old != res.Elapsed {
+			t.Errorf("%s: RunCollective %v != Run %v", name, old, res.Elapsed)
+		}
+	}
+}
+
+// The wrappers keep the old contract: family helpers reject names of
+// other kinds and the auxiliary algorithms, with the one typed error.
+func TestCompatWrapperErrors(t *testing.T) {
+	cfg := cm5.DefaultConfig()
+	cases := []struct {
+		label string
+		err   func() error
+	}{
+		{"CompleteExchange unknown", func() error {
+			_, err := cm5.CompleteExchange("QEX", compatN, 1, cfg)
+			return err
+		}},
+		{"CompleteExchange wrong kind", func() error {
+			_, err := cm5.CompleteExchange("GS", compatN, 1, cfg)
+			return err
+		}},
+		{"CompleteExchange aux", func() error {
+			_, err := cm5.CompleteExchange("SHIFT", compatN, 1, cfg)
+			return err
+		}},
+		{"Broadcast unknown", func() error {
+			_, err := cm5.Broadcast("XYZ", compatN, 0, 1, cfg)
+			return err
+		}},
+		{"ScheduleIrregular unknown", func() error {
+			_, err := cm5.ScheduleIrregular("ZS", cm5.SyntheticPattern(compatN, 0.1, 1, 1))
+			return err
+		}},
+		{"ScheduleIrregular aux", func() error {
+			_, err := cm5.ScheduleIrregular("CRYSTAL", cm5.SyntheticPattern(compatN, 0.1, 1, 1))
+			return err
+		}},
+		{"RunCollective unknown", func() error {
+			_, err := cm5.RunCollective("alltoallv", compatN, 1, cfg)
+			return err
+		}},
+	}
+	for _, c := range cases {
+		if err := c.err(); !errors.Is(err, cm5.ErrUnknownAlgorithm) {
+			t.Errorf("%s: got %v, want ErrUnknownAlgorithm", c.label, err)
+		}
+	}
+}

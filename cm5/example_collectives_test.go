@@ -150,15 +150,14 @@ func ExampleNode_GhostExchange() {
 	// node 5's stencil neighbors: [1 4 6 9]
 }
 
-// ExampleRunCollective times a collective as a direct CMMD node program,
-// and ExampleCollectivePattern shows the same traffic as a schedulable
-// matrix — the two interchangeable forms of every collective.
-func ExampleRunCollective() {
-	cfg := cm5.DefaultConfig()
-	direct, _ := cm5.RunCollective("allreduce", 32, 1024, cfg)
-	reduce, _ := cm5.RunCollective("reduce", 32, 1024, cfg)
-	fmt.Println("allreduce costs more than reduce:", direct > reduce)
-	fmt.Println("both complete:", direct > 0 && reduce > 0)
+// ExampleRun_collective times a collective as a direct CMMD node
+// program through the registry — the collectives are KindCollective
+// algorithms, interchangeable with their traffic-matrix form.
+func ExampleRun_collective() {
+	allreduce, _ := cm5.Run(cm5.NewJob(cm5.MustAlgorithm("allreduce"), 32, 1024))
+	reduce, _ := cm5.Run(cm5.NewJob(cm5.MustAlgorithm("reduce"), 32, 1024))
+	fmt.Println("allreduce costs more than reduce:", allreduce.Elapsed > reduce.Elapsed)
+	fmt.Println("both complete:", allreduce.Elapsed > 0 && reduce.Elapsed > 0)
 	// Output:
 	// allreduce costs more than reduce: true
 	// both complete: true
@@ -168,7 +167,7 @@ func ExampleRunCollective() {
 // the paper's greedy scheduler instead of running its node program.
 func ExampleCollectivePattern() {
 	p, _ := cm5.CollectivePattern("allreduce", 16, 256)
-	s, _ := cm5.ScheduleIrregular("GS", p)
+	s, _ := cm5.Plan(cm5.PatternJob(cm5.MustAlgorithm("GS"), p))
 	fmt.Println("butterfly messages:", p.Messages())
 	fmt.Println("greedy schedule steps:", s.NumSteps())
 	// Output:

@@ -1,31 +1,59 @@
 package cm5_test
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/cm5"
 )
 
-// ExampleCompleteExchange reproduces the core comparison of the paper's
-// Figure 5: balanced exchange beats pairwise exchange for large messages
-// on a 32-node machine.
-func ExampleCompleteExchange() {
-	cfg := cm5.DefaultConfig()
-	pex, _ := cm5.CompleteExchange("PEX", 32, 2048, cfg)
-	bex, _ := cm5.CompleteExchange("BEX", 32, 2048, cfg)
-	fmt.Println("BEX beats PEX at 2048 B:", bex < pex)
+// ExampleRun reproduces the core comparison of the paper's Figure 5:
+// balanced exchange beats pairwise exchange for large messages on a
+// 32-node machine.
+func ExampleRun() {
+	pex, _ := cm5.Run(cm5.NewJob(cm5.MustAlgorithm("PEX"), 32, 2048))
+	bex, _ := cm5.Run(cm5.NewJob(cm5.MustAlgorithm("BEX"), 32, 2048))
+	fmt.Println("BEX beats PEX at 2048 B:", bex.Elapsed < pex.Elapsed)
 	// Output:
 	// BEX beats PEX at 2048 B: true
 }
 
-// ExampleScheduleIrregular schedules the paper's Table 6 pattern with
-// the greedy algorithm; it completes in the 6 steps of Table 10.
-func ExampleScheduleIrregular() {
-	p := cm5.PaperPatternP(1)
-	s, _ := cm5.ScheduleIrregular("GS", p)
+// ExampleRun_pattern schedules and runs the paper's Table 6 pattern
+// with the greedy algorithm; the Result carries the schedule statistics
+// alongside the makespan — it completes in the 6 steps of Table 10.
+func ExampleRun_pattern() {
+	p := cm5.PaperPatternP(256)
+	res, _ := cm5.Run(cm5.PatternJob(cm5.MustAlgorithm("GS"), p))
+	fmt.Println("steps:", res.Steps)
+	fmt.Println("messages:", res.Messages)
+	fmt.Println("max fan-in:", res.MaxFanIn)
+	fmt.Println("per-step times recorded:", len(res.StepTimes) == res.Steps)
+	// Output:
+	// steps: 6
+	// messages: 34
+	// max fan-in: 1
+	// per-step times recorded: true
+}
+
+// ExamplePlan builds an explicit schedule without running it — the
+// registry planners are the paper's Tables 1-4 and 7-10.
+func ExamplePlan() {
+	s, _ := cm5.Plan(cm5.PatternJob(cm5.MustAlgorithm("GS"), cm5.PaperPatternP(1)))
 	fmt.Println("steps:", s.NumSteps())
 	// Output:
 	// steps: 6
+}
+
+// ExampleLookupAlgorithm resolves typed algorithm identifiers through
+// the registry; a miss wraps ErrUnknownAlgorithm.
+func ExampleLookupAlgorithm() {
+	a, _ := cm5.LookupAlgorithm("BEX")
+	fmt.Println(a.Name(), "is a", a.Kind(), "algorithm")
+	_, err := cm5.LookupAlgorithm("QEX")
+	fmt.Println("unknown:", errors.Is(err, cm5.ErrUnknownAlgorithm))
+	// Output:
+	// BEX is a exchange algorithm
+	// unknown: true
 }
 
 // ExampleNewMachine programs the simulated nodes directly in the CMMD
@@ -44,17 +72,17 @@ func ExampleNewMachine() {
 	// sum of ranks: 28
 }
 
-// ExampleBroadcast shows the Figure 10 crossover: the control-network
-// system broadcast wins for small messages, recursive broadcast for
-// large ones.
-func ExampleBroadcast() {
-	cfg := cm5.DefaultConfig()
-	sysSmall, _ := cm5.Broadcast("SYS", 32, 0, 64, cfg)
-	rebSmall, _ := cm5.Broadcast("REB", 32, 0, 64, cfg)
-	sysBig, _ := cm5.Broadcast("SYS", 32, 0, 8192, cfg)
-	rebBig, _ := cm5.Broadcast("REB", 32, 0, 8192, cfg)
-	fmt.Println("system wins small:", sysSmall < rebSmall)
-	fmt.Println("recursive wins large:", rebBig < sysBig)
+// ExampleRun_broadcast shows the Figure 10 crossover: the
+// control-network system broadcast wins for small messages, recursive
+// broadcast for large ones.
+func ExampleRun_broadcast() {
+	sys, reb := cm5.MustAlgorithm("SYS"), cm5.MustAlgorithm("REB")
+	sysSmall, _ := cm5.Run(cm5.NewJob(sys, 32, 64))
+	rebSmall, _ := cm5.Run(cm5.NewJob(reb, 32, 64))
+	sysBig, _ := cm5.Run(cm5.NewJob(sys, 32, 8192))
+	rebBig, _ := cm5.Run(cm5.NewJob(reb, 32, 8192))
+	fmt.Println("system wins small:", sysSmall.Elapsed < rebSmall.Elapsed)
+	fmt.Println("recursive wins large:", rebBig.Elapsed < sysBig.Elapsed)
 	// Output:
 	// system wins small: true
 	// recursive wins large: true

@@ -1,0 +1,119 @@
+package cm5
+
+import (
+	"repro/internal/sched"
+)
+
+// Kind classifies a registered algorithm: KindExchange (regular
+// all-to-all and other regular patterns), KindBroadcast (one-to-all),
+// KindIrregular (schedulers for arbitrary communication matrices), and
+// KindCollective (CMMD collective node programs).
+type Kind = sched.Kind
+
+// The four algorithm kinds.
+const (
+	KindExchange   = sched.KindExchange
+	KindBroadcast  = sched.KindBroadcast
+	KindIrregular  = sched.KindIrregular
+	KindCollective = sched.KindCollective
+)
+
+// ErrUnknownAlgorithm is wrapped by every registry miss, whichever
+// entry point hit it: errors.Is(err, ErrUnknownAlgorithm) detects it,
+// and the error text lists the registry's known names.
+var ErrUnknownAlgorithm = sched.ErrUnknownAlgorithm
+
+// Algorithm is a typed identifier for one registered scheduling
+// algorithm. The zero value is invalid; obtain one from
+// LookupAlgorithm, MustAlgorithm, Algorithms or AlgorithmsOf and pass
+// it to NewJob or PatternJob.
+type Algorithm struct {
+	info *sched.Info
+}
+
+// Name returns the registry name, e.g. "PEX" or "allgather".
+func (a Algorithm) Name() string {
+	if a.info == nil {
+		return ""
+	}
+	return a.info.Name
+}
+
+// Kind returns the algorithm's kind.
+func (a Algorithm) Kind() Kind {
+	if a.info == nil {
+		return ""
+	}
+	return a.info.Kind
+}
+
+// Doc returns the one-line registry description, with the paper
+// reference where one exists.
+func (a Algorithm) Doc() string {
+	if a.info == nil {
+		return ""
+	}
+	return a.info.Doc
+}
+
+// String returns the registry name.
+func (a Algorithm) String() string { return a.Name() }
+
+// IsZero reports whether a is the invalid zero Algorithm.
+func (a Algorithm) IsZero() bool { return a.info == nil }
+
+// LookupAlgorithm resolves a name (case-insensitively) through the
+// registry. A miss returns an error wrapping ErrUnknownAlgorithm that
+// lists every known name.
+func LookupAlgorithm(name string) (Algorithm, error) {
+	inf, err := sched.Lookup(name)
+	if err != nil {
+		return Algorithm{}, err
+	}
+	return Algorithm{info: inf}, nil
+}
+
+// MustAlgorithm is LookupAlgorithm for names known at compile time; it
+// panics on a miss.
+func MustAlgorithm(name string) Algorithm {
+	a, err := LookupAlgorithm(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Algorithms returns every registered algorithm in canonical order:
+// the paper's exchange, broadcast and irregular families, the
+// auxiliary algorithms (SHIFT, CRYSTAL, GSR), then the collectives.
+func Algorithms() []Algorithm {
+	infos := sched.Algorithms()
+	out := make([]Algorithm, len(infos))
+	for i, inf := range infos {
+		out[i] = Algorithm{info: inf}
+	}
+	return out
+}
+
+// AlgorithmsOf returns the registered algorithms of one kind, in
+// canonical order.
+func AlgorithmsOf(kind Kind) []Algorithm {
+	var out []Algorithm
+	for _, a := range Algorithms() {
+		if a.Kind() == kind {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// kindAlgorithm resolves a name for one of the deprecated
+// family-specific wrappers: the name must be a non-auxiliary member of
+// the kind, exactly as the old facade accepted.
+func kindAlgorithm(name string, kind Kind) (Algorithm, error) {
+	inf, err := sched.KindLookup(name, kind)
+	if err != nil {
+		return Algorithm{}, err
+	}
+	return Algorithm{info: inf}, nil
+}

@@ -41,8 +41,10 @@ import (
 	"os"
 	"os/signal"
 	"regexp"
+	"strings"
 	"time"
 
+	"repro/cm5"
 	"repro/internal/exp"
 	"repro/internal/network"
 )
@@ -166,7 +168,8 @@ func run(args []string, procs, maxSize, parallel int, seed int64, runPat string,
 		case "ablation-crystal":
 			specs = append(specs, exp.AblationCrystalSpec(cfg))
 		default:
-			return fmt.Errorf("unknown experiment %q", name)
+			return fmt.Errorf("unknown experiment %q (known: schedules %s ablations all)",
+				name, strings.Join(tableExperiments, " "))
 		}
 	}
 
@@ -176,6 +179,23 @@ func run(args []string, procs, maxSize, parallel int, seed int64, runPat string,
 		re, err := regexp.Compile(runPat)
 		if err != nil {
 			return fmt.Errorf("bad -run pattern: %w", err)
+		}
+		selected := 0
+		for _, s := range specs {
+			for _, c := range s.Cells {
+				if re.MatchString(c.Key) {
+					selected++
+				}
+			}
+		}
+		if selected == 0 {
+			var algs []string
+			for _, a := range cm5.Algorithms() {
+				algs = append(algs, a.Name())
+			}
+			return fmt.Errorf("-run %q matches no cell of the selected experiments; "+
+				"keys look like fig5/PEX/N32/256B and name the registry's algorithms (known: %s)",
+				runPat, strings.Join(algs, " "))
 		}
 		runner.Filter = re
 	}

@@ -1,117 +1,131 @@
-// Command cmtrace runs one complete-exchange or irregular schedule with
-// message tracing enabled and reports where the time went: per-node
-// rendezvous waiting and per-level fat-tree utilization. This is the
-// diagnostic view behind the paper's scheduling arguments — LEX's wait
-// explosion and PEX's bursty use of the thinned upper tree are directly
-// visible.
+// Command cmtrace runs one algorithm from the cm5 registry with message
+// tracing enabled and reports where the time went: per-node rendezvous
+// waiting, per-step completion times, and per-level fat-tree
+// utilization. This is the diagnostic view behind the paper's
+// scheduling arguments — LEX's wait explosion and PEX's bursty use of
+// the thinned upper tree are directly visible.
 //
 // Usage:
 //
 //	cmtrace -alg lex -n 32 -bytes 256
 //	cmtrace -alg gs -n 32 -density 0.25 -bytes 256
 //	cmtrace -alg gs -n 64 -pattern hotspot -nodes
+//	cmtrace -alg bex -n 32 -bytes 1024 -steps
 //
-// With -pattern, the irregular schedulers trace a workload from the
-// scenario catalogue (transpose, butterfly, hotspot, permutation,
-// stencil2d, stencil3d, bisection) instead of a synthetic random
-// pattern. -nodes appends the per-node rendezvous wait table.
+// -alg accepts any registered algorithm name (see cm5.Algorithms):
+// exchanges and broadcasts take -n and -bytes, the irregular schedulers
+// trace either a synthetic pattern (-density, -seed) or a catalogue
+// workload (-pattern), and the collectives take -bytes per block.
+// -steps appends the per-step completion table (schedule-backed
+// algorithms only); -nodes appends the per-node rendezvous wait table.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
-	"strings"
 
-	"repro/internal/cmmd"
-	"repro/internal/network"
-	"repro/internal/pattern"
-	"repro/internal/sched"
+	"repro/cm5"
 )
 
 func main() {
-	alg := flag.String("alg", "pex", "lex|pex|bex (regular) or ls|ps|bs|gs (irregular)")
-	n := flag.Int("n", 32, "processor count (power of two)")
-	bytes := flag.Int("bytes", 256, "bytes per message")
-	density := flag.Float64("density", 0.5, "density for irregular patterns")
-	seed := flag.Int64("seed", 1, "pattern seed")
-	workload := flag.String("pattern", "", "catalogue workload for the irregular schedulers "+
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cmtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cmtrace", flag.ContinueOnError)
+	alg := fs.String("alg", "pex", "any registered algorithm (lex|pex|rex|bex, lib|reb|sys, ls|ps|bs|gs, collectives)")
+	n := fs.Int("n", 32, "processor count (power of two)")
+	bytes := fs.Int("bytes", 256, "bytes per message")
+	density := fs.Float64("density", 0.5, "density for irregular patterns")
+	offset := fs.Int("offset", 1, "offset for the shift algorithm")
+	seed := fs.Int64("seed", 1, "pattern seed")
+	workload := fs.String("pattern", "", "catalogue workload for the irregular schedulers "+
 		"(transpose|butterfly|hotspot|permutation|stencil2d|stencil3d|bisection); empty = synthetic")
-	perNode := flag.Bool("nodes", false, "print the per-node wait table")
-	flag.Parse()
+	perStep := fs.Bool("steps", false, "print the per-step completion table")
+	perNode := fs.Bool("nodes", false, "print the per-node wait table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	var s *sched.Schedule
-	switch strings.ToUpper(*alg) {
-	case "LEX":
-		s = sched.LEX(*n, *bytes)
-	case "PEX":
-		s = sched.PEX(*n, *bytes)
-	case "BEX":
-		s = sched.BEX(*n, *bytes)
-	case "LS", "PS", "BS", "GS":
-		var p pattern.Matrix
+	a, err := cm5.LookupAlgorithm(*alg)
+	if err != nil {
+		return err
+	}
+
+	var job cm5.Job
+	switch a.Kind() {
+	case cm5.KindIrregular:
+		var p cm5.Pattern
 		if *workload != "" {
-			w, ok := pattern.WorkloadByName(*workload)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "cmtrace: unknown workload %q (have %s)\n",
-					*workload, strings.Join(pattern.WorkloadNames(), " "))
-				os.Exit(1)
+			p, err = cm5.WorkloadPattern(*workload, *n, *bytes, *seed)
+			if err != nil {
+				return err
 			}
-			if *n < 2 || *n&(*n-1) != 0 {
-				fmt.Fprintf(os.Stderr, "cmtrace: -n %d must be a power of two >= 2\n", *n)
-				os.Exit(1)
-			}
-			p = w.Gen(*n, *bytes, *seed)
 		} else {
-			p = pattern.Synthetic(*n, *density, *bytes, *seed)
+			p = cm5.SyntheticPattern(*n, *density, *bytes, *seed)
 		}
-		var err error
-		s, err = sched.Irregular(strings.ToUpper(*alg), p)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cmtrace:", err)
-			os.Exit(1)
-		}
+		job = cm5.PatternJob(a, p, cm5.WithTrace(), cm5.WithSeed(*seed))
 	default:
-		fmt.Fprintln(os.Stderr, "cmtrace: unknown algorithm", *alg)
-		os.Exit(1)
+		job = cm5.NewJob(a, *n, *bytes, cm5.WithTrace(), cm5.WithOffset(*offset))
 	}
 
-	cfg := network.DefaultConfig()
-	m, err := cmmd.NewMachine(*n, cfg)
+	res, err := cm5.Run(job)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cmtrace:", err)
-		os.Exit(1)
-	}
-	m.EnableTrace()
-	elapsed, err := sched.RunOn(m, s, sched.DataHooks{})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cmtrace:", err)
-		os.Exit(1)
+		return err
 	}
 
-	tr := m.Trace()
-	fmt.Printf("%s on %d nodes: %d steps, %d messages, makespan %.3f ms\n",
-		s.Algorithm, *n, s.NumSteps(), len(tr.Events), elapsed.Millis())
-	fmt.Printf("total rendezvous wait: %.3f ms (%.1f ms per node average)\n",
-		tr.TotalWait().Millis(), tr.TotalWait().Millis()/float64(*n))
+	fmt.Fprintf(out, "%s on %d nodes: %d steps, %d messages, makespan %.3f ms\n",
+		res.Algorithm.Name(), *n, res.Steps, len(res.Trace.Events), res.Elapsed.Millis())
+	fmt.Fprintf(out, "total rendezvous wait: %.3f ms (%.1f ms per node average)\n",
+		res.Trace.TotalWait().Millis(), res.Trace.TotalWait().Millis()/float64(*n))
 
-	util := m.Net().LevelUtilization(elapsed)
+	printLevelUtilization(out, res)
+	if *perStep {
+		printStepTimes(out, res)
+	}
+	if *perNode {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, res.Trace.Summary(*n))
+	}
+	return nil
+}
+
+// printLevelUtilization renders Result.LevelUtilization as the
+// per-level fat-tree table.
+func printLevelUtilization(out io.Writer, res cm5.Result) {
 	var levels []int
-	for l := range util {
+	for l := range res.LevelUtilization {
 		levels = append(levels, l)
 	}
 	sort.Ints(levels)
-	fmt.Println("\nfat-tree utilization by level (fraction of level capacity x makespan):")
+	fmt.Fprintln(out, "\nfat-tree utilization by level (fraction of level capacity x makespan):")
 	for _, l := range levels {
 		name := fmt.Sprintf("level %d", l)
 		if l == 0 {
 			name = "node links"
 		}
-		fmt.Printf("  %-10s  %5.1f%%\n", name, 100*util[l])
+		fmt.Fprintf(out, "  %-10s  %5.1f%%\n", name, 100*res.LevelUtilization[l])
 	}
-	if *perNode {
-		fmt.Println()
-		fmt.Print(tr.Summary(*n))
+}
+
+// printStepTimes renders Result.StepTimes: when the last node finished
+// each step, and the increment over the previous step.
+func printStepTimes(out io.Writer, res cm5.Result) {
+	if len(res.StepTimes) == 0 {
+		fmt.Fprintln(out, "\nno per-step times: program-backed algorithm with no static schedule")
+		return
+	}
+	fmt.Fprintln(out, "\nstep completion times:")
+	fmt.Fprintf(out, "  %4s  %12s  %12s\n", "step", "done at", "step cost")
+	prev := cm5.Duration(0)
+	for i, at := range res.StepTimes {
+		fmt.Fprintf(out, "  %4d  %9.3f ms  %9.3f ms\n", i+1, at.Millis(), (at - prev).Millis())
+		prev = at
 	}
 }

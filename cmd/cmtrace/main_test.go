@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// The simulator is fully deterministic, so cmtrace's reports are too:
+// each case must match its golden file byte for byte. The per-level
+// fat-tree utilization table is fed from Result.LevelUtilization, the
+// -steps table from Result.StepTimes, and the -nodes table from
+// Result.Trace.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		golden string
+		args   []string
+	}{
+		{"pex_n16_256.golden", []string{"-alg", "pex", "-n", "16", "-bytes", "256"}},
+		{"bex_n16_1024_steps.golden", []string{"-alg", "bex", "-n", "16", "-bytes", "1024", "-steps"}},
+		{"gs_hotspot_n16.golden", []string{"-alg", "gs", "-n", "16", "-pattern", "hotspot", "-bytes", "256", "-nodes"}},
+	}
+	for _, c := range cases {
+		t.Run(c.golden, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(c.args, &out); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", c.golden)
+			if *update {
+				if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output differs from %s (rerun with -update to regenerate):\ngot:\n%s\nwant:\n%s",
+					path, out.Bytes(), want)
+			}
+		})
+	}
+}
+
+func TestUnknownAlgorithmListsRegistry(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-alg", "bogus"}, &out)
+	if err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+	for _, name := range []string{"LEX", "GS", "allgather"} {
+		if !bytes.Contains([]byte(err.Error()), []byte(name)) {
+			t.Errorf("error should list registry name %s: %v", name, err)
+		}
+	}
+}

@@ -15,27 +15,24 @@ func main() {
 	cfg := cm5.DefaultConfig()
 	const n, nbytes = 32, 1024
 
+	gs := cm5.MustAlgorithm("GS")
 	fmt.Printf("Collectives on a simulated %d-node CM-5, %d B blocks (times in ms)\n\n", n, nbytes)
 	fmt.Printf("%-10s  %10s  %12s  %6s\n", "collective", "CMMD prog", "GS schedule", "msgs")
-	for _, name := range cm5.Collectives() {
-		direct, err := cm5.RunCollective(name, n, nbytes, cfg)
+	for _, a := range cm5.AlgorithmsOf(cm5.KindCollective) {
+		direct, err := cm5.Run(cm5.NewJob(a, n, nbytes, cm5.WithConfig(cfg)))
 		if err != nil {
 			log.Fatal(err)
 		}
-		p, err := cm5.CollectivePattern(name, n, nbytes)
+		p, err := cm5.CollectivePattern(a.Name(), n, nbytes)
 		if err != nil {
 			log.Fatal(err)
 		}
-		s, err := cm5.ScheduleIrregular("GS", p)
-		if err != nil {
-			log.Fatal(err)
-		}
-		scheduled, err := cm5.RunSchedule(s, cfg)
+		scheduled, err := cm5.Run(cm5.PatternJob(gs, p, cm5.WithConfig(cfg)))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-10s  %10.3f  %12.3f  %6d\n",
-			name, direct.Millis(), scheduled.Millis(), p.Messages())
+			a.Name(), direct.Elapsed.Millis(), scheduled.Elapsed.Millis(), scheduled.Messages)
 	}
 
 	// The data-carrying side of the same API: a global vector sum.

@@ -328,6 +328,16 @@ func (m *Machine) Run(program func(*Node)) (sim.Time, error) {
 	return m.eng.Run()
 }
 
+// UserBytesSent returns the total user bytes sent across all nodes.
+// Valid after Run.
+func (m *Machine) UserBytesSent() int64 {
+	var total int64
+	for _, n := range m.nodes {
+		total += n.sentUser
+	}
+	return total
+}
+
 // NodeFinishTimes returns each node's program completion time. Valid
 // after Run.
 func (m *Machine) NodeFinishTimes() []sim.Time {

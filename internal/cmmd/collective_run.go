@@ -91,6 +91,21 @@ func CollectivePattern(name string, n, nbytes int) (pattern.Matrix, error) {
 // fresh n-node machine with nbytes per block and returns the simulated
 // completion time of the slowest node.
 func RunCollective(name string, n, nbytes int, cfg network.Config) (sim.Time, error) {
+	program, err := CollectiveProgram(name, n, nbytes)
+	if err != nil {
+		return 0, err
+	}
+	m, err := NewMachine(n, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return m.Run(program)
+}
+
+// CollectiveProgram returns the node program of the named collective for
+// an n-node machine with nbytes per block, so callers can run it on a
+// machine they configured themselves (tracing, observers, async sends).
+func CollectiveProgram(name string, n, nbytes int) (func(*Node), error) {
 	var program func(*Node)
 	switch name {
 	case "scatter":
@@ -123,32 +138,38 @@ func RunCollective(name string, n, nbytes int, cfg network.Config) (sim.Time, er
 	case "cshift":
 		program = func(nd *Node) { nd.CShift(1, make([]byte, nbytes)) }
 	case "halo":
-		return RunGhostExchange(pattern.Stencil2D(n, nbytes), cfg)
+		return GhostExchangeProgram(pattern.Stencil2D(n, nbytes))
 	default:
-		return 0, fmt.Errorf("cmmd: unknown collective %q", name)
+		return nil, fmt.Errorf("cmmd: unknown collective %q", name)
 	}
-	m, err := NewMachine(n, cfg)
-	if err != nil {
-		return 0, err
-	}
-	return m.Run(program)
+	return program, nil
 }
 
 // RunGhostExchange executes the halo exchange for an arbitrary
 // symmetric-shape pattern as a node program on a fresh machine: node i
 // sends p[i][j] bytes to every neighbor j and receives p[j][i] back.
 func RunGhostExchange(p pattern.Matrix, cfg network.Config) (sim.Time, error) {
-	if err := p.Validate(); err != nil {
+	program, err := GhostExchangeProgram(p)
+	if err != nil {
 		return 0, err
-	}
-	if !p.IsSymmetricShape() {
-		return 0, fmt.Errorf("cmmd: ghost exchange needs a symmetric-shape pattern")
 	}
 	m, err := NewMachine(p.N(), cfg)
 	if err != nil {
 		return 0, err
 	}
-	return m.Run(func(nd *Node) {
+	return m.Run(program)
+}
+
+// GhostExchangeProgram returns the halo-exchange node program for an
+// arbitrary symmetric-shape pattern.
+func GhostExchangeProgram(p pattern.Matrix) (func(*Node), error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.IsSymmetricShape() {
+		return nil, fmt.Errorf("cmmd: ghost exchange needs a symmetric-shape pattern")
+	}
+	return func(nd *Node) {
 		row := p[nd.ID()]
 		out := make([][]byte, nd.N())
 		for j, b := range row {
@@ -157,5 +178,5 @@ func RunGhostExchange(p pattern.Matrix, cfg network.Config) (sim.Time, error) {
 			}
 		}
 		nd.GhostExchange(out)
-	})
+	}, nil
 }

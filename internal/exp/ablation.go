@@ -4,9 +4,9 @@ import (
 	"context"
 	"fmt"
 
+	"repro/cm5"
 	"repro/internal/network"
 	"repro/internal/pattern"
-	"repro/internal/sched"
 )
 
 // AblationAsync quantifies the paper's Section 3.1 remark: how much of
@@ -38,21 +38,16 @@ func AblationAsyncSpec(cfg network.Config) *TableSpec {
 			}
 			spec.AddCell(fmt.Sprintf("ablation-async/%s-%s/%dB", v.alg, mode, size),
 				func(ctx context.Context, _ int64) error {
-					var sch *sched.Schedule
-					if v.alg == "LEX" {
-						sch = sched.LEX(32, size)
-					} else {
-						sch = sched.PEX(32, size)
-					}
-					run := sched.Run
-					if v.async {
-						run = sched.RunAsync
-					}
-					d, err := run(sch, cfg)
+					a, err := cm5.LookupAlgorithm(v.alg)
 					if err != nil {
 						return err
 					}
-					t.Set(r, c, "%.3f", d.Millis())
+					res, err := cm5.Run(cm5.NewJob(a, 32, size,
+						cm5.WithConfig(cfg), cm5.WithAsync(v.async)))
+					if err != nil {
+						return err
+					}
+					t.Set(r, c, "%.3f", res.Elapsed.Millis())
 					return nil
 				})
 		}
@@ -106,18 +101,16 @@ func AblationFatTreeSpec(cfg network.Config) *TableSpec {
 		for vi, v := range variants {
 			spec.AddCell(fmt.Sprintf("ablation-fattree/%s-%s/%dB", v.alg, v.tree, size),
 				func(ctx context.Context, _ int64) error {
-					var sch *sched.Schedule
-					if v.alg == "PEX" {
-						sch = sched.PEX(32, size)
-					} else {
-						sch = sched.BEX(32, size)
-					}
-					d, err := sched.Run(sch, v.cfg)
+					a, err := cm5.LookupAlgorithm(v.alg)
 					if err != nil {
 						return err
 					}
-					secs[r][vi] = d.Seconds()
-					t.Set(r, v.col, "%.3f", d.Millis())
+					res, err := cm5.Run(cm5.NewJob(a, 32, size, cm5.WithConfig(v.cfg)))
+					if err != nil {
+						return err
+					}
+					secs[r][vi] = res.Elapsed.Seconds()
+					t.Set(r, v.col, "%.3f", res.Elapsed.Millis())
 					return nil
 				})
 		}
@@ -154,13 +147,12 @@ func AblationGreedySpec(cfg network.Config) *TableSpec {
 		spec.AddCell(fmt.Sprintf("ablation-greedy/det/%d%%", density),
 			func(ctx context.Context, _ int64) error {
 				p := pattern.Synthetic(32, float64(density)/100, 256, int64(density))
-				det := sched.GS(p)
-				d, err := sched.Run(det, cfg)
+				res, err := cm5.Run(cm5.PatternJob(cm5.MustAlgorithm("GS"), p, cm5.WithConfig(cfg)))
 				if err != nil {
 					return err
 				}
-				t.Set(r, 0, "%d", det.NumSteps())
-				t.Set(r, 1, "%.3f", d.Millis())
+				t.Set(r, 0, "%d", res.Steps)
+				t.Set(r, 1, "%.3f", res.Elapsed.Millis())
 				return nil
 			})
 		randKey := fmt.Sprintf("ablation-greedy/rand/%d%%", density)
@@ -171,16 +163,17 @@ func AblationGreedySpec(cfg network.Config) *TableSpec {
 				// runner hands the cell CellSeed(key) exactly), keeping
 				// the published table's 0..4 scan; cmexp -seed shifts it.
 				base := cellSeed ^ CellSeed(randKey)
+				gsr := cm5.MustAlgorithm("GSR")
 				bestSteps, bestMs := 0, -1.0
 				for trial := int64(0); trial < 5; trial++ {
-					s := sched.GSWith(p, sched.GSOptions{RandomTieBreak: true, Seed: base ^ trial})
-					d, err := sched.Run(s, cfg)
+					res, err := cm5.Run(cm5.PatternJob(gsr, p,
+						cm5.WithConfig(cfg), cm5.WithSeed(base^trial)))
 					if err != nil {
 						return err
 					}
-					if bestMs < 0 || d.Millis() < bestMs {
-						bestMs = d.Millis()
-						bestSteps = s.NumSteps()
+					if bestMs < 0 || res.Elapsed.Millis() < bestMs {
+						bestMs = res.Elapsed.Millis()
+						bestSteps = res.Steps
 					}
 				}
 				t.Set(r, 2, "%d", bestSteps)
@@ -223,21 +216,20 @@ func AblationCrystalSpec(cfg network.Config) *TableSpec {
 			spec.AddCell(fmt.Sprintf("ablation-crystal/%s/%d%%/%dB", alg, c.density, c.size),
 				func(ctx context.Context, _ int64) error {
 					p := pattern.Synthetic(32, float64(c.density)/100, c.size, int64(c.density+c.size))
-					var d interface{ Millis() float64 }
-					var err error
+					name := alg
 					if alg == "Crystal" {
-						d, err = sched.RunCrystalRouter(p, cfg)
-					} else {
-						var s *sched.Schedule
-						if s, err = sched.Irregular(alg, p); err == nil {
-							d, err = sched.Run(s, cfg)
-						}
+						name = "CRYSTAL"
 					}
+					algo, err := cm5.LookupAlgorithm(name)
 					if err != nil {
 						return err
 					}
-					times[r][a] = d.Millis()
-					t.Set(r, a, "%.3f", d.Millis())
+					res, err := cm5.Run(cm5.PatternJob(algo, p, cm5.WithConfig(cfg)))
+					if err != nil {
+						return err
+					}
+					times[r][a] = res.Elapsed.Millis()
+					t.Set(r, a, "%.3f", res.Elapsed.Millis())
 					return nil
 				})
 		}
@@ -287,16 +279,16 @@ func AblationCrossoverSpec(cfg network.Config) *TableSpec {
 			spec.AddCell(fmt.Sprintf("ablation-crossover/%s/%d%%", alg, density),
 				func(ctx context.Context, _ int64) error {
 					p := pattern.Synthetic(32, float64(density)/100, 256, int64(7000+density))
-					s, err := sched.Irregular(alg, p)
+					algo, err := cm5.LookupAlgorithm(alg)
 					if err != nil {
 						return err
 					}
-					d, err := sched.Run(s, cfg)
+					res, err := cm5.Run(cm5.PatternJob(algo, p, cm5.WithConfig(cfg)))
 					if err != nil {
 						return err
 					}
-					times[r][a] = d.Millis()
-					t.Set(r, a, "%.3f", d.Millis())
+					times[r][a] = res.Elapsed.Millis()
+					t.Set(r, a, "%.3f", res.Elapsed.Millis())
 					return nil
 				})
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/cm5"
 	"repro/internal/apps/fft"
 	"repro/internal/mesh"
 	"repro/internal/network"
@@ -39,11 +40,15 @@ func exchangeSweepBySizeSpec(name, title string, n int, sizes []int, cfg network
 		for c, alg := range ExchangeAlgs {
 			spec.AddCell(fmt.Sprintf("%s/%s/N%d/%dB", name, alg, n, size),
 				func(ctx context.Context, _ int64) error {
-					d, err := sched.Exchange(alg, n, size, cfg)
+					a, err := cm5.LookupAlgorithm(alg)
 					if err != nil {
 						return err
 					}
-					t.Set(r, c, "%.3f", d.Millis())
+					res, err := cm5.Run(cm5.NewJob(a, n, size, cm5.WithConfig(cfg)))
+					if err != nil {
+						return err
+					}
+					t.Set(r, c, "%.3f", res.Elapsed.Millis())
 					return nil
 				})
 		}
@@ -103,11 +108,15 @@ func exchangeSweepByMachineSpec(name, title string, sizes []int, cfg network.Con
 				col := c
 				spec.AddCell(fmt.Sprintf("%s/%s/N%d/%dB", name, alg, n, size),
 					func(ctx context.Context, _ int64) error {
-						d, err := sched.Exchange(alg, n, size, cfg)
+						a, err := cm5.LookupAlgorithm(alg)
 						if err != nil {
 							return err
 						}
-						t.Set(r, col, "%.3f", d.Millis())
+						res, err := cm5.Run(cm5.NewJob(a, n, size, cm5.WithConfig(cfg)))
+						if err != nil {
+							return err
+						}
+						t.Set(r, col, "%.3f", res.Elapsed.Millis())
 						return nil
 					})
 				c++
@@ -203,11 +212,15 @@ func Fig10Spec(cfg network.Config) *TableSpec {
 		for c, alg := range algs {
 			spec.AddCell(fmt.Sprintf("fig10/%s/N32/%dB", alg, size),
 				func(ctx context.Context, _ int64) error {
-					d, err := sched.Broadcast(alg, 32, 0, size, cfg)
+					a, err := cm5.LookupAlgorithm(alg)
 					if err != nil {
 						return err
 					}
-					t.Set(r, c, "%.3f", d.Millis())
+					res, err := cm5.Run(cm5.NewJob(a, 32, size, cm5.WithRoot(0), cm5.WithConfig(cfg)))
+					if err != nil {
+						return err
+					}
+					t.Set(r, c, "%.3f", res.Elapsed.Millis())
 					return nil
 				})
 		}
@@ -241,11 +254,15 @@ func Fig11Spec(cfg network.Config) *TableSpec {
 				col := ci*len(sizes) + c
 				spec.AddCell(fmt.Sprintf("fig11/%s/N%d/%dB", alg, n, s),
 					func(ctx context.Context, _ int64) error {
-						d, err := sched.Broadcast(alg, n, 0, s, cfg)
+						a, err := cm5.LookupAlgorithm(alg)
 						if err != nil {
 							return err
 						}
-						t.Set(r, col, "%.3f", d.Millis())
+						res, err := cm5.Run(cm5.NewJob(a, n, s, cm5.WithRoot(0), cm5.WithConfig(cfg)))
+						if err != nil {
+							return err
+						}
+						t.Set(r, col, "%.3f", res.Elapsed.Millis())
 						return nil
 					})
 			}
@@ -289,15 +306,15 @@ func Table11Spec(cfg network.Config) *TableSpec {
 				spec.AddCell(fmt.Sprintf("table11/%s/%d%%/%dB", alg, density, size),
 					func(ctx context.Context, _ int64) error {
 						p := pattern.Synthetic(32, float64(density)/100, size, int64(density*1000+size))
-						s, err := sched.Irregular(alg, p)
+						algo, err := cm5.LookupAlgorithm(alg)
 						if err != nil {
 							return err
 						}
-						d, err := sched.Run(s, cfg)
+						res, err := cm5.Run(cm5.PatternJob(algo, p, cm5.WithConfig(cfg)))
 						if err != nil {
 							return err
 						}
-						t.Set(2*a, col, "%.3f", d.Millis())
+						t.Set(2*a, col, "%.3f", res.Elapsed.Millis())
 						t.Set(2*a+1, col, "%.3f", PaperTable11[alg][density][size])
 						return nil
 					})
@@ -393,17 +410,17 @@ func Table12Spec(cfg network.Config) (*TableSpec, *[]RealPatternResult, error) {
 		for a, alg := range IrregularAlgs {
 			spec.AddCell(fmt.Sprintf("table12/%s/%s", sanitizeKey(prob.Name), alg),
 				func(ctx context.Context, _ int64) error {
-					s, err := sched.Irregular(alg, p)
+					algo, err := cm5.LookupAlgorithm(alg)
 					if err != nil {
 						return err
 					}
-					d, err := sched.Run(s, cfg)
+					res, err := cm5.Run(cm5.PatternJob(algo, p, cm5.WithConfig(cfg)))
 					if err != nil {
 						return err
 					}
-					times[c][a] = d.Millis()
-					steps[c][a] = s.NumSteps()
-					t.Set(2*a, c, "%.3f", d.Millis())
+					times[c][a] = res.Elapsed.Millis()
+					steps[c][a] = res.Steps
+					t.Set(2*a, c, "%.3f", res.Elapsed.Millis())
 					t.Set(2*a+1, c, "%.3f", prob.PaperMs[alg])
 					return nil
 				})

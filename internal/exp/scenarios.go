@@ -4,10 +4,10 @@ import (
 	"context"
 	"fmt"
 
+	"repro/cm5"
 	"repro/internal/cmmd"
 	"repro/internal/network"
 	"repro/internal/pattern"
-	"repro/internal/sched"
 )
 
 // The scenario and collective experiment families go beyond the paper's
@@ -54,15 +54,15 @@ func ScenariosSpec(cfg network.Config) *TableSpec {
 				spec.AddCell(fmt.Sprintf("scenarios/%s/%s/N%d", w.Name, alg, n),
 					func(ctx context.Context, _ int64) error {
 						p := w.Gen(n, ScenarioBytes, scenarioSeed(n))
-						s, err := sched.Irregular(alg, p)
+						a, err := cm5.LookupAlgorithm(alg)
 						if err != nil {
 							return err
 						}
-						d, err := sched.Run(s, cfg)
+						res, err := cm5.Run(cm5.PatternJob(a, p, cm5.WithConfig(cfg)))
 						if err != nil {
 							return err
 						}
-						t.Set(r, col, "%.3f", d.Millis())
+						t.Set(r, col, "%.3f", res.Elapsed.Millis())
 						return nil
 					})
 				c++
@@ -101,7 +101,10 @@ func ScenarioStatsSpec(cfg network.Config) *TableSpec {
 			func(ctx context.Context, _ int64) error {
 				p := w.Gen(ScenarioStatsSize, ScenarioBytes, scenarioSeed(ScenarioStatsSize))
 				st := p.Stats()
-				s := sched.GS(p)
+				s, err := cm5.Plan(cm5.PatternJob(cm5.MustAlgorithm("GS"), p))
+				if err != nil {
+					return err
+				}
 				t.Set(r, 0, "%d", st.Messages)
 				t.Set(r, 1, "%.1f", st.DensityPct)
 				t.Set(r, 2, "%.0f", st.AvgBytes)
@@ -159,11 +162,15 @@ func CollectivesSpec(cfg network.Config) *TableSpec {
 			r, name, n, ci := r, name, n, ci
 			spec.AddCell(fmt.Sprintf("collectives/%s/N%d/cmmd", name, n),
 				func(ctx context.Context, _ int64) error {
-					d, err := cmmd.RunCollective(name, n, CollectiveBytes, cfg)
+					a, err := cm5.LookupAlgorithm(name)
 					if err != nil {
 						return err
 					}
-					t.Set(r, 2*ci, "%.3f", d.Millis())
+					res, err := cm5.Run(cm5.NewJob(a, n, CollectiveBytes, cm5.WithConfig(cfg)))
+					if err != nil {
+						return err
+					}
+					t.Set(r, 2*ci, "%.3f", res.Elapsed.Millis())
 					return nil
 				})
 			spec.AddCell(fmt.Sprintf("collectives/%s/N%d/sched", name, n),
@@ -172,11 +179,11 @@ func CollectivesSpec(cfg network.Config) *TableSpec {
 					if err != nil {
 						return err
 					}
-					d, err := sched.Run(sched.BS(p), cfg)
+					res, err := cm5.Run(cm5.PatternJob(cm5.MustAlgorithm("BS"), p, cm5.WithConfig(cfg)))
 					if err != nil {
 						return err
 					}
-					t.Set(r, 2*ci+1, "%.3f", d.Millis())
+					t.Set(r, 2*ci+1, "%.3f", res.Elapsed.Millis())
 					return nil
 				})
 		}

@@ -61,6 +61,7 @@ type DataNet struct {
 
 	lastAdvance sim.Time
 	tick        *sim.Timer // single re-armed earliest-completion event
+	obs         FlowObserver
 
 	// Reusable maxmin scratch buffers: reallocation runs on every flow
 	// start and finish, so it must not allocate.
@@ -140,6 +141,9 @@ func (d *DataNet) Start(src, dst, userBytes int, done func()) *Flow {
 	d.flows[f] = struct{}{}
 	d.totalFlows++
 	d.totalWireBytes += int64(wire)
+	if d.obs != nil {
+		d.obs.FlowStarted(FlowInfo{Src: src, Dst: dst, WireBytes: wire, Start: f.started})
+	}
 	d.reallocate()
 	return f
 }
@@ -230,6 +234,12 @@ func (d *DataNet) reallocate() {
 	d.maxmin()
 	d.scheduleNextCompletion()
 	for _, f := range finished {
+		if d.obs != nil {
+			d.obs.FlowFinished(FlowInfo{
+				Src: f.Src, Dst: f.Dst, WireBytes: f.WireBytes,
+				Start: f.started, End: d.eng.Now(),
+			})
+		}
 		if f.done != nil {
 			f.done()
 		}

@@ -1,0 +1,29 @@
+package network
+
+import "repro/internal/sim"
+
+// FlowInfo describes one data-network flow for observers. Start is when
+// the flow entered the network (after the sender's wire latency); End is
+// when the last byte arrived, and is zero while the flow is in flight.
+type FlowInfo struct {
+	Src, Dst  int
+	WireBytes int
+	Start     sim.Time
+	End       sim.Time
+}
+
+// FlowObserver receives flow lifecycle events from a DataNet. Callbacks
+// run in engine context, synchronously with the simulation: they must
+// not block, and they must not re-enter the network. Observation is
+// passive — attaching an observer never changes simulated timing.
+type FlowObserver interface {
+	// FlowStarted fires when a flow enters the network (End is zero).
+	FlowStarted(f FlowInfo)
+	// FlowFinished fires when a flow's last byte arrives, before the
+	// flow's completion callback runs.
+	FlowFinished(f FlowInfo)
+}
+
+// SetObserver attaches a flow observer (nil detaches). Call before the
+// simulation starts; flows already in flight are not replayed.
+func (d *DataNet) SetObserver(o FlowObserver) { d.obs = o }

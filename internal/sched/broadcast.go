@@ -20,9 +20,14 @@ func RunLIB(n, root, nbytes int, cfg network.Config) (sim.Time, error) {
 	if err != nil {
 		return 0, err
 	}
-	return m.Run(func(node *cmmd.Node) {
+	return m.Run(libProgram(root, nbytes))
+}
+
+// libProgram is the linear-broadcast node program.
+func libProgram(root, nbytes int) func(*cmmd.Node) {
+	return func(node *cmmd.Node) {
 		if node.ID() == root {
-			for j := 0; j < n; j++ {
+			for j := 0; j < node.N(); j++ {
 				if j != root {
 					node.SendN(j, 0, nbytes)
 				}
@@ -30,7 +35,7 @@ func RunLIB(n, root, nbytes int, cfg network.Config) (sim.Time, error) {
 		} else {
 			node.Recv(root, 0)
 		}
-	})
+	}
 }
 
 // REBPeer returns, for the recursive broadcast relative rank r in a
@@ -95,25 +100,30 @@ func RunSystemBcast(n, root, nbytes int, cfg network.Config) (sim.Time, error) {
 	if err != nil {
 		return 0, err
 	}
-	return m.Run(func(node *cmmd.Node) {
+	return m.Run(sysProgram(root, nbytes))
+}
+
+// sysProgram is the control-network system-broadcast node program.
+func sysProgram(root, nbytes int) func(*cmmd.Node) {
+	return func(node *cmmd.Node) {
 		var data []byte
 		if node.ID() == root && nbytes > 0 {
 			data = make([]byte, nbytes)
 		}
 		node.Bcast(root, data)
-	})
+	}
 }
 
 // Broadcast runs the named broadcast algorithm and returns the simulated
-// completion time. Valid names: LIB, REB, SYS.
+// completion time. Valid names: LIB, REB, SYS (a registry lookup).
 func Broadcast(alg string, n, root, nbytes int, cfg network.Config) (sim.Time, error) {
-	switch alg {
-	case "LIB":
-		return RunLIB(n, root, nbytes, cfg)
-	case "REB":
-		return RunREB(n, root, nbytes, cfg)
-	case "SYS":
-		return RunSystemBcast(n, root, nbytes, cfg)
+	inf, err := KindLookup(alg, KindBroadcast)
+	if err != nil {
+		return 0, err
 	}
-	return 0, fmt.Errorf("sched: unknown broadcast algorithm %q", alg)
+	res, err := inf.Execute(Request{N: n, Bytes: nbytes, Root: root, Cfg: cfg})
+	if err != nil {
+		return 0, err
+	}
+	return res.Elapsed, nil
 }

@@ -34,6 +34,13 @@ func RunCrystalRouter(p pattern.Matrix, cfg network.Config) (sim.Time, error) {
 	if err != nil {
 		return 0, err
 	}
+	return runCrystalOn(m, p)
+}
+
+// runCrystalOn executes the crystal router on an existing (un-run)
+// machine, so callers can attach tracing or observers first.
+func runCrystalOn(m *cmmd.Machine, p pattern.Matrix) (sim.Time, error) {
+	n := p.N()
 	delivered := make([][]int, n) // delivered[dst] = bytes received per origin
 	for i := range delivered {
 		delivered[i] = make([]int, n)

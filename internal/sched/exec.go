@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cmmd"
 	"repro/internal/network"
@@ -17,6 +18,11 @@ type DataHooks struct {
 	OnSend func(step int, src, dst int) []byte
 	// OnRecv consumes a delivered message.
 	OnRecv func(step int, msg cmmd.Message)
+	// OnStepDone fires after a node finishes its transfers of a step
+	// (nodes with no work in the step never report it). The engine runs
+	// exactly one node at a time, so callbacks never race; the metrics
+	// executor folds them into per-step completion times.
+	OnStepDone func(step, node int, at sim.Time)
 }
 
 // Run executes the schedule on a fresh machine with the given
@@ -59,6 +65,7 @@ func RunOn(m *cmmd.Machine, s *Schedule, hooks DataHooks) (sim.Time, error) {
 func ExecuteNode(n *cmmd.Node, s *Schedule, hooks DataHooks) {
 	me := n.ID()
 	for step, st := range s.Steps {
+		acted := false
 		for _, tr := range st {
 			switch me {
 			case tr.Src:
@@ -67,12 +74,17 @@ func ExecuteNode(n *cmmd.Node, s *Schedule, hooks DataHooks) {
 				} else {
 					n.SendN(tr.Dst, step, tr.Bytes)
 				}
+				acted = true
 			case tr.Dst:
 				msg := n.Recv(tr.Src, step)
 				if hooks.OnRecv != nil {
 					hooks.OnRecv(step, msg)
 				}
+				acted = true
 			}
+		}
+		if acted && hooks.OnStepDone != nil {
+			hooks.OnStepDone(step, me, n.Now())
 		}
 	}
 }
@@ -117,33 +129,40 @@ func ExecuteREXNode(node *cmmd.Node, bytesPerPair int) {
 
 // Exchange runs the named complete-exchange algorithm for an n-processor
 // machine at bytesPerPair bytes and returns the simulated time. Valid
-// names: LEX, PEX, REX, BEX.
+// names: LEX, PEX, REX, BEX (a registry lookup).
 func Exchange(alg string, n, bytesPerPair int, cfg network.Config) (sim.Time, error) {
-	switch alg {
-	case "LEX":
-		return Run(LEX(n, bytesPerPair), cfg)
-	case "PEX":
-		return Run(PEX(n, bytesPerPair), cfg)
-	case "BEX":
-		return Run(BEX(n, bytesPerPair), cfg)
-	case "REX":
-		return RunREX(n, bytesPerPair, cfg)
+	inf, err := KindLookup(alg, KindExchange)
+	if err != nil {
+		return 0, err
 	}
-	return 0, fmt.Errorf("sched: unknown exchange algorithm %q", alg)
+	res, err := inf.Execute(Request{N: n, Bytes: bytesPerPair, Cfg: cfg})
+	if err != nil {
+		return 0, err
+	}
+	return res.Elapsed, nil
 }
 
 // Irregular builds the named irregular schedule for a communication
-// pattern. Valid names: LS, PS, BS, GS.
+// pattern. Valid names: LS, PS, BS, GS (a registry lookup).
 func Irregular(alg string, m pattern.Matrix) (*Schedule, error) {
-	switch alg {
-	case "LS":
-		return LS(m), nil
-	case "PS":
-		return PS(m), nil
-	case "BS":
-		return BS(m), nil
-	case "GS":
-		return GS(m), nil
+	inf, err := KindLookup(alg, KindIrregular)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("sched: unknown irregular algorithm %q", alg)
+	return inf.Plan(Request{Pattern: m})
+}
+
+// KindLookup resolves a name and insists on the paper's named family of
+// the given kind — the contract of the classic helpers, which never
+// accepted the auxiliary algorithms or other kinds' names.
+func KindLookup(alg string, kind Kind) (*Info, error) {
+	inf, err := Lookup(alg)
+	if err != nil {
+		return nil, err
+	}
+	if inf.Kind != kind || inf.Aux {
+		return nil, fmt.Errorf("sched: %w %q for kind %s (known: %s)",
+			ErrUnknownAlgorithm, alg, kind, strings.Join(FamilyNames(kind), " "))
+	}
+	return inf, nil
 }

@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"repro/internal/cmmd"
+	"repro/internal/sim"
+)
+
+// Metrics is the full measurement of one algorithm run: the makespan
+// plus schedule statistics and the network-level signals the rich
+// Result API surfaces.
+type Metrics struct {
+	Elapsed sim.Time // completion time of the slowest node
+
+	// Schedule statistics. For schedule-backed algorithms they describe
+	// the executed schedule exactly; for program-backed algorithms
+	// Steps is the algorithm's logical step count (0 when it has none)
+	// and Messages/TotalBytes count the wire messages the program
+	// actually sent — which for store-and-forward algorithms (REX, the
+	// crystal router) include forwarded traffic.
+	Steps      int
+	Messages   int
+	TotalBytes int64
+	MaxFanIn   int // max simultaneous inbound transfers at one node in a step
+
+	// StepDone[i] is the virtual time at which the last node finished
+	// step i's transfers. Non-nil only for schedule-backed runs.
+	StepDone []sim.Time
+
+	// LevelUtilization maps each fat-tree level to carried bytes over
+	// level capacity x makespan; level 0 is the node links.
+	LevelUtilization map[int]float64
+
+	// Data-network totals: flow count and wire bytes (user bytes plus
+	// packetization overhead) across the run.
+	Flows     int
+	WireBytes int64
+
+	// Trace holds per-message events when Request.Trace was set.
+	Trace *cmmd.Trace
+}
+
+// newMachine builds a machine configured per the request: async sends,
+// tracing, and the flow observer attached before anything runs.
+func newMachine(n int, req Request) (*cmmd.Machine, error) {
+	m, err := cmmd.NewMachine(n, req.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	if req.Async {
+		m.SetAsyncSends(true)
+	}
+	if req.Trace {
+		m.EnableTrace()
+	}
+	if req.Obs != nil {
+		m.Net().SetObserver(req.Obs)
+	}
+	return m, nil
+}
+
+// finishMetrics fills the network-side fields common to every run.
+func finishMetrics(met *Metrics, m *cmmd.Machine, elapsed sim.Time) {
+	met.Elapsed = elapsed
+	met.LevelUtilization = m.Net().LevelUtilization(elapsed)
+	met.Flows = m.Net().TotalFlows()
+	met.WireBytes = m.Net().TotalWireBytes()
+	met.Trace = m.Trace()
+}
+
+// ExecuteSchedule runs an explicit schedule on a fresh machine
+// configured per the request and returns the full metrics. This is the
+// generic executor behind every schedule-backed registry algorithm, and
+// the path raw schedules (cm5.ScheduleJob) run through.
+func ExecuteSchedule(s *Schedule, req Request) (*Metrics, error) {
+	// Validate before computing stats: MaxFanIn indexes by transfer
+	// endpoint, so a malformed schedule must error here, not panic.
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := newMachine(s.N, req)
+	if err != nil {
+		return nil, err
+	}
+	met := &Metrics{
+		Steps:      s.NumSteps(),
+		Messages:   s.Messages(),
+		TotalBytes: s.TotalBytes(),
+		MaxFanIn:   s.MaxFanIn(),
+		StepDone:   make([]sim.Time, len(s.Steps)),
+	}
+	hooks := DataHooks{OnStepDone: func(step, node int, at sim.Time) {
+		if at > met.StepDone[step] {
+			met.StepDone[step] = at
+		}
+	}}
+	elapsed, err := RunOn(m, s, hooks)
+	if err != nil {
+		return nil, err
+	}
+	finishMetrics(met, m, elapsed)
+	return met, nil
+}
+
+// runProgramMetrics runs a node program on a fresh machine configured
+// per the request. steps is the algorithm's logical step count.
+func runProgramMetrics(n, steps int, req Request, program func(*cmmd.Node)) (*Metrics, error) {
+	m, err := newMachine(n, req)
+	if err != nil {
+		return nil, err
+	}
+	elapsed, err := m.Run(program)
+	if err != nil {
+		return nil, err
+	}
+	met := &Metrics{Steps: steps}
+	met.Messages = m.Net().TotalFlows()
+	met.TotalBytes = m.UserBytesSent()
+	finishMetrics(met, m, elapsed)
+	return met, nil
+}
+
+// runBroadcastMetrics is runProgramMetrics for the broadcast programs
+// (root already validated by the registry).
+func runBroadcastMetrics(req Request, steps int, program func(*cmmd.Node)) (*Metrics, error) {
+	return runProgramMetrics(req.N, steps, req, program)
+}
+
+// runREXMetrics executes the store-and-forward recursive exchange; the
+// schedule view supplies the fan-in bound while the counters report the
+// combined messages actually sent.
+func runREXMetrics(req Request) (*Metrics, error) {
+	met, err := runProgramMetrics(req.N, LgN(req.N), req, func(nd *cmmd.Node) {
+		ExecuteREXNode(nd, req.Bytes)
+	})
+	if err != nil {
+		return nil, err
+	}
+	met.MaxFanIn = 1 // pairwise at every step
+	return met, nil
+}
+
+// runCrystalMetrics executes the crystal router on the request pattern.
+func runCrystalMetrics(req Request) (*Metrics, error) {
+	n := req.Pattern.N()
+	m, err := newMachine(n, req)
+	if err != nil {
+		return nil, err
+	}
+	elapsed, err := runCrystalOn(m, req.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	met := &Metrics{Steps: LgN(n), MaxFanIn: 1}
+	met.Messages = m.Net().TotalFlows()
+	met.TotalBytes = m.UserBytesSent()
+	finishMetrics(met, m, elapsed)
+	return met, nil
+}
+
+// runCollectiveMetrics executes a collective node program.
+func runCollectiveMetrics(name string, req Request) (*Metrics, error) {
+	program, err := cmmd.CollectiveProgram(name, req.N, req.Bytes)
+	if err != nil {
+		return nil, err
+	}
+	return runProgramMetrics(req.N, 0, req, program)
+}

@@ -73,6 +73,27 @@ func (s *Schedule) TotalBytes() int64 {
 	return total
 }
 
+// MaxFanIn returns the largest number of transfers converging on one
+// node within a single step — the receiver-side serialization bound
+// under CMMD's synchronous sends (N-1 for LEX's funnel, 1 for the
+// pairwise schedules).
+func (s *Schedule) MaxFanIn() int {
+	counts := make([]int, s.N)
+	max := 0
+	for _, st := range s.Steps {
+		for _, tr := range st {
+			counts[tr.Dst]++
+			if counts[tr.Dst] > max {
+				max = counts[tr.Dst]
+			}
+		}
+		for _, tr := range st {
+			counts[tr.Dst] = 0
+		}
+	}
+	return max
+}
+
 // Validate checks structural sanity: endpoints in range, no self
 // transfers, non-negative sizes, and no empty steps.
 func (s *Schedule) Validate() error {
