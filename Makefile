@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke lint vet fmt-check tables examples linkcheck api api-check
+.PHONY: build test race bench bench-smoke bench-json lint vet fmt-check tables examples linkcheck api api-check
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,19 @@ bench:
 # breakage in the benchmark harness without paying for stable numbers.
 bench-smoke:
 	$(GO) test -run '^$$' -bench Fig5 -benchtime 1x .
+
+# Topology x algorithm benchmark results as machine-readable JSON
+# (BENCH_topo.json: ns/op + sim_ms per cell), so the perf trajectory of
+# the generalized max-min solver is tracked across PRs. CI runs this as
+# a smoke step; run with a higher -benchtime locally for stable numbers.
+BENCHTIME ?= 1x
+bench-json:
+	@out="$$(mktemp)"; \
+	if ! $(GO) test -run '^$$' -bench BenchmarkTopology -benchtime $(BENCHTIME) . > "$$out"; then \
+		cat "$$out"; rm -f "$$out"; echo "bench-json: benchmark run failed"; exit 1; fi; \
+	cat "$$out"; \
+	$(GO) run ./cmd/benchjson -out BENCH_topo.json < "$$out"; rm -f "$$out"
+	@echo "bench-json: wrote BENCH_topo.json"
 
 # Run every example program end to end — the documentation smoke test.
 examples:

@@ -12,10 +12,18 @@
 // plus a machine size and message size (NewJob), a communication
 // pattern (PatternJob), or an explicit schedule (ScheduleJob), refined
 // by functional options such as WithConfig, WithSeed, WithAsync,
-// WithObserver and WithTrace. Run executes a Job and returns a Result:
-// the simulated makespan plus schedule statistics (steps, messages,
-// bytes, max fan-in) and network metrics (per-step completion times,
-// per-level fat-tree utilization).
+// WithObserver, WithTopology and WithTrace. Run executes a Job and
+// returns a Result: the simulated makespan plus schedule statistics
+// (steps, messages, bytes, max fan-in) and network metrics (per-step
+// completion times, per-level and per-link utilization).
+//
+// The data network is topology-pluggable: by default every Job runs
+// over the calibrated CM-5 fat tree, and WithTopology swaps in any
+// Topology — a named family from NewTopology (fat-tree, tapered,
+// torus2d, torus3d, hypercube, dragonfly; see Topologies) or a custom
+// implementation of the interface. The fat tree built by
+// NewTopology("fat-tree", n) reproduces the default machine bit for
+// bit.
 //
 // Quick start:
 //

@@ -1,7 +1,9 @@
 package cm5
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/cmmd"
 	"repro/internal/pattern"
@@ -68,6 +70,11 @@ func GhostExchange(p Pattern, cfg Config) (Duration, error) {
 	return cmmd.RunGhostExchange(p, cfg)
 }
 
+// ErrUnknownWorkload is wrapped by WorkloadPattern on a name miss;
+// errors.Is(err, ErrUnknownWorkload) detects it, and the error text
+// lists the catalogue's known names.
+var ErrUnknownWorkload = errors.New("unknown workload")
+
 // Workloads lists the scenario catalogue's pattern generators:
 // transpose, butterfly, hotspot, permutation, stencil2d, stencil3d and
 // bisection. Use WorkloadPattern to generate one.
@@ -80,7 +87,8 @@ func Workloads() []string { return pattern.WorkloadNames() }
 func WorkloadPattern(name string, n, nbytes int, seed int64) (Pattern, error) {
 	w, ok := pattern.WorkloadByName(name)
 	if !ok {
-		return nil, fmt.Errorf("cm5: unknown workload %q (have %v)", name, pattern.WorkloadNames())
+		return nil, fmt.Errorf("cm5: %w %q (known: %s)",
+			ErrUnknownWorkload, name, strings.Join(pattern.WorkloadNames(), " "))
 	}
 	if n < 2 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("cm5: workload size %d must be a power of two >= 2", n)

@@ -87,3 +87,33 @@ func ExampleRun_broadcast() {
 	// system wins small: true
 	// recursive wins large: true
 }
+
+// ExampleWithTopology runs the same bisection workload over two
+// interconnects: the hypercube's bisection bandwidth swallows the
+// cross-partition pairs that the CM-5's thinned tree serializes.
+func ExampleWithTopology() {
+	p, _ := cm5.WorkloadPattern("bisection", 64, 256, 0)
+	cube, _ := cm5.NewTopology("hypercube", 64)
+	tree, _ := cm5.Run(cm5.PatternJob(cm5.MustAlgorithm("BS"), p))
+	res, _ := cm5.Run(cm5.PatternJob(cm5.MustAlgorithm("BS"), p, cm5.WithTopology(cube)))
+	fmt.Println("hypercube beats the thinned fat tree:", res.Elapsed < tree.Elapsed)
+	fmt.Println("per-link utilization recorded:", len(res.LinkUtilization) > 0)
+	// Output:
+	// hypercube beats the thinned fat tree: true
+	// per-link utilization recorded: true
+}
+
+// ExampleTopologies lists the named topology families every Job can
+// run over.
+func ExampleTopologies() {
+	for _, name := range cm5.Topologies() {
+		fmt.Println(name)
+	}
+	// Output:
+	// fat-tree
+	// tapered
+	// torus2d
+	// torus3d
+	// hypercube
+	// dragonfly
+}

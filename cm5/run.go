@@ -35,6 +35,7 @@ type Job struct {
 	offset   int
 	pattern  Pattern
 	schedule *Schedule
+	topo     Topology
 	cfg      Config
 	cfgSet   bool
 	seed     int64
@@ -94,6 +95,14 @@ func WithPattern(p Pattern) JobOption {
 	return func(j *Job) { j.pattern = p }
 }
 
+// WithTopology runs the job's data network over the given topology
+// instead of the default CM-5 fat tree. The topology's node count must
+// match the job's machine size. Build one with NewTopology or implement
+// the Topology interface directly.
+func WithTopology(t Topology) JobOption {
+	return func(j *Job) { j.topo = t }
+}
+
 // NewJob describes a run of alg on an n-node machine with nbytes per
 // message (per processor pair for the exchanges, per block for the
 // collectives, total message size for the broadcasts).
@@ -133,7 +142,7 @@ func (j Job) request() sched.Request {
 	}
 	return sched.Request{
 		N: j.n, Bytes: j.bytes, Root: j.root, Offset: j.offset,
-		Pattern: j.pattern, Seed: j.seed, Cfg: cfg,
+		Pattern: j.pattern, Seed: j.seed, Cfg: cfg, Topo: j.topo,
 		Async: j.async, Trace: j.trace, Obs: j.obs,
 	}
 }
@@ -166,10 +175,16 @@ type Result struct {
 	// transfers; non-nil only for schedule-backed runs.
 	StepTimes []Duration
 
-	// LevelUtilization maps each fat-tree level to carried bytes over
+	// LevelUtilization maps each topology level to carried bytes over
 	// the level's capacity x makespan — the fraction of the level the
-	// run actually used. Level 0 is the node links.
+	// run actually used. Level 0 is the node links; for the default
+	// fat tree the other levels are the tree levels.
 	LevelUtilization map[int]float64
+
+	// LinkUtilization lists every data-network link that carried
+	// traffic, in topology order — the per-link view behind the
+	// per-level aggregate above.
+	LinkUtilization []LinkUtil
 
 	// Data-network totals: flows started and wire bytes moved
 	// (user bytes plus packetization overhead).
@@ -208,6 +223,7 @@ func Run(job Job) (Result, error) {
 		MaxFanIn:         met.MaxFanIn,
 		StepTimes:        met.StepDone,
 		LevelUtilization: met.LevelUtilization,
+		LinkUtilization:  met.LinkUtilization,
 		Flows:            met.Flows,
 		WireBytes:        met.WireBytes,
 		Trace:            met.Trace,

@@ -1,0 +1,117 @@
+package cm5_test
+
+import (
+	"testing"
+
+	"repro/cm5"
+)
+
+// fig5Pins are the simulated makespans (in nanoseconds) of every
+// Figure-5 cell — all four complete-exchange algorithms at every
+// message size on 32 nodes — recorded from the pre-topology-refactor
+// solver (the fixed fat-tree DataNet of PR 3). The generalized
+// per-link solver must reproduce them bit for bit, both on the default
+// machine and through an explicit fat-tree Topology.
+var fig5Pins = []struct {
+	alg   string
+	bytes int
+	ns    int64
+}{
+	{"LEX", 0, 36896767},
+	{"LEX", 16, 36896767},
+	{"LEX", 64, 39197767},
+	{"LEX", 256, 48401767},
+	{"LEX", 512, 60673767},
+	{"LEX", 1024, 85217767},
+	{"LEX", 2048, 134305767},
+	{"PEX", 0, 5456062},
+	{"PEX", 16, 5456062},
+	{"PEX", 64, 5679288},
+	{"PEX", 256, 7102045},
+	{"PEX", 512, 8815780},
+	{"PEX", 1024, 11421578},
+	{"PEX", 2048, 21612254},
+	{"REX", 0, 890010},
+	{"REX", 16, 1292410},
+	{"REX", 64, 2559610},
+	{"REX", 256, 7628410},
+	{"REX", 512, 14386810},
+	{"REX", 1024, 27903610},
+	{"REX", 2048, 54937210},
+	{"BEX", 0, 5456062},
+	{"BEX", 16, 5456062},
+	{"BEX", 64, 5642062},
+	{"BEX", 256, 6657948},
+	{"BEX", 512, 8055237},
+	{"BEX", 1024, 10515381},
+	{"BEX", 2048, 18065532},
+}
+
+// TestFatTreeCompatFig5 pins the generalized max-min solver to the
+// pre-refactor results on every Figure-5 cell: the default machine and
+// an explicit NewTopology("fat-tree") must both land on the recorded
+// nanosecond exactly.
+func TestFatTreeCompatFig5(t *testing.T) {
+	ft, err := cm5.NewTopology("fat-tree", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pin := range fig5Pins {
+		a := cm5.MustAlgorithm(pin.alg)
+		def, err := cm5.Run(cm5.NewJob(a, 32, pin.bytes))
+		if err != nil {
+			t.Fatalf("%s/%dB default: %v", pin.alg, pin.bytes, err)
+		}
+		if int64(def.Elapsed) != pin.ns {
+			t.Errorf("%s/%dB default machine: %d ns, pinned %d ns",
+				pin.alg, pin.bytes, int64(def.Elapsed), pin.ns)
+		}
+		exp, err := cm5.Run(cm5.NewJob(a, 32, pin.bytes, cm5.WithTopology(ft)))
+		if err != nil {
+			t.Fatalf("%s/%dB fat-tree topology: %v", pin.alg, pin.bytes, err)
+		}
+		if int64(exp.Elapsed) != pin.ns {
+			t.Errorf("%s/%dB explicit fat-tree: %d ns, pinned %d ns",
+				pin.alg, pin.bytes, int64(exp.Elapsed), pin.ns)
+		}
+	}
+}
+
+// TestTopologyMismatchRejected ensures a topology whose node count
+// differs from the job's machine size errors instead of mis-routing.
+func TestTopologyMismatchRejected(t *testing.T) {
+	ft, err := cm5.NewTopology("fat-tree", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cm5.Run(cm5.NewJob(cm5.MustAlgorithm("PEX"), 32, 256, cm5.WithTopology(ft))); err == nil {
+		t.Fatal("16-node topology on a 32-node job should error")
+	}
+}
+
+// TestTopologiesRunEveryFamily smoke-runs one exchange over every named
+// topology and checks the per-link view is populated.
+func TestTopologiesRunEveryFamily(t *testing.T) {
+	for _, name := range cm5.Topologies() {
+		tp, err := cm5.NewTopology(name, 16)
+		if err != nil {
+			t.Fatalf("NewTopology(%s): %v", name, err)
+		}
+		res, err := cm5.Run(cm5.NewJob(cm5.MustAlgorithm("PEX"), 16, 256, cm5.WithTopology(tp)))
+		if err != nil {
+			t.Fatalf("PEX on %s: %v", name, err)
+		}
+		if res.Elapsed <= 0 {
+			t.Errorf("%s: non-positive makespan", name)
+		}
+		if len(res.LinkUtilization) == 0 {
+			t.Errorf("%s: empty LinkUtilization", name)
+		}
+		if len(res.LevelUtilization) == 0 {
+			t.Errorf("%s: empty LevelUtilization", name)
+		}
+		if cm5.TopologyDoc(name) == "" {
+			t.Errorf("%s: missing doc line", name)
+		}
+	}
+}

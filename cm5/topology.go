@@ -1,0 +1,46 @@
+package cm5
+
+import (
+	"repro/internal/network"
+	"repro/internal/topo"
+)
+
+// Topology is a pluggable data-network model: a directed link-capacity
+// graph plus a deterministic routing function. Attach one to a Job with
+// WithTopology; the default (nil) is the calibrated CM-5 fat tree.
+// Build named topologies with NewTopology, or implement the interface
+// directly for a custom interconnect — the max-min flow solver only
+// sees link indices and capacities.
+type Topology = topo.Topology
+
+// TopologyLink describes one directed link of a Topology (capacity,
+// reporting level, diagnostic name).
+type TopologyLink = topo.Link
+
+// LinkUtil is one link's utilization over a run: carried wire bytes
+// against capacity x makespan. See Result.LinkUtilization.
+type LinkUtil = network.LinkUtil
+
+// ErrUnknownTopology is wrapped by NewTopology on a name miss;
+// errors.Is(err, ErrUnknownTopology) detects it, and the error text
+// lists the known names.
+var ErrUnknownTopology = topo.ErrUnknownTopology
+
+// Topologies returns the named topology families NewTopology builds, in
+// canonical order: fat-tree (the calibrated CM-5 default), tapered,
+// torus2d, torus3d, hypercube, dragonfly.
+func Topologies() []string { return topo.Names() }
+
+// TopologyDoc returns the one-line description of a named topology
+// family, or "" for an unknown name.
+func TopologyDoc(name string) string { return topo.Doc(name) }
+
+// NewTopology builds the named topology in its default shape for an
+// n-node machine (n a power of two >= 2), using the calibrated CM-5
+// rate constants: node links at 20 MB/s everywhere, the fat tree's
+// published 20/10/5 MB/s envelope, and tapered global tiers for the
+// dragonfly. Running any Job over NewTopology("fat-tree", n) is
+// byte-identical to running it with no topology at all.
+func NewTopology(name string, n int) (Topology, error) {
+	return topo.New(name, n, DefaultConfig().TopologyRates())
+}

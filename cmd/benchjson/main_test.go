@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: whatever
+BenchmarkTopology/fat-tree/LS-8         	       1	  52124875 ns/op	        13.45 sim_ms
+BenchmarkTopology/torus2d/GS-8          	       2	   1523000 ns/op
+BenchmarkFig5CompleteExchange32/LEX/0B-8	       1	   9000000 ns/op	        36.90 sim_ms
+PASS
+ok  	repro	1.234s
+`
+
+func TestRunParsesBenchOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(strings.NewReader(sample), out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" {
+		t.Errorf("goos/goarch = %q/%q", rep.GoOS, rep.GoArch)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(rep.Results))
+	}
+	first := rep.Results[0]
+	if first.Topology != "fat-tree" || first.Algorithm != "LS" {
+		t.Errorf("topology/algorithm = %q/%q", first.Topology, first.Algorithm)
+	}
+	if first.NsPerOp != 52124875 || first.Iterations != 1 || first.SimMs != 13.45 {
+		t.Errorf("first result fields wrong: %+v", first)
+	}
+	if rep.Results[1].SimMs != 0 {
+		t.Errorf("missing sim_ms should stay zero, got %v", rep.Results[1].SimMs)
+	}
+	if rep.Results[2].Topology != "" {
+		t.Errorf("non-topology benchmarks should not get a topology label: %+v", rep.Results[2])
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	if err := run(strings.NewReader("PASS\n"), ""); err == nil {
+		t.Fatal("empty bench output should error")
+	}
+}

@@ -6,15 +6,19 @@
 //	cmexp [flags] <experiment>...
 //
 // Experiments: fig5 fig6 fig7 fig8 fig10 fig11 table5 table11 table12
-// schedules scenarios collectives ablation-async ablation-fattree
-// ablation-greedy ablation-crossover ablation-crystal ablations all
+// schedules scenarios collectives topology ablation-async
+// ablation-fattree ablation-greedy ablation-crossover ablation-crystal
+// ablations all
 //
 // Beyond the paper's evaluation, "scenarios" sweeps the workload
 // catalogue of internal/pattern (transpose, butterfly, hotspot,
 // permutation, stencils, bisection) through all four irregular
 // schedulers at several machine sizes plus a per-pattern statistics
-// table, and "collectives" scales every collective operation to 1024
-// nodes both as a direct CMMD node program and as a scheduled matrix.
+// table, "collectives" scales every collective operation to 1024
+// nodes both as a direct CMMD node program and as a scheduled matrix,
+// and "topology" re-runs the workload catalogue under every irregular
+// scheduler on each interconnect of internal/topo (fat tree, 2-D
+// torus, hypercube, dragonfly) at 64 and 256 nodes.
 //
 // Flags:
 //
@@ -51,7 +55,7 @@ import (
 
 var tableExperiments = []string{
 	"fig5", "fig6", "fig7", "fig8", "table5", "fig10", "fig11",
-	"table11", "table12", "scenarios", "collectives",
+	"table11", "table12", "scenarios", "collectives", "topology",
 	"ablation-async", "ablation-fattree", "ablation-greedy",
 	"ablation-crossover", "ablation-crystal",
 }
@@ -70,7 +74,7 @@ func main() {
 	verbose := flag.Bool("v", false, "report per-cell progress on stderr")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: cmexp [flags] fig5|fig6|fig7|fig8|fig10|fig11|table5|table11|table12|scenarios|collectives|schedules|ablations|all")
+		fmt.Fprintln(os.Stderr, "usage: cmexp [flags] fig5|fig6|fig7|fig8|fig10|fig11|table5|table11|table12|scenarios|collectives|topology|schedules|ablations|all")
 		os.Exit(2)
 	}
 	if err := run(flag.Args(), *procs, *maxSize, *parallel, *seed, *runPat, *verbose); err != nil {
@@ -147,6 +151,8 @@ func run(args []string, procs, maxSize, parallel int, seed int64, runPat string,
 			}
 		case "scenarios":
 			specs = append(specs, exp.ScenariosSpec(cfg), exp.ScenarioStatsSpec(cfg))
+		case "topology":
+			specs = append(specs, exp.TopologySpecs(cfg)...)
 		case "collectives":
 			specs = append(specs, exp.CollectivesSpec(cfg))
 		case "table11":

@@ -11,13 +11,18 @@
 //	cmtrace -alg gs -n 32 -density 0.25 -bytes 256
 //	cmtrace -alg gs -n 64 -pattern hotspot -nodes
 //	cmtrace -alg bex -n 32 -bytes 1024 -steps
+//	cmtrace -alg bs -n 64 -pattern bisection -topo dragonfly -links
 //
 // -alg accepts any registered algorithm name (see cm5.Algorithms):
 // exchanges and broadcasts take -n and -bytes, the irregular schedulers
 // trace either a synthetic pattern (-density, -seed) or a catalogue
 // workload (-pattern), and the collectives take -bytes per block.
+// -topo runs the data network over any named topology from
+// cm5.Topologies (fat-tree, tapered, torus2d, torus3d, hypercube,
+// dragonfly) instead of the default CM-5 fat tree.
 // -steps appends the per-step completion table (schedule-backed
-// algorithms only); -nodes appends the per-node rendezvous wait table.
+// algorithms only); -nodes appends the per-node rendezvous wait table;
+// -links appends the busiest-links table from Result.LinkUtilization.
 package main
 
 import (
@@ -47,8 +52,11 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "pattern seed")
 	workload := fs.String("pattern", "", "catalogue workload for the irregular schedulers "+
 		"(transpose|butterfly|hotspot|permutation|stencil2d|stencil3d|bisection); empty = synthetic")
+	topoName := fs.String("topo", "", "data-network topology "+
+		"(fat-tree|tapered|torus2d|torus3d|hypercube|dragonfly); empty = the CM-5 fat tree")
 	perStep := fs.Bool("steps", false, "print the per-step completion table")
 	perNode := fs.Bool("nodes", false, "print the per-node wait table")
+	perLink := fs.Bool("links", false, "print the busiest-links table")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,6 +64,17 @@ func run(args []string, out io.Writer) error {
 	a, err := cm5.LookupAlgorithm(*alg)
 	if err != nil {
 		return err
+	}
+
+	var opts []cm5.JobOption
+	topoLabel := "fat-tree"
+	if *topoName != "" {
+		tp, err := cm5.NewTopology(*topoName, *n)
+		if err != nil {
+			return err
+		}
+		topoLabel = tp.Name()
+		opts = append(opts, cm5.WithTopology(tp))
 	}
 
 	var job cm5.Job
@@ -70,9 +89,9 @@ func run(args []string, out io.Writer) error {
 		} else {
 			p = cm5.SyntheticPattern(*n, *density, *bytes, *seed)
 		}
-		job = cm5.PatternJob(a, p, cm5.WithTrace(), cm5.WithSeed(*seed))
+		job = cm5.PatternJob(a, p, append(opts, cm5.WithTrace(), cm5.WithSeed(*seed))...)
 	default:
-		job = cm5.NewJob(a, *n, *bytes, cm5.WithTrace(), cm5.WithOffset(*offset))
+		job = cm5.NewJob(a, *n, *bytes, append(opts, cm5.WithTrace(), cm5.WithOffset(*offset))...)
 	}
 
 	res, err := cm5.Run(job)
@@ -85,9 +104,12 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "total rendezvous wait: %.3f ms (%.1f ms per node average)\n",
 		res.Trace.TotalWait().Millis(), res.Trace.TotalWait().Millis()/float64(*n))
 
-	printLevelUtilization(out, res)
+	printLevelUtilization(out, res, topoLabel)
 	if *perStep {
 		printStepTimes(out, res)
+	}
+	if *perLink {
+		printLinkUtilization(out, res)
 	}
 	if *perNode {
 		fmt.Fprintln(out)
@@ -97,20 +119,39 @@ func run(args []string, out io.Writer) error {
 }
 
 // printLevelUtilization renders Result.LevelUtilization as the
-// per-level fat-tree table.
-func printLevelUtilization(out io.Writer, res cm5.Result) {
+// per-level topology table.
+func printLevelUtilization(out io.Writer, res cm5.Result, topoLabel string) {
 	var levels []int
 	for l := range res.LevelUtilization {
 		levels = append(levels, l)
 	}
 	sort.Ints(levels)
-	fmt.Fprintln(out, "\nfat-tree utilization by level (fraction of level capacity x makespan):")
+	fmt.Fprintf(out, "\n%s utilization by level (fraction of level capacity x makespan):\n", topoLabel)
 	for _, l := range levels {
 		name := fmt.Sprintf("level %d", l)
 		if l == 0 {
 			name = "node links"
 		}
 		fmt.Fprintf(out, "  %-10s  %5.1f%%\n", name, 100*res.LevelUtilization[l])
+	}
+}
+
+// maxLinkRows bounds the -links table to the busiest links.
+const maxLinkRows = 12
+
+// printLinkUtilization renders the busiest entries of
+// Result.LinkUtilization: which individual links the run leaned on.
+func printLinkUtilization(out io.Writer, res cm5.Result) {
+	links := append([]cm5.LinkUtil(nil), res.LinkUtilization...)
+	sort.SliceStable(links, func(i, j int) bool { return links[i].Carried > links[j].Carried })
+	shown := len(links)
+	if shown > maxLinkRows {
+		shown = maxLinkRows
+	}
+	fmt.Fprintf(out, "\nbusiest links (%d of %d that carried traffic):\n", shown, len(links))
+	fmt.Fprintf(out, "  %-16s  %5s  %12s  %5s\n", "link", "level", "wire bytes", "util")
+	for _, l := range links[:shown] {
+		fmt.Fprintf(out, "  %-16s  %5d  %12.0f  %4.1f%%\n", l.Name, l.Level, l.Carried, 100*l.Utilization)
 	}
 }
 

@@ -23,6 +23,10 @@ func TestGolden(t *testing.T) {
 		{"pex_n16_256.golden", []string{"-alg", "pex", "-n", "16", "-bytes", "256"}},
 		{"bex_n16_1024_steps.golden", []string{"-alg", "bex", "-n", "16", "-bytes", "1024", "-steps"}},
 		{"gs_hotspot_n16.golden", []string{"-alg", "gs", "-n", "16", "-pattern", "hotspot", "-bytes", "256", "-nodes"}},
+		{"bs_bisection_n16_dragonfly.golden", []string{"-alg", "bs", "-n", "16", "-pattern", "bisection",
+			"-bytes", "256", "-topo", "dragonfly", "-links"}},
+		{"pex_n16_torus2d_links.golden", []string{"-alg", "pex", "-n", "16", "-bytes", "256",
+			"-topo", "torus2d", "-links"}},
 	}
 	for _, c := range cases {
 		t.Run(c.golden, func(t *testing.T) {
@@ -58,6 +62,32 @@ func TestUnknownAlgorithmListsRegistry(t *testing.T) {
 	for _, name := range []string{"LEX", "GS", "allgather"} {
 		if !bytes.Contains([]byte(err.Error()), []byte(name)) {
 			t.Errorf("error should list registry name %s: %v", name, err)
+		}
+	}
+}
+
+func TestUnknownTopologyListsNames(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-alg", "pex", "-topo", "moebius"}, &out)
+	if err == nil {
+		t.Fatal("unknown topology should error")
+	}
+	for _, name := range []string{"fat-tree", "torus2d", "hypercube", "dragonfly"} {
+		if !bytes.Contains([]byte(err.Error()), []byte(name)) {
+			t.Errorf("error should list topology name %s: %v", name, err)
+		}
+	}
+}
+
+func TestUnknownPatternListsWorkloads(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-alg", "gs", "-pattern", "bogus"}, &out)
+	if err == nil {
+		t.Fatal("unknown workload should error")
+	}
+	for _, name := range []string{"transpose", "hotspot", "bisection"} {
+		if !bytes.Contains([]byte(err.Error()), []byte(name)) {
+			t.Errorf("error should list workload name %s: %v", name, err)
 		}
 	}
 }

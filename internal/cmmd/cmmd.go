@@ -27,6 +27,7 @@ import (
 	"repro/internal/fattree"
 	"repro/internal/network"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // Wildcards for Recv matching.
@@ -243,10 +244,14 @@ func (n *Node) Stats() (sends, recvs int, userBytes int64) {
 	return n.sends, n.recvs, n.sentUser
 }
 
-// Machine is a simulated CM-5 partition.
+// Machine is a simulated CM-5 partition. Its data network runs over a
+// pluggable topology (the calibrated CM-5 fat tree by default; see
+// NewMachineOn), while the control network always models the CM-5's
+// hardware broadcast/combine tree.
 type Machine struct {
 	eng   *sim.Engine
-	topo  *fattree.Topology
+	topo  *fattree.Topology // control-network tree (and default data topology shape)
+	data  topo.Topology     // data-network link graph
 	net   *network.DataNet
 	ctrl  *network.ControlNet
 	cfg   network.Config
@@ -267,22 +272,43 @@ type Machine struct {
 // the what-if ablation in internal/exp. Must be called before Run.
 func (m *Machine) SetAsyncSends(on bool) { m.async = on }
 
-// NewMachine builds an n-node partition with the given configuration.
-// n must be a power of two in [2, 16384].
+// NewMachine builds an n-node partition with the given configuration,
+// its data network on the calibrated CM-5 fat tree. n must be a power
+// of two in [2, 16384].
 func NewMachine(n int, cfg network.Config) (*Machine, error) {
-	topo, err := fattree.New(n)
+	data, err := cfg.FatTree(n)
+	if err != nil {
+		return nil, err
+	}
+	return NewMachineOn(data, cfg) // NewMachineOn runs cfg.Validate
+}
+
+// NewMachineOn builds a partition whose data network runs over the
+// given topology's link graph; the node count is the topology's. The
+// control network (barriers, system broadcast, combine) keeps the CM-5
+// tree model regardless of the data topology, so node programs work
+// unchanged. The node count must be a power of two in [2, 16384].
+func NewMachineOn(data topo.Topology, cfg network.Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if data == nil {
+		return nil, fmt.Errorf("cmmd: nil topology")
+	}
+	ctrlTree, err := fattree.New(data.N())
 	if err != nil {
 		return nil, err
 	}
 	eng := sim.NewEngine()
 	m := &Machine{
 		eng:  eng,
-		topo: topo,
-		net:  network.NewDataNet(eng, topo, cfg),
-		ctrl: network.NewControlNet(topo, cfg),
+		topo: ctrlTree,
+		data: data,
+		net:  network.NewDataNet(eng, data, cfg),
+		ctrl: network.NewControlNet(ctrlTree, cfg),
 		cfg:  cfg,
 	}
-	m.nodes = make([]*Node, n)
+	m.nodes = make([]*Node, data.N())
 	for i := range m.nodes {
 		m.nodes[i] = &Node{id: i, m: m}
 	}
@@ -304,8 +330,12 @@ func (m *Machine) N() int { return len(m.nodes) }
 // Config returns the timing constants in use.
 func (m *Machine) Config() network.Config { return m.cfg }
 
-// Topology returns the partition's fat tree.
+// Topology returns the partition's fat-tree grouping structure (the
+// control network's tree, and the default data topology's shape).
 func (m *Machine) Topology() *fattree.Topology { return m.topo }
+
+// DataTopology returns the link graph the data network runs over.
+func (m *Machine) DataTopology() topo.Topology { return m.data }
 
 // Net returns the data network (for statistics).
 func (m *Machine) Net() *network.DataNet { return m.net }

@@ -519,3 +519,16 @@ func TestDeterministicEndTime(t *testing.T) {
 		}
 	}
 }
+
+// A bad timing Config must fail machine construction with a
+// descriptive error instead of driving the flow solver to NaN rates.
+func TestNewMachineRejectsBadConfig(t *testing.T) {
+	cfg := network.DefaultConfig()
+	cfg.NodeLinkRate = 0
+	if _, err := NewMachine(16, cfg); err == nil {
+		t.Fatal("zero node rate should fail NewMachine")
+	}
+	if _, err := NewMachineOn(nil, network.DefaultConfig()); err == nil {
+		t.Fatal("nil topology should fail NewMachineOn")
+	}
+}

@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/network"
+)
+
+func TestTopologyDeterministicAcrossPoolWidths(t *testing.T) {
+	cfg := network.DefaultConfig()
+	filter := ""
+	if testing.Short() {
+		filter = "/N64$"
+	}
+	build := func() []*TableSpec { return TopologySpecs(cfg) }
+	serial := renderWith(t, 1, filter, build)
+	wide := renderWith(t, 8, filter, build)
+	if serial != wide {
+		t.Fatal("topology tables differ between 1 and 8 workers")
+	}
+	if serial == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestTopologyCoverage(t *testing.T) {
+	specs := TopologySpecs(network.DefaultConfig())
+	if len(specs) != len(TopologySizes) {
+		t.Fatalf("%d specs, want one per size (%d)", len(specs), len(TopologySizes))
+	}
+	for _, spec := range specs {
+		want := len(spec.Table.RowHeaders) * len(TopologyNames) * len(IrregularAlgs)
+		if len(spec.Cells) != want {
+			t.Fatalf("%s: %d cells, want %d", spec.Name, len(spec.Cells), want)
+		}
+	}
+}
+
+// The fat-tree columns of the topology family must agree with the
+// scenario family: same seeded patterns, same machine, same solver.
+func TestTopologyFatTreeMatchesScenarios(t *testing.T) {
+	cfg := network.DefaultConfig()
+	n := 64 // a size both families sweep
+	topoSpec := TopologySpec(cfg, n)
+	scenSpec := ScenariosSpec(cfg)
+	r := &Runner{Workers: 4}
+	if err := r.Run(context.Background(), topoSpec, scenSpec); err != nil {
+		t.Fatal(err)
+	}
+	// Column indices: topology tables are (topo, alg) pairs with
+	// fat-tree first; scenario tables are (size, alg) with sizes in
+	// ScenarioSizes order.
+	scenBase := -1
+	for i, size := range ScenarioSizes {
+		if size == n {
+			scenBase = i * len(IrregularAlgs)
+		}
+	}
+	if scenBase < 0 {
+		t.Fatalf("size %d not in ScenarioSizes %v", n, ScenarioSizes)
+	}
+	for r, w := range topoSpec.Table.RowHeaders {
+		for a := range IrregularAlgs {
+			got := topoSpec.Table.Cells[r][a]
+			want := scenSpec.Table.Cells[r][scenBase+a]
+			if got != want || got == "" {
+				t.Errorf("%s/%s at N=%d: topology fat-tree %q != scenarios %q",
+					w, IrregularAlgs[a], n, got, want)
+			}
+		}
+	}
+}

@@ -15,7 +15,12 @@
 // a far lower broadcast bandwidth than the data network.
 package network
 
-import "repro/internal/sim"
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
 
 // Config holds the CM-5 timing constants used by the simulator. All rates
 // are bytes per second; MB/s in the paper means 1e6 bytes/s.
@@ -86,6 +91,71 @@ func DefaultConfig() Config {
 		CtrlCombineRate:  2e6,
 		CtrlPerLevelTime: 500 * sim.Nanosecond,
 	}
+}
+
+// Validate rejects configurations that would drive the flow solver to
+// NaN rates or zero-progress allocations: every rate and packet size
+// must be positive, latencies and overheads non-negative, and the
+// packet payload must fit its packet. NewMachine validates its Config
+// up front so a bad constant fails with a descriptive error instead of
+// a panic deep in the solver.
+func (c Config) Validate() error {
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"NodeLinkRate", c.NodeLinkRate},
+		{"Cluster4UpRate", c.Cluster4UpRate},
+		{"ThinRatePerNode", c.ThinRatePerNode},
+		{"MemCopyRate", c.MemCopyRate},
+		{"FlopRate", c.FlopRate},
+		{"CtrlBcastRate", c.CtrlBcastRate},
+		{"CtrlCombineRate", c.CtrlCombineRate},
+	}
+	for _, r := range rates {
+		if !(r.v > 0) { // negated to also catch NaN
+			return fmt.Errorf("network: config %s = %v; must be positive", r.name, r.v)
+		}
+	}
+	if c.PacketSize <= 0 {
+		return fmt.Errorf("network: config PacketSize = %d; must be positive", c.PacketSize)
+	}
+	if c.PacketPayload <= 0 || c.PacketPayload > c.PacketSize {
+		return fmt.Errorf("network: config PacketPayload = %d; must be in [1, PacketSize=%d]",
+			c.PacketPayload, c.PacketSize)
+	}
+	times := []struct {
+		name string
+		v    sim.Time
+	}{
+		{"WireLatency", c.WireLatency},
+		{"SendOverhead", c.SendOverhead},
+		{"RecvOverhead", c.RecvOverhead},
+		{"CtrlBaseLatency", c.CtrlBaseLatency},
+		{"CtrlPerLevelTime", c.CtrlPerLevelTime},
+	}
+	for _, t := range times {
+		if t.v < 0 {
+			return fmt.Errorf("network: config %s = %v; must be non-negative", t.name, t.v)
+		}
+	}
+	return nil
+}
+
+// TopologyRates extracts the rate constants topology constructors
+// consume.
+func (c Config) TopologyRates() topo.Rates {
+	return topo.Rates{
+		NodeLink:    c.NodeLinkRate,
+		Cluster4Up:  c.Cluster4UpRate,
+		ThinPerNode: c.ThinRatePerNode,
+	}
+}
+
+// FatTree builds the calibrated CM-5 fat tree over n nodes from this
+// configuration's rates — the topology NewMachine uses by default.
+func (c Config) FatTree(n int) (topo.Topology, error) {
+	return topo.NewFatTree(n, c.TopologyRates())
 }
 
 // WireBytes returns the number of bytes a message of userBytes occupies on

@@ -5,8 +5,8 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/fattree"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // completionSlack pads each flow-completion event by one nanosecond so
@@ -18,9 +18,10 @@ const completionSlack = sim.Nanosecond
 // as finished (absorbs float rounding across rate changes).
 const remainingEpsilon = 1e-3
 
-// link is one aggregated link group with a finite capacity.
+// link is one directed link of the topology graph with a finite
+// capacity.
 type link struct {
-	id      fattree.LinkID
+	idx     int
 	cap     float64
 	flows   map[*Flow]struct{}
 	carried float64 // total bytes carried, for utilization reports
@@ -50,42 +51,47 @@ type Flow struct {
 // It is only meaningful while the flow is active.
 func (f *Flow) Rate() float64 { return f.rate }
 
-// DataNet is the flow-level CM-5 data-network simulator. All methods must
-// be called from engine context (an event callback or a running process).
+// DataNet is the flow-level data-network simulator: each in-flight
+// message is a flow routed over the topology's link graph, its
+// instantaneous rate the max-min fair allocation subject to the
+// per-link capacities. All methods must be called from engine context
+// (an event callback or a running process).
 type DataNet struct {
 	eng   *sim.Engine
-	topo  *fattree.Topology
+	top   topo.Topology
 	cfg   Config
-	links map[fattree.LinkID]*link
+	links []*link // indexed by topology link index; nil until first touched
 	flows map[*Flow]struct{}
 
 	lastAdvance sim.Time
 	tick        *sim.Timer // single re-armed earliest-completion event
 	obs         FlowObserver
 
-	// Reusable maxmin scratch buffers: reallocation runs on every flow
-	// start and finish, so it must not allocate.
-	flowScratch []*Flow
-	linkScratch []*link
+	// Reusable scratch buffers: routing and reallocation run on every
+	// flow start and finish, so they must not allocate.
+	routeScratch []int
+	flowScratch  []*Flow
+	linkScratch  []*link
 
 	// Stats.
 	totalFlows     int
 	totalWireBytes int64
 }
 
-// NewDataNet creates a data network for the given topology.
-func NewDataNet(eng *sim.Engine, topo *fattree.Topology, cfg Config) *DataNet {
+// NewDataNet creates a data network over the given topology's link
+// graph.
+func NewDataNet(eng *sim.Engine, t topo.Topology, cfg Config) *DataNet {
 	return &DataNet{
 		eng:   eng,
-		topo:  topo,
+		top:   t,
 		cfg:   cfg,
-		links: make(map[fattree.LinkID]*link),
+		links: make([]*link, t.NumLinks()),
 		flows: make(map[*Flow]struct{}),
 	}
 }
 
-// Topology returns the fat tree the network runs over.
-func (d *DataNet) Topology() *fattree.Topology { return d.topo }
+// Topology returns the link graph the network runs over.
+func (d *DataNet) Topology() topo.Topology { return d.top }
 
 // Config returns the timing constants in use.
 func (d *DataNet) Config() Config { return d.cfg }
@@ -99,17 +105,11 @@ func (d *DataNet) TotalFlows() int { return d.totalFlows }
 // TotalWireBytes returns the sum of wire bytes over all started flows.
 func (d *DataNet) TotalWireBytes() int64 { return d.totalWireBytes }
 
-func (d *DataNet) linkFor(id fattree.LinkID) *link {
-	l, ok := d.links[id]
-	if !ok {
-		var capacity float64
-		if id.Level == 0 {
-			capacity = d.cfg.NodeLinkRate
-		} else {
-			capacity = d.cfg.ClusterUpRate(id.Level)
-		}
-		l = &link{id: id, cap: capacity, flows: make(map[*Flow]struct{})}
-		d.links[id] = l
+func (d *DataNet) linkFor(idx int) *link {
+	l := d.links[idx]
+	if l == nil {
+		l = &link{idx: idx, cap: d.top.Link(idx).Cap, flows: make(map[*Flow]struct{})}
+		d.links[idx] = l
 	}
 	return l
 }
@@ -132,8 +132,9 @@ func (d *DataNet) Start(src, dst, userBytes int, done func()) *Flow {
 		active:    true,
 		started:   d.eng.Now(),
 	}
-	for _, id := range d.topo.Route(src, dst) {
-		l := d.linkFor(id)
+	d.routeScratch = d.top.RouteAppend(d.routeScratch[:0], src, dst)
+	for _, idx := range d.routeScratch {
+		l := d.linkFor(idx)
 		l.flows[f] = struct{}{}
 		f.links = append(f.links, l)
 	}
@@ -167,33 +168,37 @@ func (d *DataNet) advance() {
 }
 
 // LinkCarried returns the total wire bytes each link has carried so far,
-// keyed by link. Only links that ever carried traffic appear.
-func (d *DataNet) LinkCarried() map[fattree.LinkID]float64 {
-	out := make(map[fattree.LinkID]float64, len(d.links))
-	for id, l := range d.links {
-		if l.carried > 0 {
-			out[id] = l.carried
+// keyed by topology link index. Only links that ever carried traffic
+// appear.
+func (d *DataNet) LinkCarried() map[int]float64 {
+	out := make(map[int]float64)
+	for idx, l := range d.links {
+		if l != nil && l.carried > 0 {
+			out[idx] = l.carried
 		}
 	}
 	return out
 }
 
-// LevelCarried aggregates LinkCarried by tree level (both directions
-// combined): how many wire bytes crossed each level of the fat tree.
+// LevelCarried aggregates LinkCarried by topology level (both
+// directions combined): how many wire bytes crossed each tier of the
+// network. For the fat tree the levels are the tree levels; other
+// topologies define their own tiers (see topo.Link).
 func (d *DataNet) LevelCarried() map[int]float64 {
 	out := make(map[int]float64)
-	for id, l := range d.links {
-		if l.carried > 0 {
-			out[id.Level] += l.carried
+	for idx, l := range d.links {
+		if l != nil && l.carried > 0 {
+			out[d.top.Link(idx).Level] += l.carried
 		}
 	}
 	return out
 }
 
-// LevelUtilization returns, per tree level, carried bytes divided by the
-// level's aggregate capacity x elapsed time — the fraction of the
-// level's capacity the run actually used. Elapsed must be the
-// simulation's makespan.
+// LevelUtilization returns, per topology level, carried bytes divided
+// by the level's aggregate capacity x elapsed time — the fraction of
+// the level's capacity the run actually used. Elapsed must be the
+// simulation's makespan. Only levels with traffic appear, and only
+// links that carried traffic count toward a level's capacity.
 func (d *DataNet) LevelUtilization(elapsed sim.Time) map[int]float64 {
 	secs := elapsed.Seconds()
 	out := make(map[int]float64)
@@ -201,15 +206,46 @@ func (d *DataNet) LevelUtilization(elapsed sim.Time) map[int]float64 {
 		return out
 	}
 	capacity := make(map[int]float64)
-	for id, l := range d.links {
-		if l.carried == 0 {
+	for idx, l := range d.links {
+		if l == nil || l.carried == 0 {
 			continue
 		}
-		out[id.Level] += l.carried
-		capacity[id.Level] += l.cap
+		level := d.top.Link(idx).Level
+		out[level] += l.carried
+		capacity[level] += l.cap
 	}
 	for level := range out {
 		out[level] /= capacity[level] * secs
+	}
+	return out
+}
+
+// LinkUtil is one link's utilization over a run, for the per-link view
+// the Result API surfaces alongside the per-level aggregate.
+type LinkUtil struct {
+	Name        string  // topology link name, e.g. "L2/0/up" or "global/g0-g1"
+	Level       int     // topology reporting tier (0 = node links)
+	Cap         float64 // capacity, bytes/s
+	Carried     float64 // wire bytes carried over the run
+	Utilization float64 // Carried / (Cap * elapsed)
+}
+
+// LinkUtilization returns the per-link utilization of every link that
+// carried traffic, in topology index order (deterministic). Elapsed
+// must be the simulation's makespan.
+func (d *DataNet) LinkUtilization(elapsed sim.Time) []LinkUtil {
+	secs := elapsed.Seconds()
+	var out []LinkUtil
+	for idx, l := range d.links {
+		if l == nil || l.carried == 0 {
+			continue
+		}
+		meta := d.top.Link(idx)
+		u := LinkUtil{Name: meta.Name, Level: meta.Level, Cap: l.cap, Carried: l.carried}
+		if secs > 0 {
+			u.Utilization = l.carried / (l.cap * secs)
+		}
+		out = append(out, u)
 	}
 	return out
 }

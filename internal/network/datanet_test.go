@@ -7,13 +7,22 @@ import (
 
 	"repro/internal/fattree"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
+
+// mustFatTree builds the calibrated CM-5 fat tree over n nodes.
+func mustFatTree(n int) topo.Topology {
+	ft, err := DefaultConfig().FatTree(n)
+	if err != nil {
+		panic(err)
+	}
+	return ft
+}
 
 func newNet(t *testing.T, n int) (*sim.Engine, *DataNet) {
 	t.Helper()
 	eng := sim.NewEngine()
-	topo := fattree.MustNew(n)
-	return eng, NewDataNet(eng, topo, DefaultConfig())
+	return eng, NewDataNet(eng, mustFatTree(n), DefaultConfig())
 }
 
 func run(t *testing.T, eng *sim.Engine) sim.Time {
@@ -300,8 +309,8 @@ func TestQuickMaxMinFeasible(t *testing.T) {
 			return true
 		}
 		eng := sim.NewEngine()
-		topo := fattree.MustNew(32)
-		net := NewDataNet(eng, topo, DefaultConfig())
+		ft := mustFatTree(32)
+		net := NewDataNet(eng, ft, DefaultConfig())
 		ok := true
 		eng.Schedule(0, func() {
 			var flows []*Flow
@@ -317,22 +326,17 @@ func TestQuickMaxMinFeasible(t *testing.T) {
 				return
 			}
 			// Check per-link feasibility.
-			usage := make(map[fattree.LinkID]float64)
+			usage := make(map[int]float64)
 			for _, fl := range flows {
 				if fl.Rate() <= 0 {
 					ok = false
 				}
-				for _, id := range topo.Route(fl.Src, fl.Dst) {
-					usage[id] += fl.Rate()
+				for _, idx := range ft.RouteAppend(nil, fl.Src, fl.Dst) {
+					usage[idx] += fl.Rate()
 				}
 			}
-			cfg := net.Config()
-			for id, u := range usage {
-				capacity := cfg.NodeLinkRate
-				if id.Level > 0 {
-					capacity = cfg.ClusterUpRate(id.Level)
-				}
-				if u > capacity*(1+1e-9) {
+			for idx, u := range usage {
+				if u > ft.Link(idx).Cap*(1+1e-9) {
 					ok = false
 				}
 			}
@@ -357,8 +361,7 @@ func TestQuickLoneFlowTime(t *testing.T) {
 		}
 		size := int(sizeRaw)
 		eng := sim.NewEngine()
-		topo := fattree.MustNew(64)
-		net := NewDataNet(eng, topo, DefaultConfig())
+		net := NewDataNet(eng, mustFatTree(64), DefaultConfig())
 		var doneAt sim.Time
 		eng.Schedule(0, func() {
 			net.Start(src, dst, size, func() { doneAt = eng.Now() })
@@ -381,8 +384,8 @@ func TestLinkCarriedAccounting(t *testing.T) {
 	})
 	end := run(t, eng)
 	carried := net.LinkCarried()
-	up := carried[fattree.LinkID{Level: 0, Group: 0, Up: true}]
-	down := carried[fattree.LinkID{Level: 0, Group: 1, Up: false}]
+	up := carried[2*0]     // node 0's injection link
+	down := carried[2*1+1] // node 1's ejection link
 	if math.Abs(up-20000) > 1 || math.Abs(down-20000) > 1 {
 		t.Fatalf("carried: up %g down %g, want 20000", up, down)
 	}
@@ -417,5 +420,35 @@ func TestLevelUtilizationCrossCluster(t *testing.T) {
 	}
 	if net.LevelUtilization(0)[2] != 0 {
 		t.Fatal("zero elapsed must yield empty utilization")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config must validate: %v", err)
+	}
+	mutate := func(f func(*Config)) Config {
+		cfg := DefaultConfig()
+		f(&cfg)
+		return cfg
+	}
+	bad := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero node rate", mutate(func(c *Config) { c.NodeLinkRate = 0 })},
+		{"negative cluster rate", mutate(func(c *Config) { c.Cluster4UpRate = -1 })},
+		{"zero thin rate", mutate(func(c *Config) { c.ThinRatePerNode = 0 })},
+		{"NaN flop rate", mutate(func(c *Config) { c.FlopRate = math.NaN() })},
+		{"zero memcpy", mutate(func(c *Config) { c.MemCopyRate = 0 })},
+		{"zero packet", mutate(func(c *Config) { c.PacketSize = 0 })},
+		{"payload over packet", mutate(func(c *Config) { c.PacketPayload = 64 })},
+		{"negative latency", mutate(func(c *Config) { c.WireLatency = -1 })},
+		{"zero ctrl bcast", mutate(func(c *Config) { c.CtrlBcastRate = 0 })},
+	}
+	for _, c := range bad {
+		if err := c.cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad config", c.name)
+		}
 	}
 }

@@ -1,7 +1,10 @@
 package sched
 
 import (
+	"fmt"
+
 	"repro/internal/cmmd"
+	"repro/internal/network"
 	"repro/internal/sim"
 )
 
@@ -26,9 +29,15 @@ type Metrics struct {
 	// step i's transfers. Non-nil only for schedule-backed runs.
 	StepDone []sim.Time
 
-	// LevelUtilization maps each fat-tree level to carried bytes over
-	// level capacity x makespan; level 0 is the node links.
+	// LevelUtilization maps each topology level to carried bytes over
+	// level capacity x makespan; level 0 is the node links. For the
+	// default fat tree the levels are the tree levels.
 	LevelUtilization map[int]float64
+
+	// LinkUtilization lists every link that carried traffic, in
+	// topology index order — the per-link view behind the per-level
+	// aggregate above.
+	LinkUtilization []network.LinkUtil
 
 	// Data-network totals: flow count and wire bytes (user bytes plus
 	// packetization overhead) across the run.
@@ -39,10 +48,23 @@ type Metrics struct {
 	Trace *cmmd.Trace
 }
 
-// newMachine builds a machine configured per the request: async sends,
-// tracing, and the flow observer attached before anything runs.
+// newMachine builds a machine configured per the request: the data
+// topology (the CM-5 fat tree when unset), async sends, tracing, and
+// the flow observer attached before anything runs.
 func newMachine(n int, req Request) (*cmmd.Machine, error) {
-	m, err := cmmd.NewMachine(n, req.Cfg)
+	var (
+		m   *cmmd.Machine
+		err error
+	)
+	if req.Topo != nil {
+		if req.Topo.N() != n {
+			return nil, fmt.Errorf("sched: topology %s has %d nodes, run needs %d",
+				req.Topo.Name(), req.Topo.N(), n)
+		}
+		m, err = cmmd.NewMachineOn(req.Topo, req.Cfg)
+	} else {
+		m, err = cmmd.NewMachine(n, req.Cfg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -62,6 +84,7 @@ func newMachine(n int, req Request) (*cmmd.Machine, error) {
 func finishMetrics(met *Metrics, m *cmmd.Machine, elapsed sim.Time) {
 	met.Elapsed = elapsed
 	met.LevelUtilization = m.Net().LevelUtilization(elapsed)
+	met.LinkUtilization = m.Net().LinkUtilization(elapsed)
 	met.Flows = m.Net().TotalFlows()
 	met.WireBytes = m.Net().TotalWireBytes()
 	met.Trace = m.Trace()

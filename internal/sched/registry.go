@@ -8,6 +8,7 @@ import (
 	"repro/internal/cmmd"
 	"repro/internal/network"
 	"repro/internal/pattern"
+	"repro/internal/topo"
 )
 
 // Kind classifies a registered algorithm by the shape of work it runs.
@@ -39,6 +40,7 @@ type Request struct {
 	Pattern pattern.Matrix // irregular pattern; implies the machine size
 	Seed    int64          // tie-break seed for stochastic planners
 	Cfg     network.Config
+	Topo    topo.Topology        // data-network topology; nil = the CM-5 fat tree
 	Async   bool                 // buffered (non-blocking) sends
 	Trace   bool                 // collect per-message trace events
 	Obs     network.FlowObserver // live flow observer, or nil

@@ -1,0 +1,86 @@
+package topo
+
+import "fmt"
+
+// Hypercube is a binary d-cube with e-cube routing: a message corrects
+// the differing address bits from lowest to highest, each correction
+// crossing the directed link between the current node and its neighbor
+// across that dimension. E-cube's fixed correction order makes routes
+// deterministic and deadlock-free.
+type Hypercube struct {
+	n, dims  int
+	nodeRate float64
+	linkRate float64
+	name     string
+}
+
+// NewHypercube builds a hypercube over n nodes; n must be a power of
+// two >= 2.
+func NewHypercube(n int, nodeRate, linkRate float64) (*Hypercube, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("topo: hypercube size %d must be a power of two >= 2", n)
+	}
+	if !(nodeRate > 0) || !(linkRate > 0) {
+		return nil, fmt.Errorf("topo: hypercube rates (node %v, link %v) must be positive", nodeRate, linkRate)
+	}
+	return &Hypercube{
+		n: n, dims: log2(n),
+		nodeRate: nodeRate, linkRate: linkRate,
+		name: fmt.Sprintf("hypercube(%dd)", log2(n)),
+	}, nil
+}
+
+// Name identifies the topology family and shape.
+func (h *Hypercube) Name() string { return h.name }
+
+// N returns the number of nodes.
+func (h *Hypercube) N() int { return h.n }
+
+// Dims returns the cube dimension (lg N).
+func (h *Hypercube) Dims() int { return h.dims }
+
+// NumLinks returns the number of directed links: 2 node links per node
+// plus one outgoing cube edge per (node, dimension).
+func (h *Hypercube) NumLinks() int { return 2*h.n + h.n*h.dims }
+
+// edgeIndex returns the directed link from node across dimension d.
+func (h *Hypercube) edgeIndex(node, d int) int { return 2*h.n + node*h.dims + d }
+
+// Link returns the static description of link i.
+func (h *Hypercube) Link(i int) Link {
+	if i < 0 || i >= h.NumLinks() {
+		panic(fmt.Sprintf("topo: hypercube link %d out of range [0,%d)", i, h.NumLinks()))
+	}
+	if i < 2*h.n {
+		return Link{Cap: h.nodeRate, Level: 0, Name: nodeLinkName(i)}
+	}
+	rel := i - 2*h.n
+	return Link{Cap: h.linkRate, Level: 1,
+		Name: fmt.Sprintf("cube/n%d/d%d", rel/h.dims, rel%h.dims)}
+}
+
+// RouteAppend performs e-cube routing: correct differing bits from
+// dimension 0 upward.
+func (h *Hypercube) RouteAppend(buf []int, src, dst int) []int {
+	if src == dst {
+		return buf
+	}
+	h.checkNode(src)
+	h.checkNode(dst)
+	buf = append(buf, 2*src)
+	cur := src
+	for d := 0; d < h.dims; d++ {
+		if (src^dst)>>uint(d)&1 == 0 {
+			continue
+		}
+		buf = append(buf, h.edgeIndex(cur, d))
+		cur ^= 1 << uint(d)
+	}
+	return append(buf, 2*dst+1)
+}
+
+func (h *Hypercube) checkNode(node int) {
+	if node < 0 || node >= h.n {
+		panic(fmt.Sprintf("topo: hypercube node %d out of range [0,%d)", node, h.n))
+	}
+}

@@ -1,0 +1,191 @@
+// Package topo models interconnect topologies for the flow-level data
+// network simulator: a Topology is a directed link-capacity graph plus a
+// routing function mapping a (src, dst) node pair to the ordered list of
+// links its messages traverse.
+//
+// The max-min fair solver in internal/network is topology-agnostic: it
+// only sees link indices and capacities. Every constructor here —
+// the CM-5 fat tree (the calibrated default), tapered fat trees, 2-D and
+// 3-D tori with dimension-order routing, hypercubes with e-cube routing,
+// and dragonflies (groups joined by global links) — therefore plugs into
+// the same simulator, multiplying every workload and scheduling
+// algorithm by a topology axis.
+//
+// Conventions shared by all constructors:
+//
+//   - Every node has a dedicated injection link (index 2*node) and
+//     ejection link (index 2*node+1) at Level 0, so any single flow is
+//     capped by the node interface rate exactly as on the real machine.
+//   - Interior links use Level >= 1; the level is the topology's natural
+//     reporting tier (tree level, mesh hop class, dragonfly local/global).
+//   - Routing is deterministic and minimal: the same (src, dst) pair
+//     always yields the same link sequence, so simulations are
+//     bit-reproducible.
+package topo
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Link describes one directed link's static properties.
+type Link struct {
+	// Cap is the link capacity in bytes per second.
+	Cap float64
+	// Level is the reporting tier: 0 for node injection/ejection links,
+	// >= 1 for interior links (tree level, torus/hypercube hop class,
+	// dragonfly router=1 / global=2).
+	Level int
+	// Name is a stable diagnostic identifier, e.g. "L2/3/up" or
+	// "torus/n5/+d0".
+	Name string
+}
+
+// Topology is a directed link-capacity graph plus a routing function.
+// Implementations must be deterministic: Route must return the same
+// link sequence for the same pair every time, and all capacities must
+// be fixed at construction.
+type Topology interface {
+	// Name identifies the topology family and shape, e.g. "fat-tree" or
+	// "torus2d(8x8)".
+	Name() string
+	// N returns the number of nodes.
+	N() int
+	// NumLinks returns the number of directed links; valid link indices
+	// are [0, NumLinks).
+	NumLinks() int
+	// Link returns the static description of link i.
+	Link(i int) Link
+	// RouteAppend appends the link indices a src -> dst message
+	// traverses, in traversal order, to buf and returns the extended
+	// slice. src == dst appends nothing: node-local data never enters
+	// the network.
+	RouteAppend(buf []int, src, dst int) []int
+}
+
+// Rates carries the machine rate constants topology constructors consume
+// (a subset of the network Config, kept separate so this package stays
+// free of simulator dependencies). All rates are bytes per second.
+type Rates struct {
+	// NodeLink is the node injection/ejection capacity (20 MB/s on the
+	// CM-5) — the peak rate of any single flow on every topology.
+	NodeLink float64
+	// Cluster4Up is the fat tree's level-1 cluster uplink capacity
+	// (40 MB/s on the CM-5).
+	Cluster4Up float64
+	// ThinPerNode is the fat tree's guaranteed per-node share above
+	// level 1 (5 MB/s on the CM-5).
+	ThinPerNode float64
+}
+
+// Validate rejects rate sets that would drive the max-min solver to NaN
+// or zero-progress allocations.
+func (r Rates) Validate() error {
+	switch {
+	case !(r.NodeLink > 0):
+		return fmt.Errorf("topo: node link rate %v must be positive", r.NodeLink)
+	case !(r.Cluster4Up > 0):
+		return fmt.Errorf("topo: cluster-4 uplink rate %v must be positive", r.Cluster4Up)
+	case !(r.ThinPerNode > 0):
+		return fmt.Errorf("topo: thin per-node rate %v must be positive", r.ThinPerNode)
+	}
+	return nil
+}
+
+// ErrUnknownTopology is returned (wrapped, with the requested name and
+// the known names) by New on a registry miss.
+var ErrUnknownTopology = errors.New("unknown topology")
+
+// builder constructs a registered topology for an n-node machine.
+type builder struct {
+	name  string
+	doc   string
+	build func(n int, r Rates) (Topology, error)
+}
+
+// builders lists the registered topology families in canonical order.
+// Machine sizes are powers of two throughout the simulator, and every
+// default shape below is defined for any power of two >= 2.
+var builders = []builder{
+	{"fat-tree", "the calibrated CM-5 4-ary fat tree (20/10/5 MB/s envelope)",
+		func(n int, r Rates) (Topology, error) { return NewFatTree(n, r) }},
+	{"tapered", "fat tree whose uplink capacity shrinks geometrically (taper 0.5) at every level",
+		func(n int, r Rates) (Topology, error) { return NewTaperedFatTree(n, r.NodeLink, 0.5) }},
+	{"torus2d", "2-D torus, near-square shape, dimension-order routing",
+		func(n int, r Rates) (Topology, error) { return NewTorus(splitDims(n, 2), r.NodeLink, r.NodeLink) }},
+	{"torus3d", "3-D torus, near-cubic shape, dimension-order routing",
+		func(n int, r Rates) (Topology, error) { return NewTorus(splitDims(n, 3), r.NodeLink, r.NodeLink) }},
+	{"hypercube", "binary hypercube, e-cube (lowest-dimension-first) routing",
+		func(n int, r Rates) (Topology, error) { return NewHypercube(n, r.NodeLink, r.NodeLink) }},
+	{"dragonfly", "fully connected groups joined by tapered all-to-all global links",
+		func(n int, r Rates) (Topology, error) {
+			g := 1 << ((log2(n) + 1) / 2) // near-square split: groups >= group size
+			return NewDragonfly(g, n/g, r.NodeLink, r.NodeLink)
+		}},
+}
+
+// Names returns the registered topology names in canonical order.
+func Names() []string {
+	out := make([]string, len(builders))
+	for i, b := range builders {
+		out[i] = b.name
+	}
+	return out
+}
+
+// Doc returns the one-line description of a registered topology name,
+// or "" for an unknown name.
+func Doc(name string) string {
+	for _, b := range builders {
+		if b.name == name {
+			return b.doc
+		}
+	}
+	return ""
+}
+
+// New builds the named topology in its default shape for an n-node
+// machine using the given rates. n must be a power of two >= 2 (machine
+// sizes are powers of two throughout the simulator). A name miss
+// returns an error wrapping ErrUnknownTopology that lists every known
+// name.
+func New(name string, n int, r Rates) (Topology, error) {
+	for _, b := range builders {
+		if b.name == name {
+			if n < 2 || n&(n-1) != 0 {
+				return nil, fmt.Errorf("topo: %s size %d must be a power of two >= 2", name, n)
+			}
+			if err := r.Validate(); err != nil {
+				return nil, err
+			}
+			return b.build(n, r)
+		}
+	}
+	return nil, fmt.Errorf("topo: %w %q (known: %s)",
+		ErrUnknownTopology, name, strings.Join(Names(), " "))
+}
+
+// log2 returns floor(log2(n)) for n >= 1.
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// splitDims factors a power of two into d near-equal power-of-two
+// dimensions, largest first, each at least 1.
+func splitDims(n, d int) []int {
+	lg := log2(n)
+	dims := make([]int, d)
+	for i := range dims {
+		m := d - i            // dimensions still to fill
+		e := (lg + m - 1) / m // distribute the exponent, largest first
+		dims[i] = 1 << e
+		lg -= e
+	}
+	return dims
+}

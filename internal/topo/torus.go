@@ -1,0 +1,157 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Torus is a k-dimensional wrap-around mesh with dimension-order
+// routing: a message corrects its coordinate in dimension 0 first, then
+// dimension 1, and so on, always along the shorter wrap direction
+// (ties go the positive way). Each hop crosses one directed
+// neighbor link of capacity linkRate; injection and ejection links cap
+// every flow at nodeRate.
+type Torus struct {
+	dims               []int
+	stride             []int // stride[d]: node-index step of +1 in dimension d
+	n                  int
+	name               string
+	nodeRate, linkRate float64
+}
+
+// NewTorus builds a torus with the given dimension sizes (2-D and 3-D
+// are the common cases; any length >= 1 works). Every dimension must be
+// at least 1 and the total node count at least 2.
+func NewTorus(dims []int, nodeRate, linkRate float64) (*Torus, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("topo: torus needs at least one dimension")
+	}
+	n := 1
+	for _, d := range dims {
+		if d < 1 {
+			return nil, fmt.Errorf("topo: torus dimension %d must be at least 1", d)
+		}
+		n *= d
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("topo: torus with %d node(s) needs at least 2", n)
+	}
+	if !(nodeRate > 0) || !(linkRate > 0) {
+		return nil, fmt.Errorf("topo: torus rates (node %v, link %v) must be positive", nodeRate, linkRate)
+	}
+	t := &Torus{
+		dims:     append([]int(nil), dims...),
+		stride:   make([]int, len(dims)),
+		n:        n,
+		nodeRate: nodeRate,
+		linkRate: linkRate,
+	}
+	s := 1
+	for d := range dims {
+		t.stride[d] = s
+		s *= dims[d]
+	}
+	shape := make([]string, len(dims))
+	for i, d := range dims {
+		shape[i] = fmt.Sprint(d)
+	}
+	t.name = fmt.Sprintf("torus%dd(%s)", len(dims), strings.Join(shape, "x"))
+	return t, nil
+}
+
+// Dims returns the dimension sizes.
+func (t *Torus) Dims() []int { return append([]int(nil), t.dims...) }
+
+// Name identifies the topology family and shape.
+func (t *Torus) Name() string { return t.name }
+
+// N returns the number of nodes.
+func (t *Torus) N() int { return t.n }
+
+// NumLinks returns the number of directed links: 2 node links per node
+// plus a +/- neighbor link per (node, dimension).
+func (t *Torus) NumLinks() int { return 2*t.n + 2*t.n*len(t.dims) }
+
+// hopIndex returns the directed neighbor link leaving node in dimension
+// d, positively (plus) or negatively.
+func (t *Torus) hopIndex(node, d int, plus bool) int {
+	i := 2*t.n + 2*(node*len(t.dims)+d)
+	if !plus {
+		i++
+	}
+	return i
+}
+
+// Link returns the static description of link i.
+func (t *Torus) Link(i int) Link {
+	if i < 0 || i >= t.NumLinks() {
+		panic(fmt.Sprintf("topo: torus link %d out of range [0,%d)", i, t.NumLinks()))
+	}
+	if i < 2*t.n {
+		return Link{Cap: t.nodeRate, Level: 0, Name: nodeLinkName(i)}
+	}
+	rel := i - 2*t.n
+	node, d, dir := rel/2/len(t.dims), rel/2%len(t.dims), "+"
+	if rel%2 == 1 {
+		dir = "-"
+	}
+	return Link{Cap: t.linkRate, Level: 1, Name: fmt.Sprintf("torus/n%d/%sd%d", node, dir, d)}
+}
+
+// coord returns node's coordinate in dimension d.
+func (t *Torus) coord(node, d int) int { return node / t.stride[d] % t.dims[d] }
+
+// RouteAppend performs dimension-order routing along the shorter wrap
+// direction in each dimension.
+func (t *Torus) RouteAppend(buf []int, src, dst int) []int {
+	if src == dst {
+		return buf
+	}
+	t.checkNode(src)
+	t.checkNode(dst)
+	buf = append(buf, 2*src)
+	cur := src
+	for d := range t.dims {
+		size := t.dims[d]
+		delta := (t.coord(dst, d) - t.coord(cur, d) + size) % size
+		if delta == 0 {
+			continue
+		}
+		forward, backward := delta, size-delta
+		if forward <= backward {
+			for s := 0; s < forward; s++ {
+				buf = append(buf, t.hopIndex(cur, d, true))
+				cur = t.step(cur, d, 1)
+			}
+		} else {
+			for s := 0; s < backward; s++ {
+				buf = append(buf, t.hopIndex(cur, d, false))
+				cur = t.step(cur, d, -1)
+			}
+		}
+	}
+	return append(buf, 2*dst+1)
+}
+
+// step moves node by dir (+1 or -1) in dimension d with wrap-around.
+func (t *Torus) step(node, d, dir int) int {
+	c := t.coord(node, d)
+	next := (c + dir + t.dims[d]) % t.dims[d]
+	return node + (next-c)*t.stride[d]
+}
+
+func (t *Torus) checkNode(node int) {
+	if node < 0 || node >= t.n {
+		panic(fmt.Sprintf("topo: torus node %d out of range [0,%d)", node, t.n))
+	}
+}
+
+// nodeLinkName renders the shared Level-0 link naming: "node<i>/in"
+// (injection, toward the network) and "node<i>/out" (ejection).
+func nodeLinkName(i int) string {
+	dir := "in"
+	if i%2 == 1 {
+		dir = "out"
+	}
+	return fmt.Sprintf("node%d/%s", i/2, dir)
+}

@@ -1,0 +1,47 @@
+package repro
+
+// BenchmarkTopology is the perf-trajectory benchmark behind `make
+// bench-json`: one cell per (topology, algorithm), each iteration
+// scheduling and simulating the stencil3d workload on 64 nodes over
+// that interconnect. cmd/benchjson turns the output into
+// BENCH_topo.json (ns/op per topology x algorithm) so CI tracks the
+// generalized solver's host cost across PRs.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/cm5"
+	"repro/internal/exp"
+)
+
+func BenchmarkTopology(b *testing.B) {
+	const (
+		n      = 64
+		nbytes = 256
+	)
+	for _, topoName := range exp.TopologyNames {
+		tp, err := cm5.NewTopology(topoName, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := cm5.WorkloadPattern("stencil3d", n, nbytes, int64(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, alg := range exp.IrregularAlgs {
+			b.Run(fmt.Sprintf("%s/%s", topoName, alg), func(b *testing.B) {
+				a := cm5.MustAlgorithm(alg)
+				total := 0.0
+				for i := 0; i < b.N; i++ {
+					res, err := cm5.Run(cm5.PatternJob(a, p, cm5.WithTopology(tp)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += res.Elapsed.Millis()
+				}
+				reportSim(b, total)
+			})
+		}
+	}
+}
