@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json lint vet fmt-check tables examples linkcheck api api-check
+.PHONY: build test race bench bench-smoke bench-json bench-baseline cover perf-check lint vet fmt-check tables examples linkcheck api api-check
 
 build:
 	$(GO) build ./...
@@ -9,10 +9,18 @@ test:
 	$(GO) test ./...
 
 # Race pass over the concurrent code introduced by the experiment
-# orchestrator and the rewritten simulation engine. -short trims the
-# heaviest deterministic sweeps; `make test` still runs them raceless.
+# orchestrator, the rewritten simulation engine, and the result store's
+# concurrent writers. -short trims the heaviest deterministic sweeps;
+# `make test` still runs them raceless.
 race:
-	$(GO) test -race -short ./internal/exp/ ./internal/sim/ ./internal/cmmd/ ./internal/network/
+	$(GO) test -race -short ./internal/exp/ ./internal/sim/ ./internal/cmmd/ ./internal/network/ ./internal/store/
+
+# Full-suite run with a coverage profile plus a function summary; on
+# CI's stable leg this IS the test step (one execution, not two), and
+# coverage.out uploads as an artifact.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 30
 
 # Full paper-scale experiment benchmarks (host ns/op + simulated-time
 # metrics); see also the engine micro-benchmarks in internal/sim.
@@ -36,6 +44,23 @@ bench-json:
 	cat "$$out"; \
 	$(GO) run ./cmd/benchjson -out BENCH_topo.json < "$$out"; rm -f "$$out"
 	@echo "bench-json: wrote BENCH_topo.json"
+
+# Gate the freshly generated BENCH_topo.json against a baseline (the
+# latest main artifact in CI, or the committed BENCH_topo.baseline.json
+# fallback): ns/op slowdowns beyond THRESHOLD and any sim_ms drift
+# beyond SIM_THRESHOLD fail.
+BASELINE ?= BENCH_topo.baseline.json
+THRESHOLD ?= 25%
+SIM_THRESHOLD ?= 0.1%
+perf-check:
+	$(GO) run ./cmd/expdiff -threshold $(THRESHOLD) -sim-threshold $(SIM_THRESHOLD) $(BASELINE) BENCH_topo.json
+
+# Refresh the committed perf baseline after an intentional perf or
+# simulation change (commit the result alongside the change).
+bench-baseline:
+	$(MAKE) bench-json BENCHTIME=5x
+	cp BENCH_topo.json BENCH_topo.baseline.json
+	@echo "bench-baseline: wrote BENCH_topo.baseline.json"
 
 # Run every example program end to end — the documentation smoke test.
 examples:

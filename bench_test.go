@@ -261,7 +261,7 @@ func BenchmarkFig5TableSweep(b *testing.B) {
 func BenchmarkOrchestratorOverhead(b *testing.B) {
 	spec := &exp.TableSpec{Name: "bench"}
 	for i := 0; i < 1000; i++ {
-		spec.AddCell(fmt.Sprintf("bench/%d", i), func(ctx context.Context, _ int64) error { return nil })
+		spec.AddCell(fmt.Sprintf("bench/%d", i), func(ctx context.Context, _ int64, rec *exp.Rec) error { return nil })
 	}
 	r := exp.NewRunner(0)
 	b.ResetTimer()

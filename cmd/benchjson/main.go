@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -31,8 +32,14 @@ type Result struct {
 	SimMs      float64 `json:"sim_ms,omitempty"`
 }
 
-// Report is the file benchjson writes.
+// ReportSchema versions the report format so downstream consumers
+// (cmd/expdiff, CI artifact diffs) can detect incompatible files.
+const ReportSchema = "repro-bench/v1"
+
+// Report is the file benchjson writes. Results are sorted by benchmark
+// name, so reports are deterministic across runs and diff cleanly.
 type Report struct {
+	Schema  string   `json:"schema"`
 	GoOS    string   `json:"goos,omitempty"`
 	GoArch  string   `json:"goarch,omitempty"`
 	Results []Result `json:"results"`
@@ -53,7 +60,7 @@ func main() {
 }
 
 func run(in io.Reader, outPath string) error {
-	rep := Report{}
+	rep := Report{Schema: ReportSchema}
 	sc := bufio.NewScanner(in)
 	for sc.Scan() {
 		line := sc.Text()
@@ -95,6 +102,11 @@ func run(in io.Reader, outPath string) error {
 	if len(rep.Results) == 0 {
 		return fmt.Errorf("no benchmark lines on stdin (did the bench run fail?)")
 	}
+	// Deterministic order regardless of how `go test` interleaved the
+	// benchmarks: sorted by name (names are unique per run).
+	sort.Slice(rep.Results, func(i, j int) bool {
+		return rep.Results[i].Benchmark < rep.Results[j].Benchmark
+	})
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

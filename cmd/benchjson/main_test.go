@@ -8,12 +8,14 @@ import (
 	"testing"
 )
 
+// Deliberately NOT in sorted order: the report must sort regardless of
+// how `go test` interleaved the benchmark lines.
 const sample = `goos: linux
 goarch: amd64
 pkg: repro
 cpu: whatever
-BenchmarkTopology/fat-tree/LS-8         	       1	  52124875 ns/op	        13.45 sim_ms
 BenchmarkTopology/torus2d/GS-8          	       2	   1523000 ns/op
+BenchmarkTopology/fat-tree/LS-8         	       1	  52124875 ns/op	        13.45 sim_ms
 BenchmarkFig5CompleteExchange32/LEX/0B-8	       1	   9000000 ns/op	        36.90 sim_ms
 PASS
 ok  	repro	1.234s
@@ -32,24 +34,61 @@ func TestRunParsesBenchOutput(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
 	}
+	if rep.Schema != ReportSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, ReportSchema)
+	}
 	if rep.GoOS != "linux" || rep.GoArch != "amd64" {
 		t.Errorf("goos/goarch = %q/%q", rep.GoOS, rep.GoArch)
 	}
 	if len(rep.Results) != 3 {
 		t.Fatalf("%d results, want 3", len(rep.Results))
 	}
-	first := rep.Results[0]
-	if first.Topology != "fat-tree" || first.Algorithm != "LS" {
-		t.Errorf("topology/algorithm = %q/%q", first.Topology, first.Algorithm)
+	// Sorted by benchmark name, not input order.
+	wantOrder := []string{
+		"BenchmarkFig5CompleteExchange32/LEX/0B",
+		"BenchmarkTopology/fat-tree/LS",
+		"BenchmarkTopology/torus2d/GS",
 	}
-	if first.NsPerOp != 52124875 || first.Iterations != 1 || first.SimMs != 13.45 {
-		t.Errorf("first result fields wrong: %+v", first)
+	for i, want := range wantOrder {
+		if rep.Results[i].Benchmark != want {
+			t.Fatalf("result %d = %q, want %q (sorted)", i, rep.Results[i].Benchmark, want)
+		}
 	}
-	if rep.Results[1].SimMs != 0 {
-		t.Errorf("missing sim_ms should stay zero, got %v", rep.Results[1].SimMs)
+	ft := rep.Results[1]
+	if ft.Topology != "fat-tree" || ft.Algorithm != "LS" {
+		t.Errorf("topology/algorithm = %q/%q", ft.Topology, ft.Algorithm)
 	}
-	if rep.Results[2].Topology != "" {
-		t.Errorf("non-topology benchmarks should not get a topology label: %+v", rep.Results[2])
+	if ft.NsPerOp != 52124875 || ft.Iterations != 1 || ft.SimMs != 13.45 {
+		t.Errorf("fat-tree result fields wrong: %+v", ft)
+	}
+	if rep.Results[2].SimMs != 0 {
+		t.Errorf("missing sim_ms should stay zero, got %v", rep.Results[2].SimMs)
+	}
+	if rep.Results[0].Topology != "" {
+		t.Errorf("non-topology benchmarks should not get a topology label: %+v", rep.Results[0])
+	}
+}
+
+func TestRunOutputDeterministic(t *testing.T) {
+	a := filepath.Join(t.TempDir(), "a.json")
+	b := filepath.Join(t.TempDir(), "b.json")
+	// Same lines, different interleaving: identical bytes out.
+	shuffled := strings.Replace(sample,
+		"BenchmarkTopology/torus2d/GS-8          \t       2\t   1523000 ns/op\nBenchmarkTopology/fat-tree/LS-8         \t       1\t  52124875 ns/op\t        13.45 sim_ms",
+		"BenchmarkTopology/fat-tree/LS-8         \t       1\t  52124875 ns/op\t        13.45 sim_ms\nBenchmarkTopology/torus2d/GS-8          \t       2\t   1523000 ns/op", 1)
+	if shuffled == sample {
+		t.Fatal("test bug: shuffle did nothing")
+	}
+	if err := run(strings.NewReader(sample), a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(strings.NewReader(shuffled), b); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) != string(db) {
+		t.Fatalf("reordered input changed the report:\n%s\nvs\n%s", da, db)
 	}
 }
 

@@ -30,18 +30,37 @@
 //	-run REGEXP   only run cells whose key matches (unselected cells
 //	              stay blank in the rendered tables; derived columns
 //	              of partially-selected tables stay blank too)
+//	-store DIR    content-addressed result store: cells whose full
+//	              specification (family, cell, axes, seed, config, code
+//	              version) is already stored replay byte-identically
+//	              instead of re-simulating; fresh results persist for
+//	              the next run. Created if missing.
+//	-resume       continue an interrupted sweep: like -store DIR, but
+//	              the store must already exist, and the replayed/
+//	              simulated split is reported on stderr. Requires -store.
+//	-invalidate REGEXP
+//	              delete stored results whose cell key matches, before
+//	              the sweep (with no experiments: invalidate and exit).
+//	              Requires -store.
+//	-format F     output format: text (aligned tables, default), json
+//	              (one schema-versioned document), csv (one record per
+//	              cell). The static "schedules" listing is text-only
+//	              and is skipped under json/csv.
 //	-v            report per-cell progress and wall-clock time on stderr
+//	              (cached cells are marked "(store)")
 //
 // All experiment cells — one simulation per (figure, algorithm, machine
 // size, message size) tuple — are fanned across one worker pool, so a
 // full "all" sweep uses every core. Results are deterministic: the
-// rendered tables are byte-identical for any -parallel value.
+// rendered tables are byte-identical for any -parallel value, and
+// byte-identical with the result store cold, warm, or disabled.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"regexp"
@@ -51,6 +70,7 @@ import (
 	"repro/cm5"
 	"repro/internal/exp"
 	"repro/internal/network"
+	"repro/internal/store"
 )
 
 var tableExperiments = []string{
@@ -65,26 +85,38 @@ var ablationExperiments = []string{
 	"ablation-crossover", "ablation-crystal",
 }
 
+// options carries every flag so tests can drive run directly.
+type options struct {
+	procs      int
+	maxSize    int
+	parallel   int
+	seed       int64
+	runPat     string
+	storeDir   string
+	resume     bool
+	invalidate string
+	format     string
+	verbose    bool
+}
+
 func main() {
-	procs := flag.Int("procs", 0, "processor count for table5 (0 = both 32 and 256)")
-	maxSize := flag.Int("maxsize", 2048, "largest FFT array edge for table5")
-	parallel := flag.Int("parallel", 0, "worker pool size (0 = all CPUs)")
-	seed := flag.Int64("seed", 0, "perturb the per-cell seeds of stochastic cells (0 = canonical tables)")
-	runPat := flag.String("run", "", "only run cells whose key matches this regexp")
-	verbose := flag.Bool("v", false, "report per-cell progress on stderr")
+	var o options
+	flag.IntVar(&o.procs, "procs", 0, "processor count for table5 (0 = both 32 and 256)")
+	flag.IntVar(&o.maxSize, "maxsize", 2048, "largest FFT array edge for table5")
+	flag.IntVar(&o.parallel, "parallel", 0, "worker pool size (0 = all CPUs)")
+	flag.Int64Var(&o.seed, "seed", 0, "perturb the per-cell seeds of stochastic cells (0 = canonical tables)")
+	flag.StringVar(&o.runPat, "run", "", "only run cells whose key matches this regexp")
+	flag.StringVar(&o.storeDir, "store", "", "content-addressed result store directory (cache hits replay instead of re-simulating)")
+	flag.BoolVar(&o.resume, "resume", false, "continue an interrupted sweep from an existing -store (reports the replayed/simulated split)")
+	flag.StringVar(&o.invalidate, "invalidate", "", "delete stored results whose cell key matches this regexp before the sweep (requires -store)")
+	flag.StringVar(&o.format, "format", "text", "output format: text, json, or csv")
+	flag.BoolVar(&o.verbose, "v", false, "report per-cell progress on stderr")
 	flag.Parse()
-	if flag.NArg() == 0 {
+	if flag.NArg() == 0 && o.invalidate == "" {
 		fmt.Fprintln(os.Stderr, "usage: cmexp [flags] fig5|fig6|fig7|fig8|fig10|fig11|table5|table11|table12|scenarios|collectives|topology|schedules|ablations|all")
 		os.Exit(2)
 	}
-	if err := run(flag.Args(), *procs, *maxSize, *parallel, *seed, *runPat, *verbose); err != nil {
-		fmt.Fprintf(os.Stderr, "cmexp: %v\n", err)
-		os.Exit(1)
-	}
-}
 
-func run(args []string, procs, maxSize, parallel int, seed int64, runPat string, verbose bool) error {
-	cfg := network.DefaultConfig()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	// Release the signal registration as soon as the first interrupt
@@ -95,6 +127,54 @@ func run(args []string, procs, maxSize, parallel int, seed int64, runPat string,
 		<-ctx.Done()
 		stop()
 	}()
+
+	if err := run(ctx, os.Stdout, os.Stderr, flag.Args(), o); err != nil {
+		fmt.Fprintf(os.Stderr, "cmexp: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, stdout, stderr io.Writer, args []string, o options) error {
+	cfg := network.DefaultConfig()
+	format, err := exp.ParseFormat(o.format)
+	if err != nil {
+		return err
+	}
+
+	// The result store: -resume demands an existing one (resuming from
+	// nothing is a misspelled path, not a fresh sweep), -store creates
+	// on first use.
+	var st *store.Store
+	if o.resume && o.storeDir == "" {
+		return fmt.Errorf("-resume requires -store DIR (the store the interrupted sweep was writing)")
+	}
+	if o.invalidate != "" && o.storeDir == "" {
+		return fmt.Errorf("-invalidate requires -store DIR")
+	}
+	if o.storeDir != "" {
+		if o.resume {
+			if fi, err := os.Stat(o.storeDir); err != nil || !fi.IsDir() {
+				return fmt.Errorf("-resume: store %s does not exist", o.storeDir)
+			}
+		}
+		if st, err = store.Open(o.storeDir); err != nil {
+			return err
+		}
+	}
+	if o.invalidate != "" {
+		re, err := regexp.Compile(o.invalidate)
+		if err != nil {
+			return fmt.Errorf("bad -invalidate pattern: %w", err)
+		}
+		n, err := st.Invalidate(re)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "cmexp: invalidated %d stored cells matching %q\n", n, o.invalidate)
+		if len(args) == 0 {
+			return nil
+		}
+	}
 
 	// Expand the grouping aliases, preserving the canonical print order.
 	var names []string
@@ -143,11 +223,11 @@ func run(args []string, procs, maxSize, parallel int, seed int64, runPat string,
 			specs = append(specs, exp.Fig11Spec(cfg))
 		case "table5":
 			sizes := []int{32, 256}
-			if procs != 0 {
-				sizes = []int{procs}
+			if o.procs != 0 {
+				sizes = []int{o.procs}
 			}
 			for _, n := range sizes {
-				specs = append(specs, exp.Table5Spec(n, maxSize, cfg))
+				specs = append(specs, exp.Table5Spec(n, o.maxSize, cfg))
 			}
 		case "scenarios":
 			specs = append(specs, exp.ScenariosSpec(cfg), exp.ScenarioStatsSpec(cfg))
@@ -179,10 +259,14 @@ func run(args []string, procs, maxSize, parallel int, seed int64, runPat string,
 		}
 	}
 
-	runner := exp.NewRunner(parallel)
-	runner.Seed = seed
-	if runPat != "" {
-		re, err := regexp.Compile(runPat)
+	runner := exp.NewRunner(o.parallel)
+	runner.Seed = o.seed
+	if st != nil {
+		runner.Store = st
+		runner.StoreBase = exp.StoreBase(cfg)
+	}
+	if o.runPat != "" {
+		re, err := regexp.Compile(o.runPat)
 		if err != nil {
 			return fmt.Errorf("bad -run pattern: %w", err)
 		}
@@ -201,28 +285,40 @@ func run(args []string, procs, maxSize, parallel int, seed int64, runPat string,
 			}
 			return fmt.Errorf("-run %q matches no cell of the selected experiments; "+
 				"keys look like fig5/PEX/N32/256B and name the registry's algorithms (known: %s)",
-				runPat, strings.Join(algs, " "))
+				o.runPat, strings.Join(algs, " "))
 		}
 		runner.Filter = re
 	}
-	if verbose {
+	if o.verbose {
 		runner.OnProgress = func(p exp.Progress) {
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", p.Done, p.Total, p.Key)
+			mark := ""
+			if p.Cached {
+				mark = " (store)"
+			}
+			fmt.Fprintf(stderr, "[%d/%d] %s%s\n", p.Done, p.Total, p.Key, mark)
 		}
 	}
 
 	start := time.Now()
-	if printSchedules {
-		fmt.Println(exp.ScheduleTables())
+	if printSchedules && format == exp.FormatText {
+		fmt.Fprintln(stdout, exp.ScheduleTables())
 	}
 	if err := runner.Run(ctx, specs...); err != nil {
 		return err
 	}
-	for _, s := range specs {
-		fmt.Println(s.Table.Render())
+	tables := make([]*exp.Table, len(specs))
+	for i, s := range specs {
+		tables[i] = s.Table
 	}
-	if verbose {
-		fmt.Fprintf(os.Stderr, "cmexp: %d tables, %d workers, %.2fs wall\n",
+	if err := exp.WriteTables(stdout, format, tables); err != nil {
+		return err
+	}
+	if st != nil && (o.resume || o.verbose) {
+		fmt.Fprintf(stderr, "cmexp: %d cells replayed from %s, %d simulated\n",
+			runner.CacheHits(), o.storeDir, runner.CacheMisses())
+	}
+	if o.verbose {
+		fmt.Fprintf(stderr, "cmexp: %d tables, %d workers, %.2fs wall\n",
 			len(specs), runner.Workers, time.Since(start).Seconds())
 	}
 	return nil

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cmexpOut drives run() exactly as main does and returns stdout/stderr.
+func cmexpOut(t *testing.T, args []string, o options) (string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	if err := run(context.Background(), &stdout, &stderr, args, o); err != nil {
+		t.Fatalf("cmexp %v: %v\nstderr:\n%s", args, err, stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+// TestStoreOutputByteIdentical is the acceptance contract: the same
+// experiment with no store, a cold store, and a warm store must print
+// byte-identical tables, and the warm run must replay every cell.
+func TestStoreOutputByteIdentical(t *testing.T) {
+	args := []string{"ablation-async"}
+	storeless, _ := cmexpOut(t, args, options{parallel: 2})
+
+	dir := filepath.Join(t.TempDir(), "results")
+	cold, _ := cmexpOut(t, args, options{parallel: 2, storeDir: dir})
+	warm, warmErr := cmexpOut(t, args, options{parallel: 2, storeDir: dir, resume: true})
+
+	if cold != storeless {
+		t.Fatalf("cold store output differs from storeless:\n%s\nvs\n%s", cold, storeless)
+	}
+	if warm != storeless {
+		t.Fatalf("warm store output differs from storeless:\n%s\nvs\n%s", warm, storeless)
+	}
+	if !strings.Contains(warmErr, "16 cells replayed") || !strings.Contains(warmErr, "0 simulated") {
+		t.Fatalf("warm -resume should replay all 16 cells:\n%s", warmErr)
+	}
+}
+
+// TestResumeAfterInterruptedSweep: a sweep that died mid-way (here:
+// only some cells ran, selected by -run) leaves a partial store;
+// -resume finishes the remaining cells and produces the full output.
+func TestResumeAfterInterruptedSweep(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	args := []string{"ablation-async"}
+
+	// The "interrupted" sweep: only the LEX cells completed.
+	_, _ = cmexpOut(t, args, options{parallel: 2, storeDir: dir, runPat: "LEX"})
+
+	full, resumeErr := cmexpOut(t, args, options{parallel: 2, storeDir: dir, resume: true})
+	if !strings.Contains(resumeErr, "8 cells replayed") || !strings.Contains(resumeErr, "8 simulated") {
+		t.Fatalf("resume should replay the 8 completed cells and simulate 8:\n%s", resumeErr)
+	}
+	want, _ := cmexpOut(t, args, options{parallel: 2})
+	if full != want {
+		t.Fatalf("resumed output differs from a fresh full sweep:\n%s\nvs\n%s", full, want)
+	}
+}
+
+func TestResumeRequiresExistingStore(t *testing.T) {
+	var stdout, stderr strings.Builder
+	err := run(context.Background(), &stdout, &stderr, []string{"fig5"},
+		options{resume: true, format: "text"})
+	if err == nil || !strings.Contains(err.Error(), "-store") {
+		t.Fatalf("-resume without -store should fail mentioning -store, got %v", err)
+	}
+	err = run(context.Background(), &stdout, &stderr, []string{"fig5"},
+		options{resume: true, storeDir: filepath.Join(t.TempDir(), "missing"), format: "text"})
+	if err == nil || !strings.Contains(err.Error(), "does not exist") {
+		t.Fatalf("-resume with a missing store should fail, got %v", err)
+	}
+}
+
+func TestInvalidateForcesResimulation(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	args := []string{"ablation-async"}
+	cmexpOut(t, args, options{parallel: 2, storeDir: dir})
+
+	_, stderr := cmexpOut(t, args, options{
+		parallel: 2, storeDir: dir, resume: true, invalidate: "LEX",
+	})
+	if !strings.Contains(stderr, "invalidated 8 stored cells") {
+		t.Fatalf("expected 8 invalidations:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "8 cells replayed") || !strings.Contains(stderr, "8 simulated") {
+		t.Fatalf("invalidated cells should re-simulate:\n%s", stderr)
+	}
+
+	// Invalidate-only invocation: no experiments, just the deletion.
+	_, stderr2 := cmexpOut(t, nil, options{storeDir: dir, invalidate: "PEX"})
+	if !strings.Contains(stderr2, "invalidated 8 stored cells") {
+		t.Fatalf("invalidate-only run:\n%s", stderr2)
+	}
+}
+
+func TestFormatJSONAndCSV(t *testing.T) {
+	jsonOut, _ := cmexpOut(t, []string{"ablation-async"}, options{parallel: 2, format: "json"})
+	if !strings.Contains(jsonOut, `"schema": "cmexp-tables/v1"`) ||
+		!strings.Contains(jsonOut, `"title": "Ablation: synchronous vs buffered sends on 32 nodes (ms)"`) {
+		t.Fatalf("json output missing schema or table:\n%s", jsonOut)
+	}
+	csvOut, _ := cmexpOut(t, []string{"ablation-async"}, options{parallel: 2, format: "csv"})
+	if !strings.HasPrefix(csvOut, "table,row,column,value\n") {
+		t.Fatalf("csv output missing header:\n%s", csvOut)
+	}
+	if !strings.Contains(csvOut, "LEX sync") {
+		t.Fatalf("csv output missing cells:\n%s", csvOut)
+	}
+
+	var stdout, stderr strings.Builder
+	if err := run(context.Background(), &stdout, &stderr, []string{"fig5"},
+		options{format: "xml"}); err == nil {
+		t.Fatal("unknown -format should fail")
+	}
+}
+
+func TestUnknownExperimentListsKnown(t *testing.T) {
+	var stdout, stderr strings.Builder
+	err := run(context.Background(), &stdout, &stderr, []string{"nope"}, options{format: "text"})
+	if err == nil || !strings.Contains(err.Error(), "fig5") {
+		t.Fatalf("unknown experiment should list known ones, got %v", err)
+	}
+}

@@ -1,0 +1,313 @@
+// Command expdiff compares two experiment-result snapshots and exits
+// non-zero when the new one regressed. It understands two inputs:
+//
+//   - two benchjson reports (BENCH_topo.json files): per-benchmark
+//     ns/op deltas gated by -threshold (host performance), and sim_ms
+//     drift gated by -sim-threshold (the simulation is deterministic,
+//     so sim drift means the model's answers changed);
+//   - two result-store directories (cmexp -store): per-cell drift of
+//     every stored table value, gated by -sim-threshold.
+//
+// CI runs the bench form against the latest main artifact so max-min
+// solver or sim-engine slowdowns fail the PR instead of landing
+// silently; the store form answers "did any simulated number move
+// between these two sweeps, and by how much".
+//
+// Usage:
+//
+//	expdiff [-threshold 25%] [-sim-threshold 0.1%] OLD NEW
+//
+// OLD and NEW must both be report files or both be store directories.
+// Exit status: 0 when everything is within threshold, 1 on regression
+// or drift, 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/store"
+)
+
+func main() {
+	threshold := flag.String("threshold", "25%", "max allowed ns/op slowdown (percent, or 'none' to disable; bench reports only)")
+	simThreshold := flag.String("sim-threshold", "0.1%", "max allowed simulated-result drift (percent, or 'none' to disable)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: expdiff [-threshold 25%] [-sim-threshold 0.1%] OLD NEW")
+		os.Exit(2)
+	}
+	th, err := parsePercent(*threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "expdiff:", err)
+		os.Exit(2)
+	}
+	sth, err := parsePercent(*simThreshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "expdiff:", err)
+		os.Exit(2)
+	}
+	regressions, err := run(os.Stdout, flag.Arg(0), flag.Arg(1), th, sth)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "expdiff:", err)
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+// parsePercent accepts "25", "25%", "0.5%", and "none" (disable this
+// gate — used by CI to run the ns/op and sim gates against different
+// baselines).
+func parsePercent(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if strings.EqualFold(s, "none") {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil || v < 0 || math.IsNaN(v) {
+		return 0, fmt.Errorf("bad percentage %q (want e.g. 25%%, 0.5%%, or none)", s)
+	}
+	return v, nil
+}
+
+// run compares old and new and returns how many gated regressions it
+// found (0 = pass). Usage-level problems (unreadable inputs, mixed
+// kinds) return an error instead.
+func run(w io.Writer, oldPath, newPath string, threshold, simThreshold float64) (int, error) {
+	oldDir, err := isDir(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newDir, err := isDir(newPath)
+	if err != nil {
+		return 0, err
+	}
+	if oldDir != newDir {
+		return 0, fmt.Errorf("cannot compare a store directory with a report file (%s vs %s)", oldPath, newPath)
+	}
+	if oldDir {
+		return diffStores(w, oldPath, newPath, simThreshold)
+	}
+	return diffBench(w, oldPath, newPath, threshold, simThreshold)
+}
+
+func isDir(path string) (bool, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return false, err
+	}
+	return fi.IsDir(), nil
+}
+
+// benchResult mirrors cmd/benchjson's Result; schemaless pre-v1 files
+// decode fine (unknown fields ignored, missing schema tolerated).
+type benchResult struct {
+	Benchmark string  `json:"benchmark"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	SimMs     float64 `json:"sim_ms"`
+}
+
+type benchReport struct {
+	Schema  string        `json:"schema"`
+	Results []benchResult `json:"results"`
+}
+
+func loadBench(path string) (map[string]benchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	out := make(map[string]benchResult, len(rep.Results))
+	for _, r := range rep.Results {
+		out[r.Benchmark] = r
+	}
+	return out, nil
+}
+
+func pct(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (new - old) / old * 100
+}
+
+func diffBench(w io.Writer, oldPath, newPath string, threshold, simThreshold float64) (int, error) {
+	oldRes, err := loadBench(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRes, err := loadBench(newPath)
+	if err != nil {
+		return 0, err
+	}
+	names := make([]string, 0, len(oldRes))
+	for n := range oldRes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "expdiff: %s -> %s (ns/op gate %.4g%%, sim gate %.4g%%)\n",
+		oldPath, newPath, threshold, simThreshold)
+	regressions, drifts, missing := 0, 0, 0
+	for _, name := range names {
+		o := oldRes[name]
+		n, ok := newRes[name]
+		if !ok {
+			// A vanished benchmark can hide a regression: gate it.
+			fmt.Fprintf(w, "  MISSING  %s: present in %s, absent in %s\n", name, oldPath, newPath)
+			missing++
+			continue
+		}
+		nsDelta := pct(o.NsPerOp, n.NsPerOp)
+		verdict := ""
+		if nsDelta > threshold {
+			verdict = fmt.Sprintf("  REGRESSION (> %.4g%%)", threshold)
+			regressions++
+		}
+		fmt.Fprintf(w, "  %-55s ns/op %12.0f -> %12.0f  %+7.1f%%%s\n",
+			name, o.NsPerOp, n.NsPerOp, nsDelta, verdict)
+		if simDelta := math.Abs(pct(o.SimMs, n.SimMs)); simDelta > simThreshold {
+			fmt.Fprintf(w, "  SIM DRIFT %s: sim_ms %.4g -> %.4g (%+.2f%%) — simulated results changed\n",
+				name, o.SimMs, n.SimMs, pct(o.SimMs, n.SimMs))
+			drifts++
+		}
+	}
+	added := 0
+	for n := range newRes {
+		if _, ok := oldRes[n]; !ok {
+			fmt.Fprintf(w, "  new benchmark %s (no baseline)\n", n)
+			added++
+		}
+	}
+	total := regressions + drifts + missing
+	fmt.Fprintf(w, "expdiff: %d ns/op regressions, %d sim drifts, %d missing, %d new, %d compared\n",
+		regressions, drifts, missing, added, len(names)-missing)
+	return total, nil
+}
+
+// diffStores compares every stored cell's table writes and named
+// scalars between two cmexp result stores.
+func diffStores(w io.Writer, oldPath, newPath string, simThreshold float64) (int, error) {
+	oldRecs, err := loadStore(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRecs, err := loadStore(newPath)
+	if err != nil {
+		return 0, err
+	}
+	cells := make([]string, 0, len(oldRecs))
+	for c := range oldRecs {
+		cells = append(cells, c)
+	}
+	sort.Strings(cells)
+
+	fmt.Fprintf(w, "expdiff: store %s -> %s (sim gate %.4g%%)\n", oldPath, newPath, simThreshold)
+	drifts, missing, identical := 0, 0, 0
+	for _, cell := range cells {
+		o := oldRecs[cell]
+		n, ok := newRecs[cell]
+		if !ok {
+			fmt.Fprintf(w, "  MISSING  %s: not in %s\n", cell, newPath)
+			missing++
+			continue
+		}
+		if diff := diffRecord(o, n, simThreshold); diff != "" {
+			fmt.Fprintf(w, "  DRIFT    %s: %s\n", cell, diff)
+			drifts++
+		} else {
+			identical++
+		}
+	}
+	added := 0
+	for c := range newRecs {
+		if _, ok := oldRecs[c]; !ok {
+			added++
+		}
+	}
+	fmt.Fprintf(w, "expdiff: %d cells drifted, %d missing, %d new, %d identical\n",
+		drifts, missing, added, identical)
+	return drifts + missing, nil
+}
+
+func loadStore(dir string) (map[string]*store.Record, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := st.All()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%s: empty result store", dir)
+	}
+	out := make(map[string]*store.Record, len(recs))
+	for _, r := range recs {
+		out[r.Cell] = r
+	}
+	return out, nil
+}
+
+// diffRecord describes the first difference between two records of the
+// same cell, or "" when they agree within the threshold. Numeric
+// values compare by percent drift; non-numeric strings exactly.
+func diffRecord(o, n *store.Record, simThreshold float64) string {
+	if len(o.Writes) != len(n.Writes) {
+		return fmt.Sprintf("%d writes -> %d writes", len(o.Writes), len(n.Writes))
+	}
+	for i, ow := range o.Writes {
+		nw := n.Writes[i]
+		if ow.Row != nw.Row || ow.Col != nw.Col {
+			return fmt.Sprintf("write %d moved (%d,%d) -> (%d,%d)", i, ow.Row, ow.Col, nw.Row, nw.Col)
+		}
+		if ow.Val == nw.Val {
+			continue
+		}
+		ov, oerr := strconv.ParseFloat(ow.Val, 64)
+		nv, nerr := strconv.ParseFloat(nw.Val, 64)
+		if oerr == nil && nerr == nil {
+			if d := math.Abs(pct(ov, nv)); d > simThreshold {
+				return fmt.Sprintf("(%d,%d) %s -> %s (%+.2f%%)", ow.Row, ow.Col, ow.Val, nw.Val, pct(ov, nv))
+			}
+			continue
+		}
+		return fmt.Sprintf("(%d,%d) %q -> %q", ow.Row, ow.Col, ow.Val, nw.Val)
+	}
+	// Sorted names: identical inputs must produce identical report text.
+	names := make([]string, 0, len(o.Values))
+	for name := range o.Values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ov := o.Values[name]
+		nv, ok := n.Values[name]
+		if !ok {
+			return fmt.Sprintf("scalar %s vanished", name)
+		}
+		if d := math.Abs(pct(ov, nv)); d > simThreshold {
+			return fmt.Sprintf("scalar %s %.6g -> %.6g (%+.2f%%)", name, ov, nv, pct(ov, nv))
+		}
+	}
+	return ""
+}

@@ -37,7 +37,7 @@ func AblationAsyncSpec(cfg network.Config) *TableSpec {
 				mode = "async"
 			}
 			spec.AddCell(fmt.Sprintf("ablation-async/%s-%s/%dB", v.alg, mode, size),
-				func(ctx context.Context, _ int64) error {
+				func(ctx context.Context, _ int64, rec *Rec) error {
 					a, err := cm5.LookupAlgorithm(v.alg)
 					if err != nil {
 						return err
@@ -47,7 +47,7 @@ func AblationAsyncSpec(cfg network.Config) *TableSpec {
 					if err != nil {
 						return err
 					}
-					t.Set(r, c, "%.3f", res.Elapsed.Millis())
+					rec.Set(r, c, "%.3f", res.Elapsed.Millis())
 					return nil
 				})
 		}
@@ -86,8 +86,6 @@ func AblationFatTreeSpec(cfg network.Config) *TableSpec {
 	spec := &TableSpec{Name: "ablation-fattree", Table: t}
 	flat := FlatTreeConfig()
 
-	// secs[row][variant]: PEX thin, BEX thin, PEX flat, BEX flat.
-	secs := make([][4]float64, len(sizes))
 	variants := []struct {
 		alg  string
 		cfg  network.Config
@@ -98,9 +96,9 @@ func AblationFatTreeSpec(cfg network.Config) *TableSpec {
 		{"PEX", flat, "flat", 3}, {"BEX", flat, "flat", 4},
 	}
 	for r, size := range sizes {
-		for vi, v := range variants {
+		for _, v := range variants {
 			spec.AddCell(fmt.Sprintf("ablation-fattree/%s-%s/%dB", v.alg, v.tree, size),
-				func(ctx context.Context, _ int64) error {
+				func(ctx context.Context, _ int64, rec *Rec) error {
 					a, err := cm5.LookupAlgorithm(v.alg)
 					if err != nil {
 						return err
@@ -109,16 +107,19 @@ func AblationFatTreeSpec(cfg network.Config) *TableSpec {
 					if err != nil {
 						return err
 					}
-					secs[r][vi] = res.Elapsed.Seconds()
-					t.Set(r, v.col, "%.3f", res.Elapsed.Millis())
+					rec.PutFloat("secs", res.Elapsed.Seconds())
+					rec.Set(r, v.col, "%.3f", res.Elapsed.Millis())
 					return nil
 				})
 		}
 	}
 	spec.Finish = func() error {
-		for r := range sizes {
-			t.Set(r, 2, "%.1f", 100*(1-secs[r][1]/secs[r][0]))
-			t.Set(r, 5, "%.1f", 100*(1-secs[r][3]/secs[r][2]))
+		secs := func(alg, tree string, size int) float64 {
+			return spec.CellFloat(fmt.Sprintf("ablation-fattree/%s-%s/%dB", alg, tree, size), "secs")
+		}
+		for r, size := range sizes {
+			t.Set(r, 2, "%.1f", 100*(1-secs("BEX", "thin", size)/secs("PEX", "thin", size)))
+			t.Set(r, 5, "%.1f", 100*(1-secs("BEX", "flat", size)/secs("PEX", "flat", size)))
 		}
 		return nil
 	}
@@ -145,19 +146,19 @@ func AblationGreedySpec(cfg network.Config) *TableSpec {
 	spec := &TableSpec{Name: "ablation-greedy", Table: t}
 	for r, density := range densities {
 		spec.AddCell(fmt.Sprintf("ablation-greedy/det/%d%%", density),
-			func(ctx context.Context, _ int64) error {
+			func(ctx context.Context, _ int64, rec *Rec) error {
 				p := pattern.Synthetic(32, float64(density)/100, 256, int64(density))
 				res, err := cm5.Run(cm5.PatternJob(cm5.MustAlgorithm("GS"), p, cm5.WithConfig(cfg)))
 				if err != nil {
 					return err
 				}
-				t.Set(r, 0, "%d", res.Steps)
-				t.Set(r, 1, "%.3f", res.Elapsed.Millis())
+				rec.Set(r, 0, "%d", res.Steps)
+				rec.Set(r, 1, "%.3f", res.Elapsed.Millis())
 				return nil
 			})
 		randKey := fmt.Sprintf("ablation-greedy/rand/%d%%", density)
 		spec.AddCell(randKey,
-			func(ctx context.Context, cellSeed int64) error {
+			func(ctx context.Context, cellSeed int64, rec *Rec) error {
 				p := pattern.Synthetic(32, float64(density)/100, 256, int64(density))
 				// base is 0 under the canonical Runner.Seed of 0 (the
 				// runner hands the cell CellSeed(key) exactly), keeping
@@ -176,8 +177,8 @@ func AblationGreedySpec(cfg network.Config) *TableSpec {
 						bestSteps = res.Steps
 					}
 				}
-				t.Set(r, 2, "%d", bestSteps)
-				t.Set(r, 3, "%.3f", bestMs)
+				rec.Set(r, 2, "%d", bestSteps)
+				rec.Set(r, 3, "%.3f", bestMs)
 				return nil
 			})
 	}
@@ -207,14 +208,13 @@ func AblationCrystalSpec(cfg network.Config) *TableSpec {
 	cols := []string{"GS", "BS", "Crystal", "best"}
 	t := NewTable("Extension: direct scheduling vs crystal router, 32 processors (ms)", rows, cols)
 	spec := &TableSpec{Name: "ablation-crystal", Table: t}
-	times := make([][]float64, len(cases))
-	for i := range times {
-		times[i] = make([]float64, len(algs))
+	cellKey := func(alg string, c cse) string {
+		return fmt.Sprintf("ablation-crystal/%s/%d%%/%dB", alg, c.density, c.size)
 	}
 	for r, c := range cases {
 		for a, alg := range algs {
-			spec.AddCell(fmt.Sprintf("ablation-crystal/%s/%d%%/%dB", alg, c.density, c.size),
-				func(ctx context.Context, _ int64) error {
+			spec.AddCell(cellKey(alg, c),
+				func(ctx context.Context, _ int64, rec *Rec) error {
 					p := pattern.Synthetic(32, float64(c.density)/100, c.size, int64(c.density+c.size))
 					name := alg
 					if alg == "Crystal" {
@@ -228,17 +228,17 @@ func AblationCrystalSpec(cfg network.Config) *TableSpec {
 					if err != nil {
 						return err
 					}
-					times[r][a] = res.Elapsed.Millis()
-					t.Set(r, a, "%.3f", res.Elapsed.Millis())
+					rec.PutFloat("ms", res.Elapsed.Millis())
+					rec.Set(r, a, "%.3f", res.Elapsed.Millis())
 					return nil
 				})
 		}
 	}
 	spec.Finish = func() error {
-		for r := range cases {
+		for r, c := range cases {
 			best := 0
 			for a := 1; a < len(algs); a++ {
-				if times[r][a] < times[r][best] {
+				if spec.CellFloat(cellKey(algs[a], c), "ms") < spec.CellFloat(cellKey(algs[best], c), "ms") {
 					best = a
 				}
 			}
@@ -270,14 +270,13 @@ func AblationCrossoverSpec(cfg network.Config) *TableSpec {
 	cols := []string{"PS", "BS", "GS", "best"}
 	t := NewTable("Ablation: GS-vs-BS density crossover, 32 processors, 256 B (ms)", rows, cols)
 	spec := &TableSpec{Name: "ablation-crossover", Table: t}
-	times := make([][]float64, len(densities))
-	for i := range times {
-		times[i] = make([]float64, len(algs))
+	cellKey := func(alg string, density int) string {
+		return fmt.Sprintf("ablation-crossover/%s/%d%%", alg, density)
 	}
 	for r, density := range densities {
 		for a, alg := range algs {
-			spec.AddCell(fmt.Sprintf("ablation-crossover/%s/%d%%", alg, density),
-				func(ctx context.Context, _ int64) error {
+			spec.AddCell(cellKey(alg, density),
+				func(ctx context.Context, _ int64, rec *Rec) error {
 					p := pattern.Synthetic(32, float64(density)/100, 256, int64(7000+density))
 					algo, err := cm5.LookupAlgorithm(alg)
 					if err != nil {
@@ -287,17 +286,17 @@ func AblationCrossoverSpec(cfg network.Config) *TableSpec {
 					if err != nil {
 						return err
 					}
-					times[r][a] = res.Elapsed.Millis()
-					t.Set(r, a, "%.3f", res.Elapsed.Millis())
+					rec.PutFloat("ms", res.Elapsed.Millis())
+					rec.Set(r, a, "%.3f", res.Elapsed.Millis())
 					return nil
 				})
 		}
 	}
 	spec.Finish = func() error {
-		for r := range densities {
+		for r, density := range densities {
 			best := 0
 			for a := 1; a < len(algs); a++ {
-				if times[r][a] < times[r][best] {
+				if spec.CellFloat(cellKey(algs[a], density), "ms") < spec.CellFloat(cellKey(algs[best], density), "ms") {
 					best = a
 				}
 			}

@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Format selects how rendered experiment tables are emitted.
+type Format string
+
+const (
+	// FormatText is the aligned human-readable rendering (the default).
+	FormatText Format = "text"
+	// FormatJSON emits one machine-readable document for all tables.
+	FormatJSON Format = "json"
+	// FormatCSV emits one flat record per table cell.
+	FormatCSV Format = "csv"
+)
+
+// TablesSchema versions the JSON emitter's document format.
+const TablesSchema = "cmexp-tables/v1"
+
+// ParseFormat parses a -format flag value; empty means text.
+func ParseFormat(s string) (Format, error) {
+	switch Format(strings.ToLower(s)) {
+	case FormatText, "":
+		return FormatText, nil
+	case FormatJSON:
+		return FormatJSON, nil
+	case FormatCSV:
+		return FormatCSV, nil
+	}
+	return "", fmt.Errorf("unknown format %q (known: text json csv)", s)
+}
+
+type tableDoc struct {
+	Title   string     `json:"title"`
+	Note    string     `json:"note,omitempty"`
+	Rows    []string   `json:"rows"`
+	Columns []string   `json:"columns"`
+	Cells   [][]string `json:"cells"`
+}
+
+type tablesDoc struct {
+	Schema string     `json:"schema"`
+	Tables []tableDoc `json:"tables"`
+}
+
+// WriteTables emits the tables in the given format. Text is the
+// existing aligned rendering, one table per block; JSON is a single
+// schema-versioned document; CSV is one "table,row,column,value"
+// record per cell. All three are deterministic: table, row, and column
+// order are the specs' own, never a map iteration's.
+func WriteTables(w io.Writer, format Format, tables []*Table) error {
+	switch format {
+	case FormatText, "":
+		for _, t := range tables {
+			if _, err := fmt.Fprintln(w, t.Render()); err != nil {
+				return err
+			}
+		}
+		return nil
+	case FormatJSON:
+		doc := tablesDoc{Schema: TablesSchema, Tables: make([]tableDoc, 0, len(tables))}
+		for _, t := range tables {
+			doc.Tables = append(doc.Tables, tableDoc{
+				Title:   t.Title,
+				Note:    t.Note,
+				Rows:    t.RowHeaders,
+				Columns: t.ColHeaders,
+				Cells:   t.Cells,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	case FormatCSV:
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"table", "row", "column", "value"}); err != nil {
+			return err
+		}
+		for _, t := range tables {
+			for r, rh := range t.RowHeaders {
+				for c, ch := range t.ColHeaders {
+					if err := cw.Write([]string{t.Title, rh, ch, t.Cells[r][c]}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	}
+	return fmt.Errorf("unknown format %q", format)
+}

@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func emitDemoTables() []*Table {
+	a := NewTable("A", []string{"r1", "r2"}, []string{"x", "y"})
+	a.Set(0, 0, "%d", 1)
+	a.Set(0, 1, "%.3f", 2.5)
+	a.Set(1, 0, "%s", "has,comma")
+	a.Note = "note"
+	b := NewTable("B", []string{"only"}, []string{"z"})
+	b.Set(0, 0, "%s", "v")
+	return []*Table{a, b}
+}
+
+func TestWriteTablesText(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTables(&sb, FormatText, emitDemoTables()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"A\n=", "B\n=", "2.500", "note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text emit missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTablesJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTables(&sb, FormatJSON, emitDemoTables()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema string `json:"schema"`
+		Tables []struct {
+			Title   string     `json:"title"`
+			Note    string     `json:"note"`
+			Rows    []string   `json:"rows"`
+			Columns []string   `json:"columns"`
+			Cells   [][]string `json:"cells"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("JSON emit invalid: %v\n%s", err, sb.String())
+	}
+	if doc.Schema != TablesSchema {
+		t.Fatalf("schema = %q, want %q", doc.Schema, TablesSchema)
+	}
+	if len(doc.Tables) != 2 || doc.Tables[0].Title != "A" || doc.Tables[1].Title != "B" {
+		t.Fatalf("tables = %+v", doc.Tables)
+	}
+	if doc.Tables[0].Cells[0][1] != "2.500" || doc.Tables[0].Note != "note" {
+		t.Fatalf("table A content wrong: %+v", doc.Tables[0])
+	}
+}
+
+func TestWriteTablesCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTables(&sb, FormatCSV, emitDemoTables()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV emit invalid: %v\n%s", err, sb.String())
+	}
+	// header + 2x2 cells of A + 1 cell of B
+	if len(recs) != 1+4+1 {
+		t.Fatalf("%d CSV records, want 6:\n%s", len(recs), sb.String())
+	}
+	if got := strings.Join(recs[0], "|"); got != "table|row|column|value" {
+		t.Fatalf("header = %q", got)
+	}
+	if got := recs[3]; got[0] != "A" || got[1] != "r2" || got[2] != "x" || got[3] != "has,comma" {
+		t.Fatalf("comma-bearing cell mangled: %v", got)
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for in, want := range map[string]Format{
+		"text": FormatText, "JSON": FormatJSON, "csv": FormatCSV,
+	} {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFormat(%q) = %q, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Fatal("ParseFormat should reject unknown formats")
+	}
+}

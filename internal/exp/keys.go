@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/cm5"
+	"repro/internal/pattern"
+)
+
+// Cell keys are structured paths — "topology/stencil2d/torus2d/GS/N256",
+// "fig5/LEX/N32/256B" — whose segments name the axes of the sweep.
+// KeyFields parses them back out so the result store can address each
+// record by (experiment family, workload, scheduler, topology, machine
+// size, message size) rather than by an opaque string, which is what
+// makes cmexp -invalidate and expdiff's per-axis reporting possible.
+
+var (
+	axisOnce      sync.Once
+	algNames      map[string]bool
+	workloadNames map[string]bool
+	topoNames     map[string]bool
+)
+
+func axisSets() (algs, workloads, topos map[string]bool) {
+	axisOnce.Do(func() {
+		algNames = map[string]bool{}
+		for _, a := range cm5.Algorithms() {
+			algNames[a.Name()] = true
+		}
+		workloadNames = map[string]bool{}
+		for _, w := range pattern.Workloads() {
+			workloadNames[w.Name] = true
+		}
+		topoNames = map[string]bool{}
+		for _, n := range TopologyNames {
+			topoNames[n] = true
+		}
+	})
+	return algNames, workloadNames, topoNames
+}
+
+var (
+	sizeSeg    = regexp.MustCompile(`^[NP](\d+)$`)
+	bytesSeg   = regexp.MustCompile(`^(\d+)B$`)
+	densitySeg = regexp.MustCompile(`^(\d+)%$`)
+)
+
+// KeyFields derives the named axes of a cell key: "family" (the first
+// segment), and — where the key encodes them — "n" (machine size),
+// "bytes", "density_pct", "workload", "scheduler", and "topology".
+// The fields are redundant with the key itself, so callers may fold
+// them into a content hash freely.
+func KeyFields(key string) map[string]any {
+	algs, workloads, topos := axisSets()
+	fields := map[string]any{}
+	for i, seg := range strings.Split(key, "/") {
+		if i == 0 {
+			fields["family"] = seg
+			continue
+		}
+		switch {
+		case sizeSeg.MatchString(seg):
+			n, _ := strconv.Atoi(sizeSeg.FindStringSubmatch(seg)[1])
+			fields["n"] = n
+		case bytesSeg.MatchString(seg):
+			b, _ := strconv.Atoi(bytesSeg.FindStringSubmatch(seg)[1])
+			fields["bytes"] = b
+		case densitySeg.MatchString(seg):
+			d, _ := strconv.Atoi(densitySeg.FindStringSubmatch(seg)[1])
+			fields["density_pct"] = d
+		case topos[seg]:
+			fields["topology"] = seg
+		case workloads[seg]:
+			fields["workload"] = seg
+		case algs[seg]:
+			fields["scheduler"] = seg
+		default:
+			// Ablation variants name the algorithm with a suffix, e.g.
+			// "LEX-async" or "PEX-flat".
+			if base, _, ok := strings.Cut(seg, "-"); ok && algs[base] {
+				fields["scheduler"] = base
+				fields["variant"] = seg
+			}
+		}
+	}
+	return fields
+}

@@ -6,26 +6,64 @@ import (
 	"hash/fnv"
 	"regexp"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/store"
 )
 
 // Cell is one independent unit of a sweep — a single
 // (figure, algorithm, machine size, message size) tuple. Fn runs one
-// simulation and stores its result through the closure it was built
-// with. Cells of one table must write disjoint, pre-assigned slots so
-// the worker pool needs no locks and results land deterministically
-// regardless of completion order.
+// simulation and records its output through rec. Cells of one table
+// record disjoint, pre-assigned slots so the worker pool needs no
+// locks and results land deterministically regardless of completion
+// order.
 type Cell struct {
 	// Key names the cell, e.g. "fig5/LEX/N32/256B". The -run flag of
-	// cmd/cmexp and Runner.Filter match against it, and the per-cell
-	// seed is derived from it.
+	// cmd/cmexp and Runner.Filter match against it, the per-cell seed is
+	// derived from it, and the result store's content hash includes it.
 	Key string
 	// Fn computes the cell. seed is the runner's deterministic per-cell
 	// seed (CellSeed(Key) xor Runner.Seed); cells with no stochastic
 	// component may ignore it. ctx is cancelled when the sweep aborts.
-	Fn func(ctx context.Context, seed int64) error
+	// All output goes through rec — table writes via rec.Set, scalars
+	// consumed by the spec's Finish hook via rec.PutFloat/PutInt — so a
+	// result-store hit can replay it without re-simulating.
+	Fn func(ctx context.Context, seed int64, rec *Rec) error
 }
+
+// Rec is one cell's recorded output: the table writes that render it
+// and the named scalars its spec's Finish hook derives from. The
+// runner applies the writes to the spec's table after the cell
+// completes (or replays them from the result store on a hit), so a
+// cached cell is byte-identical to a freshly simulated one.
+type Rec struct {
+	writes []store.Write
+	values map[string]float64
+}
+
+// Set records a table write at (row, col).
+func (rec *Rec) Set(row, col int, format string, args ...interface{}) {
+	rec.writes = append(rec.writes, store.Write{Row: row, Col: col, Val: fmt.Sprintf(format, args...)})
+}
+
+// PutFloat records a named scalar for the spec's Finish hook.
+func (rec *Rec) PutFloat(name string, v float64) {
+	if rec.values == nil {
+		rec.values = map[string]float64{}
+	}
+	rec.values[name] = v
+}
+
+// PutInt records a named integer scalar for the spec's Finish hook.
+func (rec *Rec) PutInt(name string, v int) { rec.PutFloat(name, float64(v)) }
+
+// Float returns a recorded scalar (zero when absent).
+func (rec *Rec) Float(name string) float64 { return rec.values[name] }
+
+// Int returns a recorded integer scalar (zero when absent).
+func (rec *Rec) Int(name string) int { return int(rec.values[name]) }
 
 // TableSpec couples a table with the independent cells that fill it.
 type TableSpec struct {
@@ -34,24 +72,54 @@ type TableSpec struct {
 	Cells []Cell
 	// Finish, if non-nil, runs serially after every cell of the spec
 	// completed — for derived columns that combine several cells'
-	// results (ablation gain percentages, "best" columns). It is
-	// skipped when a Filter excluded any of the spec's cells: derived
-	// values computed from partially-filled slots would be garbage, so
-	// they stay blank like the unselected cells themselves.
+	// results (ablation gain percentages, "best" columns), read back
+	// through CellFloat/CellInt. It is skipped when a Filter excluded
+	// any of the spec's cells: derived values computed from
+	// partially-filled slots would be garbage, so they stay blank like
+	// the unselected cells themselves.
 	Finish func() error
+
+	mu   sync.Mutex
+	recs map[string]*Rec
 }
 
 // AddCell appends a cell to the spec.
-func (s *TableSpec) AddCell(key string, fn func(ctx context.Context, seed int64) error) {
+func (s *TableSpec) AddCell(key string, fn func(ctx context.Context, seed int64, rec *Rec) error) {
 	s.Cells = append(s.Cells, Cell{Key: key, Fn: fn})
 }
 
+func (s *TableSpec) putRec(key string, rec *Rec) {
+	s.mu.Lock()
+	if s.recs == nil {
+		s.recs = map[string]*Rec{}
+	}
+	s.recs[key] = rec
+	s.mu.Unlock()
+}
+
+// CellFloat returns the named scalar the cell recorded, or zero when
+// the cell has not run. Finish hooks only run when every cell of the
+// spec completed, so inside them every recorded scalar is present.
+func (s *TableSpec) CellFloat(key, name string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec, ok := s.recs[key]; ok {
+		return rec.Float(name)
+	}
+	return 0
+}
+
+// CellInt returns the named integer scalar the cell recorded.
+func (s *TableSpec) CellInt(key, name string) int { return int(s.CellFloat(key, name)) }
+
 // Progress reports one completed cell. Done counts completions so far
-// (including this one) out of Total selected cells.
+// (including this one) out of Total selected cells. Cached marks cells
+// replayed from the result store instead of simulated.
 type Progress struct {
-	Done  int
-	Total int
-	Key   string
+	Done   int
+	Total  int
+	Key    string
+	Cached bool
 }
 
 // CellSeed derives the deterministic seed for a cell key.
@@ -62,11 +130,20 @@ func CellSeed(key string) int64 {
 }
 
 // Runner fans independent experiment cells across a bounded worker pool.
-// Every sweep it runs is deterministic: each cell writes only its own
-// pre-assigned slot, so the rendered tables are byte-identical whether
+// Every sweep it runs is deterministic: each cell records only its own
+// pre-assigned slots, so the rendered tables are byte-identical whether
 // the pool has one worker or many.
 //
-// The zero value is a serial runner; NewRunner(0) uses every CPU.
+// With a Store attached the runner is cache-aware: before simulating a
+// cell it hashes the cell's full specification (family, cell key,
+// derived axes, seed, plus the caller's StoreBase fields — network
+// config and code version) and replays the stored record on a hit;
+// misses simulate and persist. Replay applies the exact recorded
+// strings, so output stays byte-identical with the store on, off, warm
+// or cold.
+//
+// The zero value is a serial, storeless runner; NewRunner(0) uses
+// every CPU.
 type Runner struct {
 	// Workers is the pool size; values < 1 mean one worker.
 	Workers int
@@ -79,6 +156,13 @@ type Runner struct {
 	// OnProgress, when non-nil, is called after each cell completes.
 	// Calls are serialized but may come from any worker goroutine.
 	OnProgress func(Progress)
+	// Store, when non-nil, enables cache-aware execution.
+	Store *store.Store
+	// StoreBase holds the sweep-wide key fields mixed into every cell's
+	// content hash (see StoreBase); ignored without a Store.
+	StoreBase store.Spec
+
+	hits, misses atomic.Int64
 }
 
 // NewRunner returns a runner with the given pool size; workers < 1 uses
@@ -90,24 +174,60 @@ func NewRunner(workers int) *Runner {
 	return &Runner{Workers: workers}
 }
 
+// CacheHits returns how many cells the last Run replayed from the
+// store; CacheMisses how many it simulated.
+func (r *Runner) CacheHits() int   { return int(r.hits.Load()) }
+func (r *Runner) CacheMisses() int { return int(r.misses.Load()) }
+
+// ResultsVersion is the code-version salt of every stored cell hash.
+// Bump it whenever cell semantics, table layouts, or the simulation
+// model change in a way that should invalidate previously stored
+// results.
+const ResultsVersion = 1
+
+// StoreBase returns the sweep-wide key fields every cell's content
+// hash mixes in: the network configuration and the experiment-code
+// version. Pass it to Runner.StoreBase alongside Runner.Store.
+func StoreBase(cfg interface{}) store.Spec {
+	return store.Spec{"config": cfg, "code_version": ResultsVersion}
+}
+
+// boundCell pairs a selected cell with its spec so workers can apply
+// writes and file records against the right table.
+type boundCell struct {
+	spec *TableSpec
+	cell Cell
+}
+
 // Run executes every selected cell of the given specs on the pool, then
 // the specs' Finish hooks in order. The first cell error cancels the
 // remaining work and is returned (wrapped with the cell key); a
 // cancelled ctx stops the sweep between cells.
 func (r *Runner) Run(ctx context.Context, specs ...*TableSpec) error {
-	var cells []Cell
+	r.hits.Store(0)
+	r.misses.Store(0)
+	var cells []boundCell
 	complete := make([]bool, len(specs))
 	for i, s := range specs {
 		selected := 0
 		for _, c := range s.Cells {
 			if r.Filter == nil || r.Filter.MatchString(c.Key) {
-				cells = append(cells, c)
+				cells = append(cells, boundCell{spec: s, cell: c})
 				selected++
 			}
 		}
 		complete[i] = selected == len(s.Cells)
 	}
-	if err := r.runCells(ctx, cells); err != nil {
+	err := r.runCells(ctx, cells)
+	if r.Store != nil {
+		// One index write per sweep, not per cell — and even a failed
+		// sweep indexes the cells it did complete (that is what -resume
+		// picks up).
+		if ferr := r.Store.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	if err != nil {
 		return err
 	}
 	for i, s := range specs {
@@ -128,7 +248,7 @@ func (r *Runner) RunTable(ctx context.Context, spec *TableSpec) (*Table, error) 
 	return spec.Table, nil
 }
 
-func (r *Runner) runCells(ctx context.Context, cells []Cell) error {
+func (r *Runner) runCells(ctx context.Context, cells []boundCell) error {
 	total := len(cells)
 	if total == 0 {
 		return ctx.Err()
@@ -161,11 +281,12 @@ func (r *Runner) runCells(ctx context.Context, cells []Cell) error {
 				if i >= int64(total) || cctx.Err() != nil {
 					return
 				}
-				c := cells[i]
-				if err := c.Fn(cctx, CellSeed(c.Key)^r.Seed); err != nil {
+				bc := cells[i]
+				cached, err := r.runCell(cctx, bc)
+				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
-						firstErr = fmt.Errorf("cell %s: %w", c.Key, err)
+						firstErr = fmt.Errorf("cell %s: %w", bc.cell.Key, err)
 					}
 					mu.Unlock()
 					cancel()
@@ -174,7 +295,7 @@ func (r *Runner) runCells(ctx context.Context, cells []Cell) error {
 				if r.OnProgress != nil {
 					mu.Lock()
 					done++
-					r.OnProgress(Progress{Done: done, Total: total, Key: c.Key})
+					r.OnProgress(Progress{Done: done, Total: total, Key: bc.cell.Key, Cached: cached})
 					mu.Unlock()
 				}
 			}
@@ -185,6 +306,97 @@ func (r *Runner) runCells(ctx context.Context, cells []Cell) error {
 		return firstErr
 	}
 	return ctx.Err()
+}
+
+// runCell executes one cell — store hit, or simulate and persist —
+// applies its recorded writes to the spec's table, and files the
+// record for the Finish hook. Returns whether the cell was a cache
+// hit.
+func (r *Runner) runCell(ctx context.Context, bc boundCell) (bool, error) {
+	seed := CellSeed(bc.cell.Key) ^ r.Seed
+	var hash string
+	if r.Store != nil {
+		h, err := store.HashSpec(r.cellSpec(bc, seed))
+		if err != nil {
+			return false, err
+		}
+		hash = h
+		if stored, ok, err := r.Store.Get(hash); err == nil && ok {
+			rec := &Rec{writes: stored.Writes, values: stored.Values}
+			if err := applyWrites(bc.spec.Table, rec.writes); err != nil {
+				return false, fmt.Errorf("stale store record %s (invalidate it or bump exp.ResultsVersion): %w",
+					hash[:12], err)
+			}
+			bc.spec.putRec(bc.cell.Key, rec)
+			r.hits.Add(1)
+			return true, nil
+		}
+		// A read error falls through to a fresh simulation: the store
+		// must never be able to break a sweep it could only speed up.
+	}
+	rec := &Rec{}
+	if err := bc.cell.Fn(ctx, seed, rec); err != nil {
+		return false, err
+	}
+	if err := applyWrites(bc.spec.Table, rec.writes); err != nil {
+		return false, err
+	}
+	bc.spec.putRec(bc.cell.Key, rec)
+	if r.Store != nil {
+		err := r.Store.Put(&store.Record{
+			Hash:   hash,
+			Family: bc.spec.Name,
+			Cell:   bc.cell.Key,
+			Spec:   r.cellSpec(bc, seed),
+			Writes: rec.writes,
+			Values: rec.values,
+		})
+		if err != nil {
+			return false, err
+		}
+		r.misses.Add(1)
+	}
+	return false, nil
+}
+
+// cellSpec assembles the full specification a cell result is addressed
+// by: experiment family, cell key, the axes derived from the key
+// (workload, scheduler, topology, machine size, message size), the
+// effective seed, and the caller's StoreBase fields (network
+// configuration, code version).
+func (r *Runner) cellSpec(bc boundCell, seed int64) store.Spec {
+	s := store.Spec{}
+	for k, v := range KeyFields(bc.cell.Key) {
+		s[k] = v
+	}
+	for k, v := range r.StoreBase {
+		s[k] = v
+	}
+	// The explicit fields win over anything key-derived: the spec name
+	// is the authoritative family (they differ for e.g. "table5-32").
+	s["family"] = bc.spec.Name
+	s["cell"] = bc.cell.Key
+	// Seeds are 63-bit: encoded as a decimal string so canonical JSON
+	// keeps every bit (see store.HashSpec).
+	s["seed"] = strconv.FormatInt(seed, 10)
+	return s
+}
+
+func applyWrites(t *Table, writes []store.Write) error {
+	if len(writes) == 0 {
+		return nil
+	}
+	if t == nil {
+		return fmt.Errorf("cell recorded %d table writes but its spec has no table", len(writes))
+	}
+	for _, w := range writes {
+		if w.Row < 0 || w.Row >= len(t.Cells) || w.Col < 0 || w.Col >= len(t.ColHeaders) {
+			return fmt.Errorf("table write (%d,%d) outside %dx%d table",
+				w.Row, w.Col, len(t.RowHeaders), len(t.ColHeaders))
+		}
+		t.Cells[w.Row][w.Col] = w.Val
+	}
+	return nil
 }
 
 // runSpec is the serial-compatible entry used by the per-figure helper

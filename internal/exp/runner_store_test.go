@@ -1,0 +1,293 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/store"
+)
+
+// countingSpec builds a deterministic 4x4 spec whose cells count their
+// executions, with a Finish-derived final column — the full shape of
+// the real experiment families, minus the simulation cost.
+func countingSpec(ran *atomic.Int64) *TableSpec {
+	rows := []string{"r0", "r1", "r2", "r3"}
+	cols := []string{"a", "b", "c", "derived"}
+	t := NewTable("counting", rows, cols)
+	spec := &TableSpec{Name: "counting", Table: t}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 3; c++ {
+			key := fmt.Sprintf("counting/alg%d/N%d", c, r)
+			spec.AddCell(key, func(ctx context.Context, seed int64, rec *Rec) error {
+				ran.Add(1)
+				rec.Set(r, c, "%d.%d", r, c)
+				rec.PutFloat("v", float64(10*r+c))
+				return nil
+			})
+		}
+	}
+	spec.Finish = func() error {
+		for r := 0; r < 4; r++ {
+			sum := 0.0
+			for c := 0; c < 3; c++ {
+				sum += spec.CellFloat(fmt.Sprintf("counting/alg%d/N%d", c, r), "v")
+			}
+			t.Set(r, 3, "%.0f", sum)
+		}
+		return nil
+	}
+	return spec
+}
+
+func storeRunner(t *testing.T, dir string, workers int) *Runner {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(workers)
+	r.Store = st
+	r.StoreBase = StoreBase(network.DefaultConfig())
+	return r
+}
+
+// TestStoreReplayByteIdentical is the core cache contract: a storeless
+// run, a cold store run, and a warm store run must render
+// byte-identical tables — and the warm run must not execute a single
+// cell function.
+func TestStoreReplayByteIdentical(t *testing.T) {
+	var ran atomic.Int64
+
+	baseline, err := NewRunner(4).RunTable(context.Background(), countingSpec(&ran))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 12 {
+		t.Fatalf("storeless run executed %d cells, want 12", ran.Load())
+	}
+
+	dir := t.TempDir()
+	ran.Store(0)
+	cold := storeRunner(t, dir, 4)
+	coldTab, err := cold.RunTable(context.Background(), countingSpec(&ran))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 12 || cold.CacheMisses() != 12 || cold.CacheHits() != 0 {
+		t.Fatalf("cold run: ran=%d misses=%d hits=%d, want 12/12/0",
+			ran.Load(), cold.CacheMisses(), cold.CacheHits())
+	}
+	if coldTab.Render() != baseline.Render() {
+		t.Fatalf("cold store run differs from storeless run:\n%s\nvs\n%s",
+			coldTab.Render(), baseline.Render())
+	}
+
+	ran.Store(0)
+	warm := storeRunner(t, dir, 4)
+	warmTab, err := warm.RunTable(context.Background(), countingSpec(&ran))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("warm run executed %d cell functions, want 0 (all cached)", ran.Load())
+	}
+	if warm.CacheHits() != 12 || warm.CacheMisses() != 0 {
+		t.Fatalf("warm run: hits=%d misses=%d, want 12/0", warm.CacheHits(), warm.CacheMisses())
+	}
+	if warmTab.Render() != baseline.Render() {
+		t.Fatalf("warm store run differs from storeless run:\n%s\nvs\n%s",
+			warmTab.Render(), baseline.Render())
+	}
+}
+
+// TestStoreResumeAfterPartialSweep models an interrupted sweep: a run
+// that completed only a subset of cells (filter standing in for a
+// mid-sweep kill — the store state is identical), then a full re-run
+// that must reuse every completed cell and simulate only the rest.
+func TestStoreResumeAfterPartialSweep(t *testing.T) {
+	dir := t.TempDir()
+	var ran atomic.Int64
+
+	partial := storeRunner(t, dir, 2)
+	partial.Filter = regexp.MustCompile(`alg[01]/`)
+	if err := partial.Run(context.Background(), countingSpec(&ran)); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 8 {
+		t.Fatalf("partial run executed %d cells, want 8", ran.Load())
+	}
+
+	ran.Store(0)
+	resume := storeRunner(t, dir, 2)
+	tab, err := resume.RunTable(context.Background(), countingSpec(&ran))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 4 {
+		t.Fatalf("resume executed %d cells, want only the 4 missing ones", ran.Load())
+	}
+	if resume.CacheHits() != 8 || resume.CacheMisses() != 4 {
+		t.Fatalf("resume: hits=%d misses=%d, want 8/4", resume.CacheHits(), resume.CacheMisses())
+	}
+
+	var ran2 atomic.Int64
+	want, err := NewRunner(1).RunTable(context.Background(), countingSpec(&ran2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Render() != want.Render() {
+		t.Fatalf("resumed table differs from a fresh full run:\n%s\nvs\n%s", tab.Render(), want.Render())
+	}
+}
+
+// TestStoreSeedAndBaseChangeKeys: perturbing the runner seed or any
+// StoreBase field (config, code version) must miss the cache — stored
+// results are only reusable when everything they depend on matches.
+func TestStoreSeedAndBaseChangeKeys(t *testing.T) {
+	dir := t.TempDir()
+	var ran atomic.Int64
+	first := storeRunner(t, dir, 2)
+	if err := first.Run(context.Background(), countingSpec(&ran)); err != nil {
+		t.Fatal(err)
+	}
+
+	reseeded := storeRunner(t, dir, 2)
+	reseeded.Seed = 99
+	if err := reseeded.Run(context.Background(), countingSpec(&ran)); err != nil {
+		t.Fatal(err)
+	}
+	if reseeded.CacheHits() != 0 || reseeded.CacheMisses() != 12 {
+		t.Fatalf("reseeded run: hits=%d misses=%d, want 0/12", reseeded.CacheHits(), reseeded.CacheMisses())
+	}
+
+	rebased := storeRunner(t, dir, 2)
+	rebased.StoreBase = store.Spec{"config": "other", "code_version": ResultsVersion + 1}
+	if err := rebased.Run(context.Background(), countingSpec(&ran)); err != nil {
+		t.Fatal(err)
+	}
+	if rebased.CacheHits() != 0 {
+		t.Fatalf("rebased run hit %d cells across a base change", rebased.CacheHits())
+	}
+
+	same := storeRunner(t, dir, 2)
+	if err := same.Run(context.Background(), countingSpec(&ran)); err != nil {
+		t.Fatal(err)
+	}
+	if same.CacheHits() != 12 {
+		t.Fatalf("identical spec hit only %d/12 cells", same.CacheHits())
+	}
+}
+
+// TestStoreInvalidateForcesResimulation wires the store's Invalidate
+// through a sweep: invalidated cells simulate again, the rest replay.
+func TestStoreInvalidateForcesResimulation(t *testing.T) {
+	dir := t.TempDir()
+	var ran atomic.Int64
+	if err := storeRunner(t, dir, 2).Run(context.Background(), countingSpec(&ran)); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := st.Invalidate(regexp.MustCompile(`alg0/`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("invalidated %d records, want 4", n)
+	}
+
+	ran.Store(0)
+	again := storeRunner(t, dir, 2)
+	if err := again.Run(context.Background(), countingSpec(&ran)); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 4 || again.CacheHits() != 8 {
+		t.Fatalf("post-invalidate: ran=%d hits=%d, want 4/8", ran.Load(), again.CacheHits())
+	}
+}
+
+// TestStoreRealFamilyByteIdentical runs a real (cheap) experiment
+// family — including its Finish-derived columns — through the store
+// twice and against a storeless run: all three renders must match, and
+// the warm run must be all hits.
+func TestStoreRealFamilyByteIdentical(t *testing.T) {
+	cfg := network.DefaultConfig()
+	baseline, err := NewRunner(4).RunTable(context.Background(), AblationFatTreeSpec(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	cold := storeRunner(t, dir, 4)
+	coldTab, err := cold.RunTable(context.Background(), AblationFatTreeSpec(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := storeRunner(t, dir, 4)
+	warmTab, err := warm.RunTable(context.Background(), AblationFatTreeSpec(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheMisses() != 0 {
+		t.Fatalf("warm run simulated %d cells, want 0", warm.CacheMisses())
+	}
+	if coldTab.Render() != baseline.Render() || warmTab.Render() != baseline.Render() {
+		t.Fatalf("store changed a real family's output:\nbaseline:\n%s\ncold:\n%s\nwarm:\n%s",
+			baseline.Render(), coldTab.Render(), warmTab.Render())
+	}
+}
+
+// TestStoreProgressMarksCachedCells: OnProgress must distinguish
+// replayed cells so cmexp -v can report the resume split.
+func TestStoreProgressMarksCachedCells(t *testing.T) {
+	dir := t.TempDir()
+	var ran atomic.Int64
+	if err := storeRunner(t, dir, 1).Run(context.Background(), countingSpec(&ran)); err != nil {
+		t.Fatal(err)
+	}
+	warm := storeRunner(t, dir, 1)
+	cached := 0
+	warm.OnProgress = func(p Progress) {
+		if p.Cached {
+			cached++
+		}
+	}
+	if err := warm.Run(context.Background(), countingSpec(&ran)); err != nil {
+		t.Fatal(err)
+	}
+	if cached != 12 {
+		t.Fatalf("progress marked %d cells cached, want 12", cached)
+	}
+}
+
+func TestKeyFields(t *testing.T) {
+	for key, want := range map[string]map[string]any{
+		"fig5/LEX/N32/256B": {
+			"family": "fig5", "scheduler": "LEX", "n": 32, "bytes": 256,
+		},
+		"topology/stencil2d/torus2d/GS/N256": {
+			"family": "topology", "workload": "stencil2d", "topology": "torus2d",
+			"scheduler": "GS", "n": 256,
+		},
+		"table11/LS/10%/256B": {
+			"family": "table11", "scheduler": "LS", "density_pct": 10, "bytes": 256,
+		},
+		"ablation-async/LEX-async/0B": {
+			"family": "ablation-async", "scheduler": "LEX", "variant": "LEX-async", "bytes": 0,
+		},
+	} {
+		got := KeyFields(key)
+		for k, v := range want {
+			if fmt.Sprint(got[k]) != fmt.Sprint(v) {
+				t.Errorf("KeyFields(%q)[%s] = %v, want %v (all: %v)", key, k, got[k], v, got)
+			}
+		}
+	}
+}

@@ -91,7 +91,7 @@ func TestRunnerAllCellsRun(t *testing.T) {
 	var ran atomic.Int64
 	spec := &TableSpec{Name: "t", Table: NewTable("t", []string{"r"}, []string{"c"})}
 	for i := 0; i < 100; i++ {
-		spec.AddCell(fmt.Sprintf("t/%d", i), func(ctx context.Context, _ int64) error {
+		spec.AddCell(fmt.Sprintf("t/%d", i), func(ctx context.Context, _ int64, rec *Rec) error {
 			ran.Add(1)
 			return nil
 		})
@@ -108,7 +108,7 @@ func TestRunnerFilter(t *testing.T) {
 	var ran atomic.Int64
 	spec := &TableSpec{Name: "t"}
 	for i := 0; i < 10; i++ {
-		spec.AddCell(fmt.Sprintf("t/alg%d/case", i), func(ctx context.Context, _ int64) error {
+		spec.AddCell(fmt.Sprintf("t/alg%d/case", i), func(ctx context.Context, _ int64, rec *Rec) error {
 			ran.Add(1)
 			return nil
 		})
@@ -125,8 +125,8 @@ func TestRunnerFilter(t *testing.T) {
 func TestRunnerErrorPropagatesWithCellKey(t *testing.T) {
 	boom := errors.New("boom")
 	spec := &TableSpec{Name: "t"}
-	spec.AddCell("t/good", func(ctx context.Context, _ int64) error { return nil })
-	spec.AddCell("t/bad", func(ctx context.Context, _ int64) error { return boom })
+	spec.AddCell("t/good", func(ctx context.Context, _ int64, rec *Rec) error { return nil })
+	spec.AddCell("t/bad", func(ctx context.Context, _ int64, rec *Rec) error { return boom })
 	err := (&Runner{Workers: 2}).Run(context.Background(), spec)
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want wrapped boom", err)
@@ -148,20 +148,20 @@ func TestRunnerCancellationStopsWorkers(t *testing.T) {
 	// Workers 2..4 park until cancelled; worker 1 errors immediately
 	// after the others are in flight.
 	for i := 0; i < workers-1; i++ {
-		spec.AddCell(fmt.Sprintf("t/parked%d", i), func(ctx context.Context, _ int64) error {
+		spec.AddCell(fmt.Sprintf("t/parked%d", i), func(ctx context.Context, _ int64, rec *Rec) error {
 			started.Add(1)
 			<-ctx.Done()
 			return nil
 		})
 	}
-	spec.AddCell("t/fails", func(ctx context.Context, _ int64) error {
+	spec.AddCell("t/fails", func(ctx context.Context, _ int64, rec *Rec) error {
 		for started.Load() < workers-1 {
 			runtime.Gosched()
 		}
 		return boom
 	})
 	for i := 0; i < 100; i++ {
-		spec.AddCell(fmt.Sprintf("t/late%d", i), func(ctx context.Context, _ int64) error {
+		spec.AddCell(fmt.Sprintf("t/late%d", i), func(ctx context.Context, _ int64, rec *Rec) error {
 			lateStarts.Add(1)
 			return nil
 		})
@@ -181,7 +181,7 @@ func TestRunnerPreCancelledContext(t *testing.T) {
 	var ran atomic.Int64
 	spec := &TableSpec{Name: "t"}
 	for i := 0; i < 10; i++ {
-		spec.AddCell(fmt.Sprintf("t/%d", i), func(ctx context.Context, _ int64) error {
+		spec.AddCell(fmt.Sprintf("t/%d", i), func(ctx context.Context, _ int64, rec *Rec) error {
 			ran.Add(1)
 			return nil
 		})
@@ -199,7 +199,7 @@ func TestRunnerProgress(t *testing.T) {
 	var events []Progress
 	spec := &TableSpec{Name: "t"}
 	for i := 0; i < 25; i++ {
-		spec.AddCell(fmt.Sprintf("t/%d", i), func(ctx context.Context, _ int64) error { return nil })
+		spec.AddCell(fmt.Sprintf("t/%d", i), func(ctx context.Context, _ int64, rec *Rec) error { return nil })
 	}
 	r := &Runner{Workers: 5, OnProgress: func(p Progress) { events = append(events, p) }}
 	if err := r.Run(context.Background(), spec); err != nil {
@@ -227,7 +227,7 @@ func TestRunnerFinishRunsAfterCells(t *testing.T) {
 	finished := false
 	spec := &TableSpec{Name: "t"}
 	for i := 0; i < 20; i++ {
-		spec.AddCell(fmt.Sprintf("t/%d", i), func(ctx context.Context, _ int64) error {
+		spec.AddCell(fmt.Sprintf("t/%d", i), func(ctx context.Context, _ int64, rec *Rec) error {
 			cells.Add(1)
 			return nil
 		})
@@ -285,7 +285,7 @@ func TestRunnerFinishSkippedWhenFiltered(t *testing.T) {
 
 func TestRunnerFinishSkippedOnError(t *testing.T) {
 	spec := &TableSpec{Name: "t"}
-	spec.AddCell("t/bad", func(ctx context.Context, _ int64) error { return errors.New("x") })
+	spec.AddCell("t/bad", func(ctx context.Context, _ int64, rec *Rec) error { return errors.New("x") })
 	spec.Finish = func() error {
 		t.Error("Finish ran despite a cell error")
 		return nil
@@ -308,7 +308,7 @@ func TestCellSeed(t *testing.T) {
 	// The runner feeds the per-cell seed, perturbed by Runner.Seed.
 	var got []int64
 	spec := &TableSpec{Name: "t"}
-	spec.AddCell("t/x", func(ctx context.Context, seed int64) error {
+	spec.AddCell("t/x", func(ctx context.Context, seed int64, rec *Rec) error {
 		got = append(got, seed)
 		return nil
 	})

@@ -39,7 +39,7 @@ func exchangeSweepBySizeSpec(name, title string, n int, sizes []int, cfg network
 	for r, size := range sizes {
 		for c, alg := range ExchangeAlgs {
 			spec.AddCell(fmt.Sprintf("%s/%s/N%d/%dB", name, alg, n, size),
-				func(ctx context.Context, _ int64) error {
+				func(ctx context.Context, _ int64, rec *Rec) error {
 					a, err := cm5.LookupAlgorithm(alg)
 					if err != nil {
 						return err
@@ -48,7 +48,7 @@ func exchangeSweepBySizeSpec(name, title string, n int, sizes []int, cfg network
 					if err != nil {
 						return err
 					}
-					t.Set(r, c, "%.3f", res.Elapsed.Millis())
+					rec.Set(r, c, "%.3f", res.Elapsed.Millis())
 					return nil
 				})
 		}
@@ -107,7 +107,7 @@ func exchangeSweepByMachineSpec(name, title string, sizes []int, cfg network.Con
 			for _, alg := range scalingAlgs {
 				col := c
 				spec.AddCell(fmt.Sprintf("%s/%s/N%d/%dB", name, alg, n, size),
-					func(ctx context.Context, _ int64) error {
+					func(ctx context.Context, _ int64, rec *Rec) error {
 						a, err := cm5.LookupAlgorithm(alg)
 						if err != nil {
 							return err
@@ -116,7 +116,7 @@ func exchangeSweepByMachineSpec(name, title string, sizes []int, cfg network.Con
 						if err != nil {
 							return err
 						}
-						t.Set(r, col, "%.3f", res.Elapsed.Millis())
+						rec.Set(r, col, "%.3f", res.Elapsed.Millis())
 						return nil
 					})
 				c++
@@ -160,17 +160,17 @@ func Table5Spec(nprocs int, maxSize int, cfg network.Config) *TableSpec {
 	for r, size := range sizes {
 		for a, alg := range ExchangeAlgs {
 			spec.AddCell(fmt.Sprintf("table5/P%d/%s/%dx%d", nprocs, alg, size, size),
-				func(ctx context.Context, _ int64) error {
+				func(ctx context.Context, _ int64, rec *Rec) error {
 					input := fftInput(size, size, int64(size))
 					res, err := fft.Run2D(nprocs, input, alg, cfg)
 					if err != nil {
 						return err
 					}
-					t.Set(r, 2*a, "%.3f", res.Elapsed.Seconds())
+					rec.Set(r, 2*a, "%.3f", res.Elapsed.Seconds())
 					if paper, ok := PaperTable5[nprocs][size][alg]; ok {
-						t.Set(r, 2*a+1, "%.3f", paper)
+						rec.Set(r, 2*a+1, "%.3f", paper)
 					} else {
-						t.Set(r, 2*a+1, "-")
+						rec.Set(r, 2*a+1, "-")
 					}
 					return nil
 				})
@@ -211,7 +211,7 @@ func Fig10Spec(cfg network.Config) *TableSpec {
 	for r, size := range Fig10Sizes {
 		for c, alg := range algs {
 			spec.AddCell(fmt.Sprintf("fig10/%s/N32/%dB", alg, size),
-				func(ctx context.Context, _ int64) error {
+				func(ctx context.Context, _ int64, rec *Rec) error {
 					a, err := cm5.LookupAlgorithm(alg)
 					if err != nil {
 						return err
@@ -220,7 +220,7 @@ func Fig10Spec(cfg network.Config) *TableSpec {
 					if err != nil {
 						return err
 					}
-					t.Set(r, c, "%.3f", res.Elapsed.Millis())
+					rec.Set(r, c, "%.3f", res.Elapsed.Millis())
 					return nil
 				})
 		}
@@ -253,7 +253,7 @@ func Fig11Spec(cfg network.Config) *TableSpec {
 			for c, s := range sizes {
 				col := ci*len(sizes) + c
 				spec.AddCell(fmt.Sprintf("fig11/%s/N%d/%dB", alg, n, s),
-					func(ctx context.Context, _ int64) error {
+					func(ctx context.Context, _ int64, rec *Rec) error {
 						a, err := cm5.LookupAlgorithm(alg)
 						if err != nil {
 							return err
@@ -262,7 +262,7 @@ func Fig11Spec(cfg network.Config) *TableSpec {
 						if err != nil {
 							return err
 						}
-						t.Set(r, col, "%.3f", res.Elapsed.Millis())
+						rec.Set(r, col, "%.3f", res.Elapsed.Millis())
 						return nil
 					})
 			}
@@ -304,7 +304,7 @@ func Table11Spec(cfg network.Config) *TableSpec {
 			for _, size := range Table11Sizes {
 				col := c
 				spec.AddCell(fmt.Sprintf("table11/%s/%d%%/%dB", alg, density, size),
-					func(ctx context.Context, _ int64) error {
+					func(ctx context.Context, _ int64, rec *Rec) error {
 						p := pattern.Synthetic(32, float64(density)/100, size, int64(density*1000+size))
 						algo, err := cm5.LookupAlgorithm(alg)
 						if err != nil {
@@ -314,8 +314,8 @@ func Table11Spec(cfg network.Config) *TableSpec {
 						if err != nil {
 							return err
 						}
-						t.Set(2*a, col, "%.3f", res.Elapsed.Millis())
-						t.Set(2*a+1, col, "%.3f", PaperTable11[alg][density][size])
+						rec.Set(2*a, col, "%.3f", res.Elapsed.Millis())
+						rec.Set(2*a+1, col, "%.3f", PaperTable11[alg][density][size])
 						return nil
 					})
 				c++
@@ -394,22 +394,21 @@ func Table12Spec(cfg network.Config) (*TableSpec, *[]RealPatternResult, error) {
 	rows = append(rows, "density %", "density(paper) %", "avg bytes", "avg bytes(paper)")
 	t := NewTable("Table 12: Irregular scheduling of real patterns on 32 processors (ms)", rows, cols)
 
-	// Workers write into distinct (problem, algorithm) slots here; the
-	// Finish hook folds them into the map-based RealPatternResult form.
-	times := make([][]float64, len(PaperTable12))
-	steps := make([][]int, len(PaperTable12))
-	for i := range times {
-		times[i] = make([]float64, len(IrregularAlgs))
-		steps[i] = make([]int, len(IrregularAlgs))
-	}
+	// Cells record their time and step count as named scalars; the
+	// Finish hook reads them back (CellFloat/CellInt) and folds them
+	// into the map-based RealPatternResult form — so a result-store
+	// replay feeds the derived rows exactly like a fresh simulation.
 	results := &[]RealPatternResult{}
 
 	spec := &TableSpec{Name: "table12", Table: t}
+	cellKey := func(prob RealProblem, alg string) string {
+		return fmt.Sprintf("table12/%s/%s", sanitizeKey(prob.Name), alg)
+	}
 	for c, prob := range PaperTable12 {
 		p := patterns[c]
 		for a, alg := range IrregularAlgs {
-			spec.AddCell(fmt.Sprintf("table12/%s/%s", sanitizeKey(prob.Name), alg),
-				func(ctx context.Context, _ int64) error {
+			spec.AddCell(cellKey(prob, alg),
+				func(ctx context.Context, _ int64, rec *Rec) error {
 					algo, err := cm5.LookupAlgorithm(alg)
 					if err != nil {
 						return err
@@ -418,10 +417,10 @@ func Table12Spec(cfg network.Config) (*TableSpec, *[]RealPatternResult, error) {
 					if err != nil {
 						return err
 					}
-					times[c][a] = res.Elapsed.Millis()
-					steps[c][a] = res.Steps
-					t.Set(2*a, c, "%.3f", res.Elapsed.Millis())
-					t.Set(2*a+1, c, "%.3f", prob.PaperMs[alg])
+					rec.PutFloat("ms", res.Elapsed.Millis())
+					rec.PutInt("steps", res.Steps)
+					rec.Set(2*a, c, "%.3f", res.Elapsed.Millis())
+					rec.Set(2*a+1, c, "%.3f", prob.PaperMs[alg])
 					return nil
 				})
 		}
@@ -438,9 +437,9 @@ func Table12Spec(cfg network.Config) (*TableSpec, *[]RealPatternResult, error) {
 				TimesMs:    map[string]float64{},
 				StepCounts: map[string]int{},
 			}
-			for a, alg := range IrregularAlgs {
-				res.TimesMs[alg] = times[c][a]
-				res.StepCounts[alg] = steps[c][a]
+			for _, alg := range IrregularAlgs {
+				res.TimesMs[alg] = spec.CellFloat(cellKey(prob, alg), "ms")
+				res.StepCounts[alg] = spec.CellInt(cellKey(prob, alg), "steps")
 			}
 			t.Set(2*len(IrregularAlgs), c, "%.0f", res.DensityPct)
 			t.Set(2*len(IrregularAlgs)+1, c, "%d", prob.PaperDensityPct)

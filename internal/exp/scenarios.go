@@ -52,7 +52,7 @@ func ScenariosSpec(cfg network.Config) *TableSpec {
 			for _, alg := range IrregularAlgs {
 				w, col, n, alg := w, c, n, alg
 				spec.AddCell(fmt.Sprintf("scenarios/%s/%s/N%d", w.Name, alg, n),
-					func(ctx context.Context, _ int64) error {
+					func(ctx context.Context, _ int64, rec *Rec) error {
 						p := w.Gen(n, ScenarioBytes, scenarioSeed(n))
 						a, err := cm5.LookupAlgorithm(alg)
 						if err != nil {
@@ -62,7 +62,7 @@ func ScenariosSpec(cfg network.Config) *TableSpec {
 						if err != nil {
 							return err
 						}
-						t.Set(r, col, "%.3f", res.Elapsed.Millis())
+						rec.Set(r, col, "%.3f", res.Elapsed.Millis())
 						return nil
 					})
 				c++
@@ -98,20 +98,20 @@ func ScenarioStatsSpec(cfg network.Config) *TableSpec {
 	for r, w := range workloads {
 		r, w := r, w
 		spec.AddCell(fmt.Sprintf("scenario-stats/%s", w.Name),
-			func(ctx context.Context, _ int64) error {
+			func(ctx context.Context, _ int64, rec *Rec) error {
 				p := w.Gen(ScenarioStatsSize, ScenarioBytes, scenarioSeed(ScenarioStatsSize))
 				st := p.Stats()
 				s, err := cm5.Plan(cm5.PatternJob(cm5.MustAlgorithm("GS"), p))
 				if err != nil {
 					return err
 				}
-				t.Set(r, 0, "%d", st.Messages)
-				t.Set(r, 1, "%.1f", st.DensityPct)
-				t.Set(r, 2, "%.0f", st.AvgBytes)
-				t.Set(r, 3, "%d", st.MaxBytes)
-				t.Set(r, 4, "%d", st.MaxFanIn)
-				t.Set(r, 5, "%v", st.Symmetric)
-				t.Set(r, 6, "%d", s.NumSteps())
+				rec.Set(r, 0, "%d", st.Messages)
+				rec.Set(r, 1, "%.1f", st.DensityPct)
+				rec.Set(r, 2, "%.0f", st.AvgBytes)
+				rec.Set(r, 3, "%d", st.MaxBytes)
+				rec.Set(r, 4, "%d", st.MaxFanIn)
+				rec.Set(r, 5, "%v", st.Symmetric)
+				rec.Set(r, 6, "%d", s.NumSteps())
 				return nil
 			})
 	}
@@ -161,7 +161,7 @@ func CollectivesSpec(cfg network.Config) *TableSpec {
 			}
 			r, name, n, ci := r, name, n, ci
 			spec.AddCell(fmt.Sprintf("collectives/%s/N%d/cmmd", name, n),
-				func(ctx context.Context, _ int64) error {
+				func(ctx context.Context, _ int64, rec *Rec) error {
 					a, err := cm5.LookupAlgorithm(name)
 					if err != nil {
 						return err
@@ -170,11 +170,11 @@ func CollectivesSpec(cfg network.Config) *TableSpec {
 					if err != nil {
 						return err
 					}
-					t.Set(r, 2*ci, "%.3f", res.Elapsed.Millis())
+					rec.Set(r, 2*ci, "%.3f", res.Elapsed.Millis())
 					return nil
 				})
 			spec.AddCell(fmt.Sprintf("collectives/%s/N%d/sched", name, n),
-				func(ctx context.Context, _ int64) error {
+				func(ctx context.Context, _ int64, rec *Rec) error {
 					p, err := cmmd.CollectivePattern(name, n, CollectiveBytes)
 					if err != nil {
 						return err
@@ -183,7 +183,7 @@ func CollectivesSpec(cfg network.Config) *TableSpec {
 					if err != nil {
 						return err
 					}
-					t.Set(r, 2*ci+1, "%.3f", res.Elapsed.Millis())
+					rec.Set(r, 2*ci+1, "%.3f", res.Elapsed.Millis())
 					return nil
 				})
 		}

@@ -63,7 +63,7 @@ func TopologySpec(cfg network.Config, n int) *TableSpec {
 			for _, alg := range IrregularAlgs {
 				w, col, tn, alg := w, c, tn, alg
 				spec.AddCell(fmt.Sprintf("topology/%s/%s/%s/N%d", w.Name, tn, alg, n),
-					func(ctx context.Context, _ int64) error {
+					func(ctx context.Context, _ int64, rec *Rec) error {
 						tp, err := topo.New(tn, n, cfg.TopologyRates())
 						if err != nil {
 							return err
@@ -78,7 +78,7 @@ func TopologySpec(cfg network.Config, n int) *TableSpec {
 						if err != nil {
 							return err
 						}
-						t.Set(r, col, "%.3f", res.Elapsed.Millis())
+						rec.Set(r, col, "%.3f", res.Elapsed.Millis())
 						return nil
 					})
 				c++

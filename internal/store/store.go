@@ -1,0 +1,360 @@
+// Package store is a content-addressed, on-disk experiment-result
+// store. Each record is one experiment cell's output, keyed by a stable
+// hash of the cell's full specification — experiment family, cell name,
+// derived axes (workload, scheduler, topology, machine size), seed,
+// network configuration, and a code-version salt — so a result is
+// reusable exactly when everything that could influence it is
+// unchanged, and invalidated for free when any of it changes (the hash
+// changes, so the old entry simply never matches again).
+//
+// Layout on disk:
+//
+//	<dir>/objects/<hh>/<hash>.json   one record, canonical JSON
+//	<dir>/index.json                 sorted {hash, family, cell} listing
+//
+// The object files are the source of truth; index.json is a rebuilt
+// convenience for humans and external tools. Writes are atomic
+// (unique temp file + rename into place), so any number of concurrent
+// writers — worker goroutines of one sweep or separate processes
+// sharing a directory — can Put safely: two writers storing the same
+// hash race to rename byte-identical content.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SchemaVersion is the record-format version; it participates in every
+// hash, so bumping it invalidates all stored results at once.
+const SchemaVersion = 1
+
+// Spec is the full specification of one cell result: every field that
+// influences the result must be present. HashSpec canonicalizes it
+// (sorted keys, exact number literals), so insertion order and struct
+// field order never matter.
+type Spec map[string]any
+
+// Write is one recorded table write of a cell: the replayable unit a
+// cache hit applies instead of re-simulating.
+type Write struct {
+	Row int    `json:"row"`
+	Col int    `json:"col"`
+	Val string `json:"val"`
+}
+
+// Record is one stored cell result.
+type Record struct {
+	Schema int    `json:"schema"`
+	Hash   string `json:"hash"`
+	Family string `json:"family"`
+	Cell   string `json:"cell"`
+	Spec   Spec   `json:"spec"`
+	// Writes are the cell's table writes, replayed verbatim on a hit so
+	// the rendered output is byte-identical to a fresh simulation.
+	Writes []Write `json:"writes,omitempty"`
+	// Values are the cell's named scalars (times, step counts) that
+	// derived columns and Finish hooks consume.
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// HashSpec returns the content address of a spec: the hex SHA-256 of
+// its canonical JSON. Canonicalization round-trips the spec through
+// JSON into maps with json.Number values, then re-marshals — map keys
+// come out sorted and number literals exact, so the hash is stable
+// under map insertion order, struct field reordering, and int64 values
+// beyond float64 precision.
+func HashSpec(spec Spec) (string, error) {
+	data, err := canonicalJSON(spec)
+	if err != nil {
+		return "", fmt.Errorf("store: canonicalize spec: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+func canonicalJSON(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var generic any
+	if err := dec.Decode(&generic); err != nil {
+		return nil, err
+	}
+	// json.Marshal sorts map[string]... keys, and json.Number
+	// re-marshals as its exact literal.
+	return json.Marshal(generic)
+}
+
+// Store is an open result store rooted at a directory.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	index map[string]indexEntry // hash -> entry
+	dirty bool                  // index.json lags the in-memory index
+}
+
+type indexEntry struct {
+	Hash   string `json:"hash"`
+	Family string `json:"family"`
+	Cell   string `json:"cell"`
+}
+
+type indexFile struct {
+	Schema  int          `json:"schema"`
+	Entries []indexEntry `json:"entries"`
+}
+
+// Open opens (creating if needed) the store at dir. The in-memory
+// index is rebuilt from the object files, which are the source of
+// truth; a stale or missing index.json is repaired on the next Put.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, index: map[string]indexEntry{}}
+	err := filepath.WalkDir(filepath.Join(dir, "objects"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".json") {
+			return err
+		}
+		rec, rerr := readRecord(path)
+		if rerr != nil {
+			// A torn or foreign file is not fatal: it can never be a
+			// hit (Get re-validates), so skip it.
+			return nil
+		}
+		s.index[rec.Hash] = indexEntry{Hash: rec.Hash, Family: rec.Family, Cell: rec.Cell}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: scan %s: %w", dir, err)
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of indexed records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+func (s *Store) objectPath(hash string) string {
+	return filepath.Join(s.dir, "objects", hash[:2], hash+".json")
+}
+
+func readRecord(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, err
+	}
+	if rec.Hash == "" || len(rec.Hash) < 2 {
+		return nil, fmt.Errorf("store: %s: record has no hash", path)
+	}
+	return &rec, nil
+}
+
+// Get returns the record stored under hash, or ok=false on a miss. It
+// reads the object file directly, so records written by a concurrent
+// process after Open are found too.
+func (s *Store) Get(hash string) (*Record, bool, error) {
+	if len(hash) < 2 {
+		return nil, false, fmt.Errorf("store: bad hash %q", hash)
+	}
+	rec, err := readRecord(s.objectPath(hash))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	if rec.Schema != SchemaVersion {
+		// A record from a different schema generation never hits.
+		return nil, false, nil
+	}
+	return rec, true, nil
+}
+
+// Put stores a record under rec.Hash (computing it from rec.Spec when
+// empty). Safe for any number of concurrent callers. The object file
+// lands immediately (it is the source of truth); index.json is only
+// marked stale — call Flush once after a batch of Puts, rather than
+// paying an O(records) index rewrite per cell.
+func (s *Store) Put(rec *Record) error {
+	rec.Schema = SchemaVersion
+	if rec.Hash == "" {
+		h, err := HashSpec(rec.Spec)
+		if err != nil {
+			return err
+		}
+		rec.Hash = h
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode %s: %w", rec.Cell, err)
+	}
+	data = append(data, '\n')
+	path := s.objectPath(rec.Hash)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: write %s: %w", rec.Cell, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: write %s: %w", rec.Cell, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+
+	s.mu.Lock()
+	s.index[rec.Hash] = indexEntry{Hash: rec.Hash, Family: rec.Family, Cell: rec.Cell}
+	s.dirty = true
+	s.mu.Unlock()
+	return nil
+}
+
+// Flush rewrites index.json when Puts have made it stale. A missed
+// Flush (crash mid-sweep) costs nothing but an index rebuild on the
+// next Open: the object files are the source of truth.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.dirty {
+		return nil
+	}
+	if err := s.writeIndexLocked(); err != nil {
+		return err
+	}
+	s.dirty = false
+	return nil
+}
+
+// writeIndexLocked rewrites index.json from the in-memory index,
+// sorted by (family, cell, hash). Callers hold s.mu.
+func (s *Store) writeIndexLocked() error {
+	idx := indexFile{Schema: SchemaVersion, Entries: make([]indexEntry, 0, len(s.index))}
+	for _, e := range s.index {
+		idx.Entries = append(idx.Entries, e)
+	}
+	sort.Slice(idx.Entries, func(i, j int) bool {
+		a, b := idx.Entries[i], idx.Entries[j]
+		if a.Family != b.Family {
+			return a.Family < b.Family
+		}
+		if a.Cell != b.Cell {
+			return a.Cell < b.Cell
+		}
+		return a.Hash < b.Hash
+	})
+	data, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode index: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(s.dir, ".index-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: write index: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: write index: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, "index.json")); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// All returns every stored record, sorted by (family, cell, hash) so
+// listings and diffs are deterministic.
+func (s *Store) All() ([]*Record, error) {
+	s.mu.Lock()
+	hashes := make([]string, 0, len(s.index))
+	for h := range s.index {
+		hashes = append(hashes, h)
+	}
+	s.mu.Unlock()
+	recs := make([]*Record, 0, len(hashes))
+	for _, h := range hashes {
+		rec, ok, err := s.Get(h)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			recs = append(recs, rec)
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Family != b.Family {
+			return a.Family < b.Family
+		}
+		if a.Cell != b.Cell {
+			return a.Cell < b.Cell
+		}
+		return a.Hash < b.Hash
+	})
+	return recs, nil
+}
+
+// Invalidate deletes every record whose cell key matches re and
+// returns how many were removed.
+func (s *Store) Invalidate(re *regexp.Regexp) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for h, e := range s.index {
+		if !re.MatchString(e.Cell) {
+			continue
+		}
+		if err := os.Remove(s.objectPath(h)); err != nil && !os.IsNotExist(err) {
+			return removed, fmt.Errorf("store: invalidate %s: %w", e.Cell, err)
+		}
+		delete(s.index, h)
+		removed++
+	}
+	if removed > 0 {
+		if err := s.writeIndexLocked(); err != nil {
+			return removed, err
+		}
+		s.dirty = false
+	}
+	return removed, nil
+}

@@ -1,0 +1,284 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+func TestHashSpecStableAcrossFieldOrder(t *testing.T) {
+	// Maps built in different insertion orders, and equivalent structs
+	// with reordered fields, must hash identically: the hash is a
+	// function of the content, never of declaration or insertion order.
+	a := Spec{"family": "fig5", "cell": "fig5/LEX/N32/256B", "seed": "12345", "n": 32}
+	b := Spec{"n": 32, "seed": "12345", "cell": "fig5/LEX/N32/256B", "family": "fig5"}
+	ha, err := HashSpec(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := HashSpec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("insertion order changed the hash: %s vs %s", ha, hb)
+	}
+
+	type cfg1 struct {
+		Rate    float64 `json:"rate"`
+		Packets int     `json:"packets"`
+	}
+	type cfg2 struct {
+		Packets int     `json:"packets"`
+		Rate    float64 `json:"rate"`
+	}
+	h1, err := HashSpec(Spec{"config": cfg1{Rate: 20e6, Packets: 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := HashSpec(Spec{"config": cfg2{Packets: 20, Rate: 20e6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("struct field order changed the hash: %s vs %s", h1, h2)
+	}
+}
+
+func TestHashSpecDistinguishesContent(t *testing.T) {
+	base := Spec{"family": "fig5", "cell": "fig5/LEX/N32/256B", "seed": "1"}
+	h0, err := HashSpec(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, other := range map[string]Spec{
+		"cell":  {"family": "fig5", "cell": "fig5/PEX/N32/256B", "seed": "1"},
+		"seed":  {"family": "fig5", "cell": "fig5/LEX/N32/256B", "seed": "2"},
+		"extra": {"family": "fig5", "cell": "fig5/LEX/N32/256B", "seed": "1", "version": 2},
+	} {
+		h, err := HashSpec(other)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h == h0 {
+			t.Errorf("changing %s did not change the hash", name)
+		}
+	}
+}
+
+func TestHashSpecPreservesInt64Precision(t *testing.T) {
+	// Large int64s (beyond float64's 53-bit mantissa) must survive
+	// canonicalization exactly: adjacent values must hash differently.
+	a := Spec{"seed": int64(1<<62 + 1)}
+	b := Spec{"seed": int64(1<<62 + 2)}
+	ha, err := HashSpec(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := HashSpec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha == hb {
+		t.Fatal("adjacent int64 seeds collided: canonicalization lost precision")
+	}
+}
+
+func testRecord(family, cell string, val string) *Record {
+	return &Record{
+		Family: family,
+		Cell:   cell,
+		Spec:   Spec{"family": family, "cell": cell},
+		Writes: []Write{{Row: 0, Col: 0, Val: val}},
+		Values: map[string]float64{"ms": 1.25},
+	}
+}
+
+func TestStoreHitMissRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord("fig5", "fig5/LEX/N32/256B", "1.234")
+	h, err := HashSpec(rec.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(h); err != nil || ok {
+		t.Fatalf("empty store hit: ok=%v err=%v", ok, err)
+	}
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Hash != h {
+		t.Fatalf("Put filled hash %s, want %s", rec.Hash, h)
+	}
+	got, ok, err := s.Get(h)
+	if err != nil || !ok {
+		t.Fatalf("stored record missed: ok=%v err=%v", ok, err)
+	}
+	if got.Cell != rec.Cell || len(got.Writes) != 1 || got.Writes[0].Val != "1.234" {
+		t.Fatalf("round trip mangled the record: %+v", got)
+	}
+	if got.Values["ms"] != 1.25 {
+		t.Fatalf("values lost: %v", got.Values)
+	}
+
+	// Reopening rebuilds the index from the object files.
+	s2, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reopened store has %d records, want 1", s2.Len())
+	}
+	if _, ok, err := s2.Get(h); err != nil || !ok {
+		t.Fatalf("reopened store missed: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestStoreInvalidate(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range []string{
+		"fig5/LEX/N32/0B", "fig5/LEX/N32/256B", "fig10/REB/N32/0B",
+	} {
+		if err := s.Put(testRecord("x", cell, "1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := s.Invalidate(regexp.MustCompile(`^fig5/`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || s.Len() != 1 {
+		t.Fatalf("invalidated %d (len %d), want 2 (len 1)", n, s.Len())
+	}
+	recs, err := s.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Cell != "fig10/REB/N32/0B" {
+		t.Fatalf("survivor = %+v", recs)
+	}
+	// Idempotent: a second pass removes nothing.
+	if n, err := s.Invalidate(regexp.MustCompile(`^fig5/`)); err != nil || n != 0 {
+		t.Fatalf("second invalidate: n=%d err=%v", n, err)
+	}
+}
+
+func TestStoreConcurrentWriters(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, cells = 8, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*cells)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < cells; i++ {
+				// Every worker writes the same cell set: concurrent Puts
+				// of identical hashes race benignly on rename.
+				if err := s.Put(testRecord("conc", fmt.Sprintf("conc/cell%d", i), "v")); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s.Len() != cells {
+		t.Fatalf("store has %d records, want %d", s.Len(), cells)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != cells {
+		t.Fatalf("All returned %d records, want %d", len(recs), cells)
+	}
+}
+
+func TestStoreIndexFileSortedAndValid(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range []string{"b/2", "a/1", "c/3"} {
+		if err := s.Put(testRecord(cell[:1], cell, "v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Put defers index maintenance to one Flush per batch.
+	if _, err := os.Stat(filepath.Join(s.Dir(), "index.json")); !os.IsNotExist(err) {
+		t.Fatalf("index.json written before Flush (err=%v)", err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(s.Dir(), "index.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx indexFile
+	if err := json.Unmarshal(data, &idx); err != nil {
+		t.Fatalf("index.json invalid: %v", err)
+	}
+	if idx.Schema != SchemaVersion || len(idx.Entries) != 3 {
+		t.Fatalf("index = %+v", idx)
+	}
+	for i, want := range []string{"a/1", "b/2", "c/3"} {
+		if idx.Entries[i].Cell != want {
+			t.Fatalf("index entry %d = %q, want %q (sorted)", i, idx.Entries[i].Cell, want)
+		}
+	}
+}
+
+func TestStoreSchemaMismatchMisses(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord("x", "x/1", "v")
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the object with a foreign schema version: it must read as
+	// a miss, not as a hit with unknown semantics.
+	path := s.objectPath(rec.Hash)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["schema"] = SchemaVersion + 1
+	data, err = json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(rec.Hash); err != nil || ok {
+		t.Fatalf("foreign-schema record should miss: ok=%v err=%v", ok, err)
+	}
+}
