@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json bench-baseline cover perf-check lint vet fmt-check tables examples linkcheck api api-check
+.PHONY: build test race bench bench-smoke bench-json bench-baseline cover perf-check lint vet fmt-check tables examples linkcheck api api-check serve-smoke
 
 build:
 	$(GO) build ./...
@@ -9,11 +9,12 @@ test:
 	$(GO) test ./...
 
 # Race pass over the concurrent code introduced by the experiment
-# orchestrator, the rewritten simulation engine, and the result store's
-# concurrent writers. -short trims the heaviest deterministic sweeps;
-# `make test` still runs them raceless.
+# orchestrator, the rewritten simulation engine, the result store's
+# concurrent writers, and the serving layer's coalescing/admission
+# paths. -short trims the heaviest deterministic sweeps; `make test`
+# still runs them raceless.
 race:
-	$(GO) test -race -short ./internal/exp/ ./internal/sim/ ./internal/cmmd/ ./internal/network/ ./internal/store/
+	$(GO) test -race -short ./internal/exp/ ./internal/sim/ ./internal/cmmd/ ./internal/network/ ./internal/store/ ./internal/serve/
 
 # Full-suite run with a coverage profile plus a function summary; on
 # CI's stable leg this IS the test step (one execution, not two), and
@@ -71,6 +72,13 @@ examples:
 # Verify that every relative markdown link in the repo resolves.
 linkcheck:
 	$(GO) run ./cmd/linkcheck
+
+# End-to-end smoke test of cmd/cmserve over real HTTP: served bodies
+# byte-identical to -oneshot, repeats hit the store, and sweep output
+# byte-identical to cmexp stdout on a shared store (CI's serve-smoke
+# step; see scripts/serve_smoke.sh).
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Snapshot the public API surface. Run after intentionally changing
 # exported cm5 declarations; CI's api job diffs against this file.

@@ -73,18 +73,6 @@ import (
 	"repro/internal/store"
 )
 
-var tableExperiments = []string{
-	"fig5", "fig6", "fig7", "fig8", "table5", "fig10", "fig11",
-	"table11", "table12", "scenarios", "collectives", "topology",
-	"ablation-async", "ablation-fattree", "ablation-greedy",
-	"ablation-crossover", "ablation-crystal",
-}
-
-var ablationExperiments = []string{
-	"ablation-async", "ablation-fattree", "ablation-greedy",
-	"ablation-crossover", "ablation-crystal",
-}
-
 // options carries every flag so tests can drive run directly.
 type options struct {
 	procs      int
@@ -176,52 +164,23 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string, o options
 		}
 	}
 
-	// Expand the grouping aliases, preserving the canonical print order.
-	var names []string
-	seen := map[string]bool{}
-	add := func(name string) {
-		if !seen[name] {
-			seen[name] = true
-			names = append(names, name)
-		}
+	// Expand the grouping aliases, preserving the canonical print
+	// order, then build the specs for every requested experiment; their
+	// cells all feed one shared worker pool. The name catalogue is
+	// shared with the cmserve sweep endpoint (exp.FamilySpecs); only
+	// table5 stays here because its -procs/-maxsize flags change its
+	// shape.
+	names, err := exp.ExpandFamilies(args)
+	if err != nil {
+		return err
 	}
-	for _, arg := range args {
-		switch arg {
-		case "all":
-			add("schedules")
-			for _, n := range tableExperiments {
-				add(n)
-			}
-		case "ablations":
-			for _, n := range ablationExperiments {
-				add(n)
-			}
-		default:
-			add(arg)
-		}
-	}
-
-	// Build the specs for every requested experiment; their cells all
-	// feed one shared worker pool.
 	var specs []*exp.TableSpec
 	printSchedules := false
 	for _, name := range names {
-		switch name {
-		case "schedules":
+		switch {
+		case name == "schedules":
 			printSchedules = true
-		case "fig5":
-			specs = append(specs, exp.Fig5Spec(cfg))
-		case "fig6":
-			specs = append(specs, exp.Fig6Spec(cfg))
-		case "fig7":
-			specs = append(specs, exp.Fig7Spec(cfg))
-		case "fig8":
-			specs = append(specs, exp.Fig8Spec(cfg))
-		case "fig10":
-			specs = append(specs, exp.Fig10Spec(cfg))
-		case "fig11":
-			specs = append(specs, exp.Fig11Spec(cfg))
-		case "table5":
+		case name == "table5" && (o.procs != 0 || o.maxSize != exp.Table5DefaultMaxSize):
 			sizes := []int{32, 256}
 			if o.procs != 0 {
 				sizes = []int{o.procs}
@@ -229,33 +188,12 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string, o options
 			for _, n := range sizes {
 				specs = append(specs, exp.Table5Spec(n, o.maxSize, cfg))
 			}
-		case "scenarios":
-			specs = append(specs, exp.ScenariosSpec(cfg), exp.ScenarioStatsSpec(cfg))
-		case "topology":
-			specs = append(specs, exp.TopologySpecs(cfg)...)
-		case "collectives":
-			specs = append(specs, exp.CollectivesSpec(cfg))
-		case "table11":
-			specs = append(specs, exp.Table11Spec(cfg))
-		case "table12":
-			spec, _, err := exp.Table12Spec(cfg)
+		default:
+			ss, err := exp.FamilySpecs(name, cfg)
 			if err != nil {
 				return err
 			}
-			specs = append(specs, spec)
-		case "ablation-async":
-			specs = append(specs, exp.AblationAsyncSpec(cfg))
-		case "ablation-fattree":
-			specs = append(specs, exp.AblationFatTreeSpec(cfg))
-		case "ablation-greedy":
-			specs = append(specs, exp.AblationGreedySpec(cfg))
-		case "ablation-crossover":
-			specs = append(specs, exp.AblationCrossoverSpec(cfg))
-		case "ablation-crystal":
-			specs = append(specs, exp.AblationCrystalSpec(cfg))
-		default:
-			return fmt.Errorf("unknown experiment %q (known: schedules %s ablations all)",
-				name, strings.Join(tableExperiments, " "))
+			specs = append(specs, ss...)
 		}
 	}
 

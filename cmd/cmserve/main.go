@@ -1,0 +1,153 @@
+// Command cmserve is the experiment-as-a-service daemon: a
+// long-running HTTP server where clients POST a job specification —
+// algorithm, workload, topology, machine size, seed — and receive the
+// full simulated Result. Results are served straight from the
+// content-addressed result store on a hash hit; misses simulate with
+// single-flight coalescing, so any thundering herd of identical
+// requests costs exactly one simulation.
+//
+// Usage:
+//
+//	cmserve [flags]
+//	cmserve -oneshot spec.json   # run one spec offline, print the payload
+//
+// Endpoints (see docs/API.md for the full reference):
+//
+//	POST /v1/jobs        run one job spec, return its Result JSON
+//	POST /v1/sweep       run experiment families, stream cells as NDJSON
+//	GET  /v1/algorithms  the typed registry's algorithms
+//	GET  /v1/topologies  the interconnect families
+//	GET  /v1/workloads   the scenario catalogue (+ "synthetic")
+//	GET  /v1/stats       hits, misses, coalesced, in-flight, queue depth
+//	GET  /healthz        liveness
+//
+// Flags:
+//
+//	-addr HOST:PORT  listen address (default :8127)
+//	-store DIR       content-addressed result store shared with cmexp
+//	                 (created if missing; empty = serve without a cache)
+//	-workers N       concurrent simulations (default: all CPUs)
+//	-queue N         admission queue depth beyond the busy workers;
+//	                 overflowing requests get 429 (default 64)
+//	-timeout D       per-request deadline (default 2m; 0 disables)
+//	-oneshot FILE    do not serve: read one job spec (JSON; "-" =
+//	                 stdin), run it, print the canonical payload to
+//	                 stdout, exit. Byte-identical to the body a running
+//	                 server returns for the same spec.
+//
+// The store directory is shared with cmexp: a sweep warmed by `cmexp
+// -store DIR` serves the same cells without re-simulating, and job
+// payloads written by the daemon survive restarts. Stop with SIGINT or
+// SIGTERM; in-flight requests drain before exit.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8127", "listen address")
+		dir     = flag.String("store", "", "content-addressed result store directory (empty: no cache)")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = all CPUs)")
+		queue   = flag.Int("queue", 64, "admission queue depth beyond the busy workers")
+		timeout = flag.Duration("timeout", 2*time.Minute, "per-request deadline (0 disables)")
+		oneshot = flag.String("oneshot", "", "run one job spec from this file (\"-\" = stdin) and exit")
+	)
+	flag.Parse()
+	if err := run(*addr, *dir, *workers, *queue, *timeout, *oneshot); err != nil {
+		fmt.Fprintf(os.Stderr, "cmserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dir string, workers, queue int, timeout time.Duration, oneshot string) error {
+	cfg := network.DefaultConfig()
+	if oneshot != "" {
+		return runOneshot(oneshot, cfg)
+	}
+
+	var st *store.Store
+	if dir != "" {
+		var err error
+		if st, err = store.Open(dir); err != nil {
+			return err
+		}
+	}
+	opts := []serve.Option{serve.WithQueueDepth(queue), serve.WithTimeout(timeout)}
+	if workers > 0 {
+		opts = append(opts, serve.WithWorkers(workers))
+	}
+	srv := serve.New(cfg, st, opts...)
+
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if dir != "" {
+			fmt.Fprintf(os.Stderr, "cmserve: listening on %s (store %s, %d records)\n",
+				addr, dir, st.Len())
+		} else {
+			fmt.Fprintf(os.Stderr, "cmserve: listening on %s (no store: every miss simulates)\n", addr)
+		}
+		errc <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "cmserve: shutting down, draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	return nil
+}
+
+// runOneshot runs one job spec through the exact serving path —
+// validation, hashing, simulation, canonical encoding — without a
+// server or a store, and prints the payload bytes a daemon would
+// respond with.
+func runOneshot(path string, cfg network.Config) error {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var js serve.JobSpec
+	if err := dec.Decode(&js); err != nil {
+		return fmt.Errorf("bad job spec: %w", err)
+	}
+	payload, err := serve.RunOne(js, cfg)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(payload)
+	return err
+}

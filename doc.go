@@ -2,9 +2,28 @@
 // Thakur, Choudhary and Fox, "Scheduling Regular and Irregular
 // Communication Patterns on the CM-5" (SC 1992).
 //
-// The public API lives in package repro/cm5. The benchmark harness in
-// bench_test.go regenerates every table and figure of the paper's
-// evaluation; the cmd/cmexp tool prints them as tables, fanning the
-// independent simulation cells across all CPUs. See README.md for the
-// quickstart, the experiment catalogue, and the repository layout.
+// The public API lives in package repro/cm5: a typed Algorithm
+// registry and the Run(Job) -> Result entry point over a deterministic
+// discrete-event simulation of a CM-5 partition. The benchmark harness
+// in bench_test.go regenerates every table and figure of the paper's
+// evaluation.
+//
+// Commands:
+//
+//	cmd/cmexp      regenerate the paper's tables and figures; parallel,
+//	               incremental via the content-addressed result store
+//	               (-store), output as text, JSON or CSV (-format)
+//	cmd/cmtrace    run one algorithm with tracing: rendezvous waits,
+//	               per-level/link utilization, per-step completions
+//	cmd/cmserve    experiment-as-a-service HTTP daemon over the result
+//	               store (single-flight coalescing, streaming sweeps;
+//	               see docs/API.md)
+//	cmd/expdiff    regression verdict between two benchmark reports or
+//	               result stores (CI's perf gate)
+//	cmd/benchjson  topology x algorithm benchmarks as JSON
+//	cmd/schedview  the paper's schedule tables for arbitrary sizes
+//	cmd/meshgen    mesh and halo pattern statistics behind Table 12
+//
+// See README.md for the quickstart, the experiment catalogue, and the
+// repository layout, and ARCHITECTURE.md for the package map.
 package repro

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/store"
+)
+
+// herdSize is the acceptance-criterion load: this many concurrent
+// identical requests must trigger exactly one simulation.
+const herdSize = 1000
+
+// BenchmarkHerdIdentical is the in-repo load generator: each iteration
+// fires herdSize concurrent POSTs of one never-before-seen spec (the
+// seed advances per iteration, so every herd starts cold) and asserts
+// that exactly one simulation ran for all of them. req/op and sims/op
+// are reported so the coalescing ratio is visible in benchmark output:
+//
+//	go test ./internal/serve/ -bench HerdIdentical -benchtime 10x
+func BenchmarkHerdIdentical(b *testing.B) {
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(network.DefaultConfig(), st, WithWorkers(4))
+	h := s.Handler()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := fmt.Sprintf(
+			`{"algorithm":"GS","n":32,"bytes":64,"workload":"synthetic","density":0.25,"seed":%d}`,
+			int64(i)+1)
+		before := s.stats.misses.Load()
+		var wg sync.WaitGroup
+		var bad atomic.Int64
+		for j := 0; j < herdSize; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				req := httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(spec))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					bad.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		if n := bad.Load(); n != 0 {
+			b.Fatalf("iteration %d: %d of %d requests failed", i, n, herdSize)
+		}
+		if sims := s.stats.misses.Load() - before; sims != 1 {
+			b.Fatalf("iteration %d: %d concurrent identical requests ran %d simulations, want exactly 1",
+				i, herdSize, sims)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(herdSize), "req/op")
+	b.ReportMetric(float64(s.stats.misses.Load())/float64(b.N), "sims/op")
+}
+
+// BenchmarkWarmHit measures pure store-hit throughput: a single spec
+// simulated once up front, then replayed from the store every
+// iteration (RunParallel saturates the handler from all CPUs).
+func BenchmarkWarmHit(b *testing.B) {
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(network.DefaultConfig(), st)
+	h := s.Handler()
+	const spec = `{"algorithm":"BEX","n":32,"bytes":256}`
+	warm := httptest.NewRecorder()
+	h.ServeHTTP(warm, httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(spec)))
+	if warm.Code != http.StatusOK {
+		b.Fatalf("warmup: status %d, body %s", warm.Code, warm.Body)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(spec))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d", w.Code)
+			}
+		}
+	})
+	b.StopTimer()
+	if s.stats.misses.Load() != 1 {
+		b.Fatalf("warm benchmark simulated %d times, want 1", s.stats.misses.Load())
+	}
+}
+
+// BenchmarkColdDistinct is the anti-benchmark: every request is a
+// distinct spec, so nothing coalesces and nothing hits — the cost of
+// one simulation per request, bounded by the admission queue.
+func BenchmarkColdDistinct(b *testing.B) {
+	s := New(network.DefaultConfig(), nil, WithQueueDepth(1<<20))
+	h := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var seed atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			spec := fmt.Sprintf(`{"algorithm":"BEX","n":32,"bytes":64,"seed":%d}`, seed.Add(1))
+			req := httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(spec))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d, body %s", w.Code, w.Body)
+			}
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup is a hand-rolled single-flight group keyed by content
+// hash (the module has no dependencies, so golang.org/x/sync is
+// deliberately not one). The first caller for a key becomes the leader
+// and runs the function; every caller that arrives while the leader is
+// in flight waits for the leader's payload instead of duplicating the
+// work. Followers honor their own context — a follower whose deadline
+// expires abandons the wait without disturbing the leader, whose
+// simulation is not interruptible anyway.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{} // closed when the leader finished
+	payload []byte
+	err     error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: map[string]*flightCall{}}
+}
+
+// join returns the in-flight call for key, creating one — and electing
+// the caller leader — when none exists.
+func (g *flightGroup) join(key string) (c *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c = &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// lead runs fn as the call's leader, publishes the outcome to every
+// follower, and retires the key so later requests start fresh (or hit
+// the store, where a successful payload now lives).
+func (g *flightGroup) lead(key string, c *flightCall, fn func() ([]byte, error)) ([]byte, error) {
+	c.payload, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.payload, c.err
+}
+
+// wait blocks until the leader publishes or ctx ends.
+func (c *flightCall) wait(ctx context.Context) ([]byte, error) {
+	select {
+	case <-c.done:
+		return c.payload, c.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

@@ -1,0 +1,526 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"regexp"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/cm5"
+	"repro/internal/exp"
+	"repro/internal/network"
+	"repro/internal/pattern"
+	"repro/internal/store"
+)
+
+// errBusy is the admission queue's overflow signal, mapped to 429.
+var errBusy = errors.New("server at capacity: admission queue full")
+
+// Server is the simulation daemon: an HTTP/JSON front end over the
+// typed algorithm registry and the content-addressed result store.
+//
+// Request lifecycle of POST /v1/jobs: hash the spec; on a store hit,
+// serve the recorded payload verbatim (no lock, no queue — hits can
+// never be rejected); on a miss, join the single-flight group, so one
+// leader per unique spec simulates while every concurrent duplicate
+// waits for its payload; the leader passes the bounded admission queue
+// (429 beyond workers+queue), simulates, persists, responds. Every
+// stage honors the request context, so deadlines cancel queue and
+// coalescing waits.
+type Server struct {
+	cfg     network.Config
+	store   *store.Store // nil: serve without a cache
+	workers int
+	queue   int
+	timeout time.Duration
+
+	flight  *flightGroup
+	sem     chan struct{} // admission: one slot per simulating worker
+	pending atomic.Int64  // admitted + waiting leaders
+
+	// simulate is cm5.Run, replaceable by tests to count and gate
+	// simulations deterministically.
+	simulate func(cm5.Job) (cm5.Result, error)
+
+	start time.Time
+	stats struct {
+		served, hits, misses, coalesced atomic.Int64
+		rejected, failed, sweeps        atomic.Int64
+	}
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithWorkers bounds how many simulations run concurrently (default:
+// GOMAXPROCS).
+func WithWorkers(n int) Option { return func(s *Server) { s.workers = n } }
+
+// WithQueueDepth bounds how many simulation leaders may wait behind
+// the busy workers before new ones are rejected with 429 (default 64).
+// Store hits and coalesced duplicates never occupy the queue.
+func WithQueueDepth(n int) Option { return func(s *Server) { s.queue = n } }
+
+// WithTimeout sets the per-request deadline applied to every handler
+// (default 2m; 0 disables).
+func WithTimeout(d time.Duration) Option { return func(s *Server) { s.timeout = d } }
+
+// New builds a Server over the given network configuration and result
+// store (nil for an uncached server).
+func New(cfg network.Config, st *store.Store, opts ...Option) *Server {
+	s := &Server{
+		cfg:      cfg,
+		store:    st,
+		workers:  runtime.GOMAXPROCS(0),
+		queue:    64,
+		timeout:  2 * time.Minute,
+		flight:   newFlightGroup(),
+		simulate: cm5.Run,
+		start:    time.Now(),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.workers < 1 {
+		s.workers = 1
+	}
+	if s.queue < 0 {
+		s.queue = 0
+	}
+	s.sem = make(chan struct{}, s.workers)
+	return s
+}
+
+// Handler returns the daemon's full route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("POST /v1/jobs", s.handleJob)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	return s.withDeadline(mux)
+}
+
+// withDeadline applies the per-request timeout to every handler's
+// context; queue waits, coalescing waits, and sweep cell boundaries
+// all observe it.
+func (s *Server) withDeadline(h http.Handler) http.Handler {
+	if s.timeout <= 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// httpError writes a JSON error document with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	doc, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.Write(append(doc, '\n'))
+}
+
+// statusFor maps a job execution error to its HTTP status.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, errBusy):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		// A validated spec that still cannot run (a broadcast root
+		// outside the machine, a collective the size rejects) is the
+		// client's problem, not the server's.
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.stats.served.Add(1)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var js JobSpec
+	if err := dec.Decode(&js); err != nil {
+		httpError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	if err := js.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	hash, err := js.Hash(s.cfg)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "hash spec: %v", err)
+		return
+	}
+	payload, cache, err := s.runJob(r.Context(), js, hash)
+	if err != nil {
+		s.stats.failed.Add(1)
+		if errors.Is(err, errBusy) {
+			w.Header().Set("Retry-After", "1")
+		}
+		httpError(w, statusFor(err), "job %s: %v", hash[:12], err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cache)
+	w.Header().Set("X-Result-Hash", hash)
+	w.Write(payload)
+}
+
+// runJob produces the canonical payload for one validated spec and
+// reports how: "hit" (store), "miss" (this request simulated), or
+// "coalesced" (an identical request was already in flight and this one
+// rode along).
+func (s *Server) runJob(ctx context.Context, js JobSpec, hash string) ([]byte, string, error) {
+	if payload, ok := s.storeGet(hash); ok {
+		s.stats.hits.Add(1)
+		return payload, "hit", nil
+	}
+	c, leader := s.flight.join(hash)
+	if !leader {
+		s.stats.coalesced.Add(1)
+		payload, err := c.wait(ctx)
+		return payload, "coalesced", err
+	}
+	payload, err := s.flight.lead(hash, c, func() ([]byte, error) {
+		release, err := s.admit(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		job, err := js.job(s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.simulate(job)
+		if err != nil {
+			return nil, err
+		}
+		s.stats.misses.Add(1)
+		payload, err := encodeResult(js, hash, res)
+		if err != nil {
+			return nil, err
+		}
+		s.storePut(js, hash, payload)
+		return payload, nil
+	})
+	return payload, "miss", err
+}
+
+// admit acquires one simulation slot, waiting in the bounded queue.
+// Beyond workers+queue leaders in the system, it rejects immediately
+// (429); a context deadline abandons the wait.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	if int(s.pending.Add(1)) > s.workers+s.queue {
+		s.pending.Add(-1)
+		s.stats.rejected.Add(1)
+		return nil, errBusy
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() {
+			<-s.sem
+			s.pending.Add(-1)
+		}, nil
+	case <-ctx.Done():
+		s.pending.Add(-1)
+		return nil, ctx.Err()
+	}
+}
+
+// storeGet returns the canonical payload recorded under hash. The
+// object file holds it re-indented inside the record, so it is
+// compacted back to the exact bytes encodeResult produced — warm
+// responses are byte-identical to the cold ones.
+func (s *Server) storeGet(hash string) ([]byte, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	rec, ok, err := s.store.Get(hash)
+	if err != nil || !ok || len(rec.Payload) == 0 {
+		// Read errors and payload-less records (table cells) fall
+		// through to a fresh simulation, never to a failed request.
+		return nil, false
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, rec.Payload); err != nil {
+		return nil, false
+	}
+	buf.WriteByte('\n')
+	return buf.Bytes(), true
+}
+
+// storePut persists a payload record; failures are deliberately
+// swallowed — the cache can only ever cost a re-simulation, never a
+// failed response.
+func (s *Server) storePut(js JobSpec, hash string, payload []byte) {
+	if s.store == nil {
+		return
+	}
+	rec := &store.Record{
+		Hash:    hash,
+		Family:  "serve",
+		Cell:    fmt.Sprintf("serve/%s", hash[:12]),
+		Spec:    js.storeSpec(s.cfg),
+		Payload: json.RawMessage(payload),
+	}
+	if s.store.Put(rec) == nil {
+		s.store.Flush()
+	}
+}
+
+// sweepRequest is the wire form of POST /v1/sweep: experiment families
+// by name (the cmexp catalogue, aliases included), an optional cell
+// regexp and seed, and the output format of the final rendering.
+type sweepRequest struct {
+	Experiments []string `json:"experiments"`
+	Run         string   `json:"run,omitempty"`
+	Seed        int64    `json:"seed,omitempty"`
+	Format      string   `json:"format,omitempty"`
+}
+
+// sweepEvent is one NDJSON line of the sweep stream. Cell events carry
+// Cell/Done/Total/Cached as each cell completes; the final event
+// carries Done=total plus the rendered output and the replay split; an
+// Error event ends a stream that cannot continue.
+type sweepEvent struct {
+	Cell      string `json:"cell,omitempty"`
+	Done      int    `json:"done,omitempty"`
+	Total     int    `json:"total,omitempty"`
+	Cached    bool   `json:"cached,omitempty"`
+	Finished  bool   `json:"finished,omitempty"`
+	Cells     int    `json:"cells,omitempty"`
+	Replayed  int    `json:"replayed,omitempty"`
+	Simulated int    `json:"simulated,omitempty"`
+	Format    string `json:"format,omitempty"`
+	// Output is the families' rendered tables, byte-identical to
+	// cmexp's stdout for the same experiments and format.
+	Output string `json:"output,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.stats.served.Add(1)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req sweepRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad sweep request: %v", err)
+		return
+	}
+	if len(req.Experiments) == 0 {
+		httpError(w, http.StatusBadRequest, "no experiments requested (known: %s)",
+			strings.Join(exp.FamilyNames(), " "))
+		return
+	}
+	format, err := exp.ParseFormat(req.Format)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	names, err := exp.ExpandFamilies(req.Experiments)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	explicit := map[string]bool{}
+	for _, name := range req.Experiments {
+		explicit[name] = true
+	}
+	var specs []*exp.TableSpec
+	for _, name := range names {
+		if name == "schedules" && !explicit[name] {
+			// The static listing has no cells; when it arrives via the
+			// "all" alias, skipping it beats failing the sweep. Asking
+			// for it by name still gets FamilySpecs' explanation below.
+			continue
+		}
+		ss, err := exp.FamilySpecs(name, s.cfg)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		specs = append(specs, ss...)
+	}
+	var filter *regexp.Regexp
+	if req.Run != "" {
+		if filter, err = regexp.Compile(req.Run); err != nil {
+			httpError(w, http.StatusBadRequest, "bad run pattern: %v", err)
+			return
+		}
+	}
+	selected := 0
+	for _, sp := range specs {
+		for _, c := range sp.Cells {
+			if filter == nil || filter.MatchString(c.Key) {
+				selected++
+			}
+		}
+	}
+	if selected == 0 {
+		httpError(w, http.StatusBadRequest,
+			"run %q matches no cell of the selected experiments (keys look like scenarios/transpose/GS/N64)",
+			req.Run)
+		return
+	}
+
+	// A sweep occupies one admission slot for its whole duration (its
+	// cells fan across the runner's own pool), so sweeps and job
+	// leaders share the same overload behavior.
+	release, err := s.admit(r.Context())
+	if err != nil {
+		s.stats.failed.Add(1)
+		if errors.Is(err, errBusy) {
+			w.Header().Set("Retry-After", "1")
+		}
+		httpError(w, statusFor(err), "sweep: %v", err)
+		return
+	}
+	defer release()
+	s.stats.sweeps.Add(1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev sweepEvent) {
+		enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	runner := exp.NewRunner(s.workers)
+	runner.Seed = req.Seed
+	runner.Filter = filter
+	if s.store != nil {
+		runner.Store = s.store
+		runner.StoreBase = exp.StoreBase(s.cfg)
+	}
+	// OnProgress calls are serialized by the runner, so emit needs no
+	// extra lock; each cell streams out the moment it completes.
+	runner.OnProgress = func(p exp.Progress) {
+		emit(sweepEvent{Cell: p.Key, Done: p.Done, Total: p.Total, Cached: p.Cached})
+	}
+	if err := runner.Run(r.Context(), specs...); err != nil {
+		s.stats.failed.Add(1)
+		emit(sweepEvent{Error: err.Error()})
+		return
+	}
+	tables := make([]*exp.Table, len(specs))
+	for i, sp := range specs {
+		tables[i] = sp.Table
+	}
+	var out bytes.Buffer
+	if err := exp.WriteTables(&out, format, tables); err != nil {
+		s.stats.failed.Add(1)
+		emit(sweepEvent{Error: err.Error()})
+		return
+	}
+	emit(sweepEvent{
+		Finished: true, Cells: selected,
+		Replayed: runner.CacheHits(), Simulated: runner.CacheMisses(),
+		Format: string(format), Output: out.String(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	doc := map[string]any{"status": "ok"}
+	if s.store != nil {
+		doc["store"] = s.store.Dir()
+	}
+	writeJSON(w, doc)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	inFlight := len(s.sem)
+	pending := int(s.pending.Load())
+	queued := pending - inFlight
+	if queued < 0 {
+		queued = 0
+	}
+	doc := map[string]any{
+		"served":         s.stats.served.Load(),
+		"hits":           s.stats.hits.Load(),
+		"misses":         s.stats.misses.Load(),
+		"coalesced":      s.stats.coalesced.Load(),
+		"rejected":       s.stats.rejected.Load(),
+		"failed":         s.stats.failed.Load(),
+		"sweeps":         s.stats.sweeps.Load(),
+		"in_flight":      inFlight,
+		"queued":         queued,
+		"workers":        s.workers,
+		"queue_capacity": s.queue,
+		"uptime_s":       time.Since(s.start).Seconds(),
+	}
+	if s.store != nil {
+		doc["store"] = map[string]any{"dir": s.store.Dir(), "records": s.store.Len()}
+	}
+	writeJSON(w, doc)
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name string `json:"name"`
+		Kind string `json:"kind"`
+		Doc  string `json:"doc"`
+	}
+	var list []entry
+	for _, a := range cm5.Algorithms() {
+		list = append(list, entry{Name: a.Name(), Kind: string(a.Kind()), Doc: a.Doc()})
+	}
+	writeJSON(w, map[string]any{"algorithms": list})
+}
+
+func (s *Server) handleTopologies(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name string `json:"name"`
+		Doc  string `json:"doc"`
+	}
+	var list []entry
+	for _, name := range cm5.Topologies() {
+		list = append(list, entry{Name: name, Doc: cm5.TopologyDoc(name)})
+	}
+	writeJSON(w, map[string]any{"topologies": list})
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name string `json:"name"`
+		Desc string `json:"desc"`
+	}
+	var list []entry
+	for _, wl := range pattern.Workloads() {
+		list = append(list, entry{Name: wl.Name, Desc: wl.Desc})
+	}
+	list = append(list, entry{
+		Name: SyntheticWorkload,
+		Desc: "random pattern of the given density (the paper's Table 11 shape)",
+	})
+	writeJSON(w, map[string]any{"workloads": list})
+}
+
+func writeJSON(w http.ResponseWriter, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.Marshal(doc)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	w.Write(append(data, '\n'))
+}

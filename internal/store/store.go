@@ -66,6 +66,10 @@ type Record struct {
 	// Values are the cell's named scalars (times, step counts) that
 	// derived columns and Finish hooks consume.
 	Values map[string]float64 `json:"values,omitempty"`
+	// Payload is an opaque pre-rendered result document (the serving
+	// layer stores each job's canonical Result JSON here and replays it
+	// verbatim on a hit). Table-cell records leave it empty.
+	Payload json.RawMessage `json:"payload,omitempty"`
 }
 
 // HashSpec returns the content address of a spec: the hex SHA-256 of
@@ -99,11 +103,15 @@ func canonicalJSON(v any) ([]byte, error) {
 	return json.Marshal(generic)
 }
 
-// Store is an open result store rooted at a directory.
+// Store is an open result store rooted at a directory. Get reads the
+// object file directly and takes no lock at all, so any number of
+// concurrent readers — the serving layer answers every cache hit this
+// way — proceed without contending with writers; the index mutex is
+// read-write so listings (Len, All) also run concurrently.
 type Store struct {
 	dir string
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	index map[string]indexEntry // hash -> entry
 	dirty bool                  // index.json lags the in-memory index
 }
@@ -151,8 +159,8 @@ func (s *Store) Dir() string { return s.dir }
 
 // Len returns the number of indexed records.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.index)
 }
 
@@ -305,12 +313,12 @@ func (s *Store) writeIndexLocked() error {
 // All returns every stored record, sorted by (family, cell, hash) so
 // listings and diffs are deterministic.
 func (s *Store) All() ([]*Record, error) {
-	s.mu.Lock()
+	s.mu.RLock()
 	hashes := make([]string, 0, len(s.index))
 	for h := range s.index {
 		hashes = append(hashes, h)
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	recs := make([]*Record, 0, len(hashes))
 	for _, h := range hashes {
 		rec, ok, err := s.Get(h)

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -281,4 +282,48 @@ func TestStoreSchemaMismatchMisses(t *testing.T) {
 	if _, ok, err := s.Get(rec.Hash); err != nil || ok {
 		t.Fatalf("foreign-schema record should miss: ok=%v err=%v", ok, err)
 	}
+}
+
+// TestStorePayloadRoundTrip covers the serving layer's use of records:
+// an opaque pre-rendered payload survives Put/Get and a reopen, and
+// compacting it restores the exact original compact bytes even though
+// the object file stores it indented.
+func TestStorePayloadRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"schema":"cmserve-result/v1","result":{"elapsed_ns":42}}` + "\n")
+	rec := &Record{
+		Family:  "serve",
+		Cell:    "serve/abc",
+		Spec:    Spec{"kind": "serve-job", "seed": "7"},
+		Payload: json.RawMessage(bytes.TrimRight(payload, "\n")),
+	}
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []*Store{s, reopen(t, s.Dir())} {
+		got, ok, err := st.Get(rec.Hash)
+		if err != nil || !ok {
+			t.Fatalf("payload record missed: ok=%v err=%v", ok, err)
+		}
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, got.Payload); err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteByte('\n')
+		if !bytes.Equal(buf.Bytes(), payload) {
+			t.Fatalf("payload mangled:\ngot  %q\nwant %q", buf.Bytes(), payload)
+		}
+	}
+}
+
+func reopen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
