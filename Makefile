@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json bench-baseline cover perf-check lint vet fmt-check tables examples linkcheck api api-check serve-smoke
+.PHONY: build test race bench bench-smoke bench-json bench-baseline cover perf-check lint vet fmt-check tables examples linkcheck api api-check serve-smoke faults-smoke
 
 build:
 	$(GO) build ./...
@@ -10,11 +10,13 @@ test:
 
 # Race pass over the concurrent code introduced by the experiment
 # orchestrator, the rewritten simulation engine, the result store's
-# concurrent writers, and the serving layer's coalescing/admission
-# paths. -short trims the heaviest deterministic sweeps; `make test`
-# still runs them raceless.
+# concurrent writers, the serving layer's coalescing/admission paths,
+# and the fault model's scheduler/topology surface (the adaptive
+# scheduler's shared planner runs under the engine's single-process
+# guarantee — the race pass holds it to that). -short trims the
+# heaviest deterministic sweeps; `make test` still runs them raceless.
 race:
-	$(GO) test -race -short ./internal/exp/ ./internal/sim/ ./internal/cmmd/ ./internal/network/ ./internal/store/ ./internal/serve/
+	$(GO) test -race -short ./internal/exp/ ./internal/sim/ ./internal/cmmd/ ./internal/network/ ./internal/store/ ./internal/serve/ ./internal/sched/ ./internal/topo/
 
 # Full-suite run with a coverage profile plus a function summary; on
 # CI's stable leg this IS the test step (one execution, not two), and
@@ -79,6 +81,13 @@ linkcheck:
 # step; see scripts/serve_smoke.sh).
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# End-to-end smoke test of the fault-injection family: a small
+# `cmexp faults -store` sweep run twice — the cold run simulates, the
+# warm run must be 100% cache hits with byte-identical output (CI's
+# faults-smoke step; see scripts/faults_smoke.sh).
+faults-smoke:
+	sh scripts/faults_smoke.sh
 
 # Snapshot the public API surface. Run after intentionally changing
 # exported cm5 declarations; CI's api job diffs against this file.

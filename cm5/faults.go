@@ -1,0 +1,64 @@
+package cm5
+
+import (
+	"repro/internal/network"
+)
+
+// FaultPlan is a versioned, deterministic list of fault events injected
+// into a run at scheduled simulation times: link failures (with
+// automatic reroute of in-flight flows), degraded link capacity,
+// straggler nodes, and background cross-traffic. Attach one to a Job
+// with WithFaults. Plans are plain data — they marshal to stable JSON,
+// so they hash into content-addressed experiment cell specs — and a
+// plan built from a (profile, topology, seed) triple is a pure function
+// of those inputs.
+type FaultPlan = network.FaultPlan
+
+// FaultEvent is one scheduled fault of a FaultPlan.
+type FaultEvent = network.FaultEvent
+
+// FaultKind names the kind of one FaultEvent.
+type FaultKind = network.FaultKind
+
+// The fault kinds a FaultPlan may schedule.
+const (
+	// FaultLinkDown permanently removes an interior link; in-flight and
+	// future flows reroute over a fault-free detour.
+	FaultLinkDown = network.FaultLinkDown
+	// FaultDegrade multiplies a link's capacity by Factor in (0, 1].
+	FaultDegrade = network.FaultDegrade
+	// FaultStraggler multiplies a node's local time costs (send/recv
+	// overheads, compute, memory copies) by Factor >= 1.
+	FaultStraggler = network.FaultStraggler
+	// FaultBackground injects a burst of seed-deterministic cross-traffic
+	// flows that compete with the run for link bandwidth.
+	FaultBackground = network.FaultBackground
+)
+
+// FaultStats summarizes what a fault plan did to a run; see
+// Result.Faults.
+type FaultStats = network.FaultStats
+
+// ErrUnknownFaultProfile is wrapped by NewFaultPlan on a profile-name
+// miss; the error text lists the known names.
+var ErrUnknownFaultProfile = network.ErrUnknownFaultProfile
+
+// FaultProfiles returns the named fault profiles NewFaultPlan builds,
+// in canonical order: healthy, link-down, degrade, straggler,
+// crosstraffic.
+func FaultProfiles() []string { return network.FaultProfiles() }
+
+// FaultProfileDoc returns the one-line description of a named fault
+// profile, or "" for an unknown name.
+func FaultProfileDoc(name string) string { return network.FaultProfileDoc(name) }
+
+// NewFaultPlan builds the named fault profile for the topology, scaled
+// to its size and seeded deterministically: the same (profile,
+// topology, seed) triple always yields the same plan. The "healthy"
+// profile returns a plan with no events — running under it is
+// byte-identical to running with no plan at all. Pass the same
+// Topology the job will run on (NewTopology, or nil-topology jobs use
+// NewTopology("fat-tree", n)); the plan is validated against it.
+func NewFaultPlan(profile string, t Topology, seed int64) (*FaultPlan, error) {
+	return network.NewFaultPlan(profile, t, seed)
+}

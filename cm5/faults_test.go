@@ -1,0 +1,132 @@
+package cm5_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/cm5"
+)
+
+func TestFaultProfilesListed(t *testing.T) {
+	names := cm5.FaultProfiles()
+	if len(names) != 5 || names[0] != "healthy" {
+		t.Fatalf("FaultProfiles() = %v, want 5 names starting with healthy", names)
+	}
+	for _, name := range names {
+		if cm5.FaultProfileDoc(name) == "" {
+			t.Errorf("profile %q has no doc", name)
+		}
+	}
+	if cm5.FaultProfileDoc("meteor") != "" {
+		t.Error("unknown profile has a doc")
+	}
+}
+
+func TestNewFaultPlanUnknown(t *testing.T) {
+	tp, err := cm5.NewTopology("hypercube", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cm5.NewFaultPlan("meteor", tp, 1)
+	if !errors.Is(err, cm5.ErrUnknownFaultProfile) {
+		t.Fatalf("err = %v, want ErrUnknownFaultProfile", err)
+	}
+	if !strings.Contains(err.Error(), "healthy") {
+		t.Errorf("error %q does not list the known profiles", err)
+	}
+}
+
+// TestWithFaultsHealthyIsIdentity: a job run under the healthy plan is
+// identical to the same job run with no plan — the fault machinery is
+// pay-for-what-you-inject.
+func TestWithFaultsHealthyIsIdentity(t *testing.T) {
+	run := func(opts ...cm5.JobOption) cm5.Result {
+		t.Helper()
+		gs, err := cm5.LookupAlgorithm("GS")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := cm5.WorkloadPattern("butterfly", 16, 256, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cm5.Run(cm5.PatternJob(gs, p, opts...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	tp, err := cm5.NewTopology("hypercube", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := cm5.NewFaultPlan("healthy", tp, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := run(cm5.WithTopology(tp))
+	tp2, _ := cm5.NewTopology("hypercube", 16)
+	healthy := run(cm5.WithTopology(tp2), cm5.WithFaults(plan))
+	if bare.Elapsed != healthy.Elapsed || bare.Steps != healthy.Steps ||
+		bare.Flows != healthy.Flows || bare.WireBytes != healthy.WireBytes {
+		t.Fatalf("healthy plan changed the run:\nbare    %+v\nhealthy %+v", bare, healthy)
+	}
+	if healthy.Faults != (cm5.FaultStats{}) {
+		t.Fatalf("healthy run reports fault stats %+v", healthy.Faults)
+	}
+}
+
+// TestWithFaultsReportsStats: a faulty run surfaces what the plan did
+// through Result.Faults.
+func TestWithFaultsReportsStats(t *testing.T) {
+	gs, err := cm5.LookupAlgorithm("GS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := cm5.NewTopology("hypercube", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := cm5.NewFaultPlan("straggler", tp, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cm5.WorkloadPattern("butterfly", 16, 256, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cm5.Run(cm5.PatternJob(gs, p, cm5.WithTopology(tp), cm5.WithFaults(plan)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Events != len(plan.Events) || res.Faults.Stragglers == 0 {
+		t.Fatalf("Faults = %+v, want %d events applied with stragglers counted",
+			res.Faults, len(plan.Events))
+	}
+}
+
+// TestWithFaultsValidatesAgainstRunTopology: a plan built for one
+// machine cannot silently attach to a different one.
+func TestWithFaultsValidatesAgainstRunTopology(t *testing.T) {
+	gs, err := cm5.LookupAlgorithm("GS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := cm5.NewTopology("hypercube", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := cm5.NewFaultPlan("straggler", big, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cm5.WorkloadPattern("butterfly", 16, 256, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16-node run, plan full of 256-node straggler ranks: must error.
+	if _, err := cm5.Run(cm5.PatternJob(gs, p, cm5.WithFaults(plan))); err == nil {
+		t.Fatal("mismatched fault plan accepted")
+	}
+}

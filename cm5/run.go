@@ -42,6 +42,7 @@ type Job struct {
 	async    bool
 	trace    bool
 	obs      Observer
+	faults   *FaultPlan
 }
 
 // JobOption configures a Job.
@@ -69,6 +70,16 @@ func WithAsync(on bool) JobOption {
 // WithObserver attaches a live flow observer to the run's data network.
 func WithObserver(o Observer) JobOption {
 	return func(j *Job) { j.obs = o }
+}
+
+// WithFaults injects a fault plan into the run: link failures with
+// reroute, degraded links, straggler nodes and background cross-traffic
+// at scheduled simulation times. Build plans with NewFaultPlan (the
+// named profiles) or assemble FaultEvents by hand; nil means a healthy
+// machine. The plan is validated against the run's topology before
+// anything executes, and Result.Faults reports what it did.
+func WithFaults(p *FaultPlan) JobOption {
+	return func(j *Job) { j.faults = p }
 }
 
 // WithRoot sets the broadcast root (default 0). Non-broadcast
@@ -143,7 +154,7 @@ func (j Job) request() sched.Request {
 	return sched.Request{
 		N: j.n, Bytes: j.bytes, Root: j.root, Offset: j.offset,
 		Pattern: j.pattern, Seed: j.seed, Cfg: cfg, Topo: j.topo,
-		Async: j.async, Trace: j.trace, Obs: j.obs,
+		Async: j.async, Trace: j.trace, Obs: j.obs, Faults: j.faults,
 	}
 }
 
@@ -191,6 +202,12 @@ type Result struct {
 	Flows     int
 	WireBytes int64
 
+	// Faults reports what the job's fault plan (WithFaults) did to the
+	// run: events applied, links killed and degraded, stragglers, flows
+	// rerouted, background traffic injected. The zero value for a
+	// fault-free run.
+	Faults FaultStats
+
 	// Trace holds per-message events when the job ran WithTrace.
 	Trace *Trace
 }
@@ -226,6 +243,7 @@ func Run(job Job) (Result, error) {
 		LinkUtilization:  met.LinkUtilization,
 		Flows:            met.Flows,
 		WireBytes:        met.WireBytes,
+		Faults:           met.Faults,
 		Trace:            met.Trace,
 	}
 	if res.Algorithm.IsZero() && job.schedule != nil {

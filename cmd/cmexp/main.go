@@ -6,7 +6,7 @@
 //	cmexp [flags] <experiment>...
 //
 // Experiments: fig5 fig6 fig7 fig8 fig10 fig11 table5 table11 table12
-// schedules scenarios collectives topology ablation-async
+// schedules scenarios collectives topology faults ablation-async
 // ablation-fattree ablation-greedy ablation-crossover ablation-crystal
 // ablations all
 //
@@ -16,9 +16,16 @@
 // schedulers at several machine sizes plus a per-pattern statistics
 // table, "collectives" scales every collective operation to 1024
 // nodes both as a direct CMMD node program and as a scheduled matrix,
-// and "topology" re-runs the workload catalogue under every irregular
+// "topology" re-runs the workload catalogue under every irregular
 // scheduler on each interconnect of internal/topo (fat tree, 2-D
-// torus, hypercube, dragonfly) at 64 and 256 nodes.
+// torus, hypercube, dragonfly) at 64 and 256 nodes, and "faults" runs
+// the butterfly workload on the hypercube under every named fault
+// profile (healthy, link-down, degrade, straggler, crosstraffic),
+// comparing the paper's static schedulers against the adaptive
+// scheduler AS, which re-plans mid-run from observed transfer rates.
+// Each faults cell's seed-deterministic fault plan is hashed into its
+// -store address, so faulty runs cache and replay exactly like healthy
+// ones.
 //
 // Flags:
 //
@@ -101,7 +108,7 @@ func main() {
 	flag.BoolVar(&o.verbose, "v", false, "report per-cell progress on stderr")
 	flag.Parse()
 	if flag.NArg() == 0 && o.invalidate == "" {
-		fmt.Fprintln(os.Stderr, "usage: cmexp [flags] fig5|fig6|fig7|fig8|fig10|fig11|table5|table11|table12|scenarios|collectives|topology|schedules|ablations|all")
+		fmt.Fprintln(os.Stderr, "usage: cmexp [flags] fig5|fig6|fig7|fig8|fig10|fig11|table5|table11|table12|scenarios|collectives|topology|faults|schedules|ablations|all")
 		os.Exit(2)
 	}
 

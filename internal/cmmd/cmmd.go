@@ -83,6 +83,11 @@ type Node struct {
 	sends    int
 	recvs    int
 	sentUser int64
+
+	// slow is the straggler multiplier applied to every local time cost
+	// (send/recv overheads, memory copies, compute) from the moment a
+	// fault event sets it; 0 means healthy. Engine-set, engine-read.
+	slow float64
 }
 
 // ID returns this node's rank in [0, N).
@@ -97,18 +102,28 @@ func (n *Node) Now() sim.Time { return n.proc.Now() }
 // Machine returns the machine this node belongs to.
 func (n *Node) Machine() *Machine { return n.m }
 
-// Compute advances this node's virtual time by d (models local CPU work).
-func (n *Node) Compute(d sim.Time) { n.proc.Sleep(d) }
+// Compute advances this node's virtual time by d (models local CPU
+// work). A straggler node (see Machine.ApplyFaults) stretches every
+// local cost by its slowdown factor.
+func (n *Node) Compute(d sim.Time) { n.proc.Sleep(n.scaled(d)) }
+
+// scaled applies the node's straggler slowdown to a local time cost.
+func (n *Node) scaled(d sim.Time) sim.Time {
+	if n.slow > 1 {
+		return sim.Time(float64(d)*n.slow + 0.5)
+	}
+	return d
+}
 
 // ComputeFlops models executing the given number of floating-point
 // operations at the configured node throughput.
 func (n *Node) ComputeFlops(flops float64) {
-	n.proc.Sleep(n.m.cfg.ComputeTime(flops))
+	n.Compute(n.m.cfg.ComputeTime(flops))
 }
 
 // MemCopy models a node-local copy of nbytes (used for pack/unpack).
 func (n *Node) MemCopy(nbytes int) {
-	n.proc.Sleep(n.m.cfg.MemCopyTime(nbytes))
+	n.Compute(n.m.cfg.MemCopyTime(nbytes))
 }
 
 // Send transmits data to node dst with the given tag and blocks until the
@@ -261,6 +276,9 @@ type Machine struct {
 	ran   bool
 	async bool
 	trace *Trace
+
+	faultEvents int // fault plan events scheduled (see ApplyFaults)
+	stragglers  int // straggler events applied so far
 }
 
 // SetAsyncSends switches the machine to buffered (non-blocking) send
@@ -340,9 +358,69 @@ func (m *Machine) DataTopology() topo.Topology { return m.data }
 // Net returns the data network (for statistics).
 func (m *Machine) Net() *network.DataNet { return m.net }
 
+// ApplyFaults validates the plan against the data topology and
+// schedules its events into the run: link failures and degradations on
+// the data network, straggler slowdowns on the nodes, background
+// cross-traffic bursts. Events at time 0 are applied immediately — the
+// machine starts the run already failed/degraded/slowed, as the profile
+// docs promise — because the engine runs every node's first actions
+// before firing time-0 events, which would let the run's opening costs
+// slip in under the fault. The nil plan and the zero-event healthy plan
+// change nothing, bit for bit. Must be called before Run.
+func (m *Machine) ApplyFaults(p *network.FaultPlan) error {
+	if p == nil || len(p.Events) == 0 {
+		if p != nil {
+			return p.Validate(m.data)
+		}
+		return nil
+	}
+	if m.ran {
+		return fmt.Errorf("cmmd: machine already ran")
+	}
+	if err := p.Validate(m.data); err != nil {
+		return err
+	}
+	m.faultEvents += len(p.Events)
+	for _, ev := range p.Events {
+		ev := ev
+		var apply func()
+		switch ev.Kind {
+		case network.FaultLinkDown:
+			apply = func() { m.net.FailLink(ev.Link) }
+		case network.FaultDegrade:
+			apply = func() { m.net.DegradeLink(ev.Link, ev.Factor) }
+		case network.FaultStraggler:
+			apply = func() {
+				m.nodes[ev.Node].slow = ev.Factor
+				m.stragglers++
+			}
+		case network.FaultBackground:
+			apply = func() { m.net.InjectBackground(ev.Flows, ev.Bytes, ev.Seed) }
+		}
+		if ev.At == 0 {
+			apply()
+		} else {
+			m.eng.Schedule(ev.At, apply)
+		}
+	}
+	return nil
+}
+
+// FaultStats returns what the applied fault plan did to the run: the
+// data network's counters plus the machine-level event and straggler
+// counts. The zero value is a fault-free run.
+func (m *Machine) FaultStats() network.FaultStats {
+	st := m.net.FaultStats()
+	st.Events = m.faultEvents
+	st.Stragglers = m.stragglers
+	return st
+}
+
 // Run executes program on every node concurrently and returns the
-// simulated completion time of the slowest node. A Machine is one-shot:
-// Run may only be called once.
+// simulated completion time of the slowest node. The engine may keep
+// running past that point — draining background fault traffic, firing
+// post-drain fault events — without affecting the returned makespan.
+// A Machine is one-shot: Run may only be called once.
 func (m *Machine) Run(program func(*Node)) (sim.Time, error) {
 	if m.ran {
 		return 0, fmt.Errorf("cmmd: machine already ran")
@@ -355,7 +433,17 @@ func (m *Machine) Run(program func(*Node)) (sim.Time, error) {
 			node.finished = p.Now()
 		})
 	}
-	return m.eng.Run()
+	end, err := m.eng.Run()
+	if err != nil {
+		return end, err
+	}
+	var finish sim.Time
+	for _, node := range m.nodes {
+		if node.finished > finish {
+			finish = node.finished
+		}
+	}
+	return finish, nil
 }
 
 // UserBytesSent returns the total user bytes sent across all nodes.

@@ -1,0 +1,258 @@
+package cmmd
+
+import (
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// The fault-injection contract, pinned: every fault kind, fired before
+// the run, mid-run, and after the traffic has drained, produces an
+// exact simulated makespan under a fixed machine and program. The
+// pinned times are the model's regression surface — a change to fault
+// semantics, rerouting, the max-min solver or the cost model moves them
+// and must retire these constants deliberately.
+
+// faultMachine builds an 8-node hypercube machine: path diversity so
+// link kills are survivable by detour.
+func faultMachine(t *testing.T) *Machine {
+	t.Helper()
+	cfg := network.DefaultConfig()
+	tp, err := topo.New("hypercube", 8, cfg.TopologyRates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachineOn(tp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// pairProgram is the fixed workload under test: nodes pair up (0-1,
+// 2-3, 4-5, 6-7), even ranks each sending 64 KB to their partner. One
+// flow per pair, no contention between pairs on a healthy hypercube.
+func pairProgram(nd *Node) {
+	if nd.ID()%2 == 0 {
+		nd.SendN(nd.ID()+1, 1, 65536)
+	} else {
+		nd.Recv(nd.ID()-1, 1)
+	}
+}
+
+// victimLink returns the first interior link on the 0 -> 1 route — the
+// link the link-down and degrade cases target, carrying pair 0-1's
+// flow.
+func victimLink(t *testing.T, m *Machine) int {
+	t.Helper()
+	tp := m.Net().Topology()
+	for _, l := range tp.RouteAppend(nil, 0, 1) {
+		if tp.Link(l).Level >= 1 {
+			return l
+		}
+	}
+	t.Fatal("no interior link on route 0->1")
+	return -1
+}
+
+// The three injection times: before the run starts, mid-transfer (the
+// healthy run takes ~4.2 ms), and long after the traffic has drained.
+const (
+	atStart = sim.Time(0)
+	atMid   = sim.Millisecond
+	atDrain = sim.Second
+)
+
+func TestFaultKindsPinnedTimes(t *testing.T) {
+	// The healthy makespan, the reference every after-drain case must
+	// reproduce exactly.
+	const healthy = sim.Time(4183001)
+
+	cases := []struct {
+		name  string
+		event func(m *Machine) network.FaultEvent
+		at    sim.Time
+		want  sim.Time
+		check func(t *testing.T, st network.FaultStats)
+	}{
+		{name: "healthy baseline", want: healthy},
+
+		// A dead link forces pair 0-1 onto a detour through a via node's
+		// interface, halving its bandwidth share: slower than healthy
+		// whether it detours from the start or reroutes in flight.
+		{name: "link-down before run", at: atStart, want: 8279001,
+			event: func(m *Machine) network.FaultEvent {
+				return network.FaultEvent{Kind: network.FaultLinkDown, Link: victimLink(t, m)}
+			},
+			check: func(t *testing.T, st network.FaultStats) {
+				if st.LinksDown != 1 || st.Rerouted != 1 {
+					t.Errorf("stats = %+v, want 1 link down, 1 reroute", st)
+				}
+			}},
+		{name: "link-down mid-run", at: atMid, want: 7326001,
+			event: func(m *Machine) network.FaultEvent {
+				return network.FaultEvent{Kind: network.FaultLinkDown, Link: victimLink(t, m)}
+			},
+			check: func(t *testing.T, st network.FaultStats) {
+				if st.LinksDown != 1 || st.Rerouted != 1 {
+					t.Errorf("stats = %+v, want 1 link down, 1 in-flight reroute", st)
+				}
+			}},
+		{name: "link-down after drain", at: atDrain, want: healthy,
+			event: func(m *Machine) network.FaultEvent {
+				return network.FaultEvent{Kind: network.FaultLinkDown, Link: victimLink(t, m)}
+			},
+			check: func(t *testing.T, st network.FaultStats) {
+				if st.LinksDown != 1 || st.Rerouted != 0 {
+					t.Errorf("stats = %+v, want 1 link down into an idle machine, 0 reroutes", st)
+				}
+			}},
+
+		// Quarter capacity on pair 0-1's interior link: the link (40 MB/s
+		// healthy) drops below the 20 MB/s interface rate and becomes the
+		// bottleneck.
+		{name: "degrade before run", at: atStart, want: 16471001,
+			event: func(m *Machine) network.FaultEvent {
+				return network.FaultEvent{Kind: network.FaultDegrade, Link: victimLink(t, m), Factor: 0.25}
+			},
+			check: func(t *testing.T, st network.FaultStats) {
+				if st.LinksDegraded != 1 {
+					t.Errorf("stats = %+v, want 1 degraded link", st)
+				}
+			}},
+		{name: "degrade mid-run", at: atMid, want: 13612001, event: degradeEvent,
+			check: func(t *testing.T, st network.FaultStats) {
+				if st.LinksDegraded != 1 {
+					t.Errorf("stats = %+v, want 1 degraded link", st)
+				}
+			}},
+		{name: "degrade after drain", at: atDrain, want: healthy, event: degradeEvent},
+
+		// Node 0 running 4x slow stretches its software overheads and
+		// memory copies, not the wire: a small, exact makespan shift.
+		{name: "straggler before run", at: atStart, want: 4303001, event: stragglerEvent,
+			check: func(t *testing.T, st network.FaultStats) {
+				if st.Stragglers != 1 {
+					t.Errorf("stats = %+v, want 1 straggler", st)
+				}
+			}},
+		// By 1 ms node 0 has posted its only local cost (the send setup)
+		// and sits parked on the synchronous transfer: a straggler that
+		// arrives then has nothing left to slow on this program.
+		{name: "straggler mid-run", at: atMid, want: healthy, event: stragglerEvent},
+		{name: "straggler after drain", at: atDrain, want: healthy, event: stragglerEvent},
+
+		// An 8-flow background burst steals link shares while it drains,
+		// stretching whatever schedule traffic it overlaps.
+		{name: "background before run", at: atStart, want: 4520001, event: backgroundEvent,
+			check: func(t *testing.T, st network.FaultStats) {
+				if st.BackgroundFlows != 8 {
+					t.Errorf("stats = %+v, want 8 background flows", st)
+				}
+			}},
+		{name: "background mid-run", at: atMid, want: 4567002, event: backgroundEvent},
+		{name: "background after drain", at: atDrain, want: healthy, event: backgroundEvent,
+			check: func(t *testing.T, st network.FaultStats) {
+				if st.BackgroundFlows != 8 {
+					t.Errorf("stats = %+v, want the idle-machine burst counted", st)
+				}
+			}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := faultMachine(t)
+			if c.event != nil {
+				ev := c.event(m)
+				ev.At = c.at
+				plan := network.NewHealthyPlan()
+				plan.Events = append(plan.Events, ev)
+				if err := m.ApplyFaults(plan); err != nil {
+					t.Fatal(err)
+				}
+			}
+			elapsed, err := m.Run(pairProgram)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if elapsed != c.want {
+				t.Errorf("elapsed = %d, want %d", elapsed, c.want)
+			}
+			st := m.FaultStats()
+			if c.event != nil && st.Events != 1 {
+				t.Errorf("stats = %+v, want exactly 1 event applied", st)
+			}
+			if c.check != nil {
+				c.check(t, st)
+			}
+		})
+	}
+}
+
+func degradeEvent(m *Machine) network.FaultEvent {
+	tp := m.Net().Topology()
+	for _, l := range tp.RouteAppend(nil, 0, 1) {
+		if tp.Link(l).Level >= 1 {
+			return network.FaultEvent{Kind: network.FaultDegrade, Link: l, Factor: 0.25}
+		}
+	}
+	panic("no interior link on route 0->1")
+}
+
+func stragglerEvent(m *Machine) network.FaultEvent {
+	return network.FaultEvent{Kind: network.FaultStraggler, Node: 0, Factor: 4}
+}
+
+func backgroundEvent(m *Machine) network.FaultEvent {
+	return network.FaultEvent{Kind: network.FaultBackground, Flows: 8, Bytes: 2048, Seed: 7}
+}
+
+// TestApplyFaultsAfterRunFails pins the lifecycle rule: fault plans
+// attach before the machine runs, never after.
+func TestApplyFaultsAfterRunFails(t *testing.T) {
+	m := faultMachine(t)
+	if _, err := m.Run(func(nd *Node) {}); err != nil {
+		t.Fatal(err)
+	}
+	plan := network.NewHealthyPlan()
+	plan.Events = append(plan.Events, stragglerEvent(m))
+	if err := m.ApplyFaults(plan); err == nil {
+		t.Fatal("ApplyFaults after Run should fail")
+	}
+}
+
+// TestApplyFaultsRejectsInvalidPlan: validation runs against the
+// machine's own data topology.
+func TestApplyFaultsRejectsInvalidPlan(t *testing.T) {
+	m := faultMachine(t)
+	plan := network.NewHealthyPlan()
+	plan.Events = append(plan.Events, network.FaultEvent{Kind: network.FaultLinkDown, Link: 0})
+	if err := m.ApplyFaults(plan); err == nil {
+		t.Fatal("node-link kill should not validate")
+	}
+}
+
+// TestHealthyPlanIsIdentity: applying the zero-event plan (or nil)
+// changes nothing about a run, bit for bit.
+func TestHealthyPlanIsIdentity(t *testing.T) {
+	runWith := func(plan *network.FaultPlan) sim.Time {
+		m := faultMachine(t)
+		if err := m.ApplyFaults(plan); err != nil {
+			t.Fatal(err)
+		}
+		elapsed, err := m.Run(pairProgram)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := m.FaultStats(); st != (network.FaultStats{}) {
+			t.Fatalf("healthy run has fault stats %+v", st)
+		}
+		return elapsed
+	}
+	bare := runWith(nil)
+	healthy := runWith(network.NewHealthyPlan())
+	if bare != healthy {
+		t.Fatalf("healthy plan changed the run: %d vs %d", healthy, bare)
+	}
+}

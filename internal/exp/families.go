@@ -27,7 +27,7 @@ var Table5DefaultSizes = []int{32, 256}
 func FamilyNames() []string {
 	return []string{
 		"fig5", "fig6", "fig7", "fig8", "table5", "fig10", "fig11",
-		"table11", "table12", "scenarios", "collectives", "topology",
+		"table11", "table12", "scenarios", "collectives", "topology", "faults",
 		"ablation-async", "ablation-fattree", "ablation-greedy",
 		"ablation-crossover", "ablation-crystal",
 	}
@@ -120,6 +120,12 @@ func FamilySpecs(name string, cfg network.Config) ([]*TableSpec, error) {
 		return []*TableSpec{CollectivesSpec(cfg)}, nil
 	case "topology":
 		return TopologySpecs(cfg), nil
+	case "faults":
+		spec, err := FaultsSpec(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*TableSpec{spec}, nil
 	case "ablation-async":
 		return []*TableSpec{AblationAsyncSpec(cfg)}, nil
 	case "ablation-fattree":

@@ -22,9 +22,10 @@ var (
 	algNames      map[string]bool
 	workloadNames map[string]bool
 	topoNames     map[string]bool
+	faultNames    map[string]bool
 )
 
-func axisSets() (algs, workloads, topos map[string]bool) {
+func axisSets() (algs, workloads, topos, faults map[string]bool) {
 	axisOnce.Do(func() {
 		algNames = map[string]bool{}
 		for _, a := range cm5.Algorithms() {
@@ -38,8 +39,12 @@ func axisSets() (algs, workloads, topos map[string]bool) {
 		for _, n := range TopologyNames {
 			topoNames[n] = true
 		}
+		faultNames = map[string]bool{}
+		for _, n := range cm5.FaultProfiles() {
+			faultNames[n] = true
+		}
 	})
-	return algNames, workloadNames, topoNames
+	return algNames, workloadNames, topoNames, faultNames
 }
 
 var (
@@ -50,11 +55,11 @@ var (
 
 // KeyFields derives the named axes of a cell key: "family" (the first
 // segment), and — where the key encodes them — "n" (machine size),
-// "bytes", "density_pct", "workload", "scheduler", and "topology".
-// The fields are redundant with the key itself, so callers may fold
-// them into a content hash freely.
+// "bytes", "density_pct", "workload", "scheduler", "topology", and
+// "fault_profile". The fields are redundant with the key itself, so
+// callers may fold them into a content hash freely.
 func KeyFields(key string) map[string]any {
-	algs, workloads, topos := axisSets()
+	algs, workloads, topos, faults := axisSets()
 	fields := map[string]any{}
 	for i, seg := range strings.Split(key, "/") {
 		if i == 0 {
@@ -73,6 +78,8 @@ func KeyFields(key string) map[string]any {
 			fields["density_pct"] = d
 		case topos[seg]:
 			fields["topology"] = seg
+		case faults[seg]:
+			fields["fault_profile"] = seg
 		case workloads[seg]:
 			fields["workload"] = seg
 		case algs[seg]:

@@ -24,6 +24,12 @@ type Cell struct {
 	// cmd/cmexp and Runner.Filter match against it, the per-cell seed is
 	// derived from it, and the result store's content hash includes it.
 	Key string
+	// Spec holds extra key fields mixed into the cell's content hash on
+	// top of the key-derived axes — the faults family files each cell's
+	// full fault plan here, so two cells differing only in their plans
+	// can never collide in the store. Nil for most cells; ignored
+	// without a Store.
+	Spec store.Spec
 	// Fn computes the cell. seed is the runner's deterministic per-cell
 	// seed (CellSeed(Key) xor Runner.Seed); cells with no stochastic
 	// component may ignore it. ctx is cancelled when the sweep aborts.
@@ -86,6 +92,12 @@ type TableSpec struct {
 // AddCell appends a cell to the spec.
 func (s *TableSpec) AddCell(key string, fn func(ctx context.Context, seed int64, rec *Rec) error) {
 	s.Cells = append(s.Cells, Cell{Key: key, Fn: fn})
+}
+
+// AddCellSpec appends a cell carrying extra content-hash key fields
+// (see Cell.Spec).
+func (s *TableSpec) AddCellSpec(key string, extra store.Spec, fn func(ctx context.Context, seed int64, rec *Rec) error) {
+	s.Cells = append(s.Cells, Cell{Key: key, Spec: extra, Fn: fn})
 }
 
 func (s *TableSpec) putRec(key string, rec *Rec) {
@@ -367,6 +379,9 @@ func (r *Runner) runCell(ctx context.Context, bc boundCell) (bool, error) {
 func (r *Runner) cellSpec(bc boundCell, seed int64) store.Spec {
 	s := store.Spec{}
 	for k, v := range KeyFields(bc.cell.Key) {
+		s[k] = v
+	}
+	for k, v := range bc.cell.Spec {
 		s[k] = v
 	}
 	for k, v := range r.StoreBase {

@@ -13,6 +13,14 @@
 // The control network is a separate, contention-free model of the CM-5's
 // hardware broadcast/combine tree with microsecond-scale base latency and
 // a far lower broadcast bandwidth than the data network.
+//
+// The package also defines the fault model (fault.go): a FaultPlan is a
+// versioned, seed-deterministic list of timed events — link failures
+// (in-flight flows detour and the residual graph is re-solved max-min),
+// degraded link capacity, straggler nodes, and injected background
+// cross-traffic — applied to a DataNet by cmmd.Machine.ApplyFaults.
+// Named profiles (FaultProfiles) generate plans for any topology from a
+// seed, so faulty runs stay cacheable in the result store.
 package network
 
 import (

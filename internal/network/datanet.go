@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 
 	"repro/internal/sim"
@@ -23,6 +24,7 @@ const remainingEpsilon = 1e-3
 type link struct {
 	idx     int
 	cap     float64
+	down    bool // dead link: routing avoids it, no flow may cross it
 	flows   map[*Flow]struct{}
 	carried float64 // total bytes carried, for utilization reports
 
@@ -66,6 +68,12 @@ type DataNet struct {
 	lastAdvance sim.Time
 	tick        *sim.Timer // single re-armed earliest-completion event
 	obs         FlowObserver
+
+	// Fault state: how many links are down (the routing fast path skips
+	// the clean check while zero) and the fault counters FaultStats
+	// reports.
+	downLinks int
+	fstats    FaultStats
 
 	// Reusable scratch buffers: routing and reallocation run on every
 	// flow start and finish, so they must not allocate.
@@ -132,12 +140,7 @@ func (d *DataNet) Start(src, dst, userBytes int, done func()) *Flow {
 		active:    true,
 		started:   d.eng.Now(),
 	}
-	d.routeScratch = d.top.RouteAppend(d.routeScratch[:0], src, dst)
-	for _, idx := range d.routeScratch {
-		l := d.linkFor(idx)
-		l.flows[f] = struct{}{}
-		f.links = append(f.links, l)
-	}
+	d.attach(f)
 	d.advance()
 	d.flows[f] = struct{}{}
 	d.totalFlows++
@@ -249,6 +252,121 @@ func (d *DataNet) LinkUtilization(elapsed sim.Time) []LinkUtil {
 	}
 	return out
 }
+
+// attach routes a flow over the surviving link graph and joins it to
+// every link on the route. With no dead links this is the direct route,
+// allocation-free; with failures the flow detours around them
+// (topo.DetourRoute) and counts as rerouted.
+func (d *DataNet) attach(f *Flow) {
+	if d.downLinks == 0 {
+		d.routeScratch = d.top.RouteAppend(d.routeScratch[:0], f.Src, f.Dst)
+	} else {
+		route, ok := topo.DetourRoute(d.top, d.routeScratch[:0], f.Src, f.Dst, d.linkDown)
+		if !ok {
+			panic(fmt.Sprintf("network: no fault-free route %d->%d: link failures cut the network",
+				f.Src, f.Dst))
+		}
+		d.routeScratch = route
+		if len(route) > 0 && !d.isDirect(route, f.Src, f.Dst) {
+			d.fstats.Rerouted++
+		}
+	}
+	for _, idx := range d.routeScratch {
+		l := d.linkFor(idx)
+		l.flows[f] = struct{}{}
+		f.links = append(f.links, l)
+	}
+}
+
+// isDirect reports whether route equals the topology's direct route for
+// the pair (used only to count detours, off the healthy fast path).
+func (d *DataNet) isDirect(route []int, src, dst int) bool {
+	direct := d.top.RouteAppend(nil, src, dst)
+	if len(direct) != len(route) {
+		return false
+	}
+	for i := range direct {
+		if direct[i] != route[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// linkDown reports whether topology link idx is dead.
+func (d *DataNet) linkDown(idx int) bool {
+	l := d.links[idx]
+	return l != nil && l.down
+}
+
+// FailLink kills a link: routing avoids it from now on, and every
+// in-flight flow crossing it is rerouted over the surviving graph, the
+// max-min solver re-solving over the new link set. Failing a dead link
+// is a no-op. Must run in engine context, and panics if the failure
+// disconnects an active flow's endpoints (plans validated against the
+// topology only fail interior links, which the detour router can
+// always route around short of a full partition).
+func (d *DataNet) FailLink(idx int) {
+	l := d.linkFor(idx)
+	if l.down {
+		return
+	}
+	d.advance()
+	l.down = true
+	d.downLinks++
+	d.fstats.LinksDown++
+	// Reroute the victims in creation order so reallocation stays
+	// deterministic.
+	var victims []*Flow
+	for f := range l.flows {
+		victims = append(victims, f)
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].seq < victims[j].seq })
+	for _, f := range victims {
+		for _, fl := range f.links {
+			delete(fl.flows, f)
+		}
+		f.links = f.links[:0]
+		d.attach(f) // counts the detour via fstats.Rerouted
+	}
+	d.reallocate()
+}
+
+// DegradeLink multiplies a link's capacity by factor in (0, 1],
+// re-solving the max-min allocation over the reduced capacity. Repeated
+// degrades compound. Must run in engine context.
+func (d *DataNet) DegradeLink(idx int, factor float64) {
+	if !(factor > 0 && factor <= 1) {
+		panic(fmt.Sprintf("network: degrade factor %v outside (0, 1]", factor))
+	}
+	d.advance()
+	l := d.linkFor(idx)
+	l.cap *= factor
+	d.fstats.LinksDegraded++
+	d.reallocate()
+}
+
+// InjectBackground starts a burst of seed-deterministic background
+// cross-traffic: count flows of userBytes each between distinct random
+// node pairs. Background flows compete with scheduled traffic for link
+// bandwidth like any other flow (they appear in TotalFlows and the
+// utilization reports) and are additionally counted in FaultStats.
+// Must run in engine context.
+func (d *DataNet) InjectBackground(count, userBytes int, seed int64) {
+	n := d.top.N()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < count; i++ {
+		src := rng.Intn(n)
+		dst := (src + 1 + rng.Intn(n-1)) % n
+		f := d.Start(src, dst, userBytes, nil)
+		d.fstats.BackgroundFlows++
+		d.fstats.BackgroundWireBytes += int64(f.WireBytes)
+	}
+}
+
+// FaultStats returns the fault counters accumulated so far (the zero
+// value for a fault-free run).
+func (d *DataNet) FaultStats() FaultStats { return d.fstats }
 
 // reallocate recomputes max-min fair rates, completes any finished flows,
 // and schedules the next completion event.

@@ -1,0 +1,318 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// The fault model: a FaultPlan is a versioned, seed-deterministic list
+// of events injected into a run at scheduled simulation times. Four
+// fault kinds cover an unreliable machine's failure surface:
+//
+//	link-down   an interior link dies; routes avoid it (detour via an
+//	            intermediate node) and in-flight flows crossing it are
+//	            rerouted over the surviving graph, with the max-min
+//	            solver re-solving over the new link set
+//	degrade     a link's capacity is multiplied by a factor in (0, 1]
+//	straggler   a node's CPU slows: send/recv overheads, memory copies
+//	            and compute all stretch by the factor from the event
+//	            time onward
+//	background  a burst of seed-deterministic cross-traffic flows
+//	            enters the data network, competing with the schedule's
+//	            traffic for link bandwidth
+//
+// Plans serialize to canonical JSON (fixed field order, no maps), so a
+// plan hashes stably into a result-store cell specification: faulty
+// runs are exactly as cacheable and replayable as healthy ones.
+
+// FaultPlanVersion is the plan format version; it participates in every
+// stored cell hash that carries a plan, so changing fault semantics
+// invalidates previously stored faulty results at once.
+const FaultPlanVersion = 1
+
+// FaultKind names one fault event type.
+type FaultKind string
+
+// The fault kinds.
+const (
+	FaultLinkDown   FaultKind = "link-down"
+	FaultDegrade    FaultKind = "degrade"
+	FaultStraggler  FaultKind = "straggler"
+	FaultBackground FaultKind = "background"
+)
+
+// FaultEvent is one scheduled fault. Which fields matter depends on
+// Kind: link-down uses Link; degrade uses Link and Factor; straggler
+// uses Node and Factor; background uses Flows, Bytes and Seed.
+type FaultEvent struct {
+	// At is the simulation time the fault takes effect, in nanoseconds
+	// of virtual time from the start of the run.
+	At sim.Time `json:"at_ns"`
+	// Kind selects the fault type.
+	Kind FaultKind `json:"kind"`
+	// Link is the topology link index a link-down or degrade targets.
+	Link int `json:"link,omitempty"`
+	// Node is the straggler's node rank.
+	Node int `json:"node,omitempty"`
+	// Factor is the degrade capacity multiplier in (0, 1], or the
+	// straggler slowdown multiplier >= 1.
+	Factor float64 `json:"factor,omitempty"`
+	// Flows is the background burst's flow count.
+	Flows int `json:"flows,omitempty"`
+	// Bytes is the background burst's user bytes per flow.
+	Bytes int `json:"bytes,omitempty"`
+	// Seed derives the background burst's src/dst pairs.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// FaultPlan is a versioned schedule of fault events for one run.
+// The zero-event plan is the all-healthy plan: applying it changes
+// nothing, bit for bit.
+type FaultPlan struct {
+	Version int          `json:"version"`
+	Events  []FaultEvent `json:"events,omitempty"`
+}
+
+// NewHealthyPlan returns the current-version plan with no events.
+func NewHealthyPlan() *FaultPlan { return &FaultPlan{Version: FaultPlanVersion} }
+
+// Validate checks the plan against the topology it will be applied to:
+// known version and kinds, link indices in range, link-down restricted
+// to interior links (downing a node's injection or ejection link would
+// disconnect it — model that as a degrade or straggler instead),
+// degrade factors in (0, 1], straggler factors >= 1, and background
+// bursts non-empty.
+func (p *FaultPlan) Validate(t topo.Topology) error {
+	if p == nil {
+		return nil
+	}
+	if p.Version != FaultPlanVersion {
+		return fmt.Errorf("network: fault plan version %d, want %d", p.Version, FaultPlanVersion)
+	}
+	for i, ev := range p.Events {
+		if ev.At < 0 {
+			return fmt.Errorf("network: fault event %d at negative time %d", i, ev.At)
+		}
+		switch ev.Kind {
+		case FaultLinkDown:
+			if ev.Link < 0 || ev.Link >= t.NumLinks() {
+				return fmt.Errorf("network: fault event %d link %d outside [0,%d)", i, ev.Link, t.NumLinks())
+			}
+			if t.Link(ev.Link).Level < 1 {
+				return fmt.Errorf("network: fault event %d downs node link %s; only interior links (level >= 1) may fail",
+					i, t.Link(ev.Link).Name)
+			}
+		case FaultDegrade:
+			if ev.Link < 0 || ev.Link >= t.NumLinks() {
+				return fmt.Errorf("network: fault event %d link %d outside [0,%d)", i, ev.Link, t.NumLinks())
+			}
+			if !(ev.Factor > 0 && ev.Factor <= 1) {
+				return fmt.Errorf("network: fault event %d degrade factor %v outside (0, 1]", i, ev.Factor)
+			}
+		case FaultStraggler:
+			if ev.Node < 0 || ev.Node >= t.N() {
+				return fmt.Errorf("network: fault event %d straggler node %d outside [0,%d)", i, ev.Node, t.N())
+			}
+			if !(ev.Factor >= 1) {
+				return fmt.Errorf("network: fault event %d straggler factor %v must be >= 1", i, ev.Factor)
+			}
+		case FaultBackground:
+			if ev.Flows < 1 {
+				return fmt.Errorf("network: fault event %d background burst of %d flows", i, ev.Flows)
+			}
+			if ev.Bytes < 0 {
+				return fmt.Errorf("network: fault event %d background bytes %d negative", i, ev.Bytes)
+			}
+			if t.N() < 2 {
+				return fmt.Errorf("network: fault event %d background traffic needs >= 2 nodes", i)
+			}
+		default:
+			return fmt.Errorf("network: fault event %d has unknown kind %q (known: %s %s %s %s)",
+				i, ev.Kind, FaultLinkDown, FaultDegrade, FaultStraggler, FaultBackground)
+		}
+	}
+	return nil
+}
+
+// FaultStats summarizes what a plan actually did to a run. The zero
+// value is a fault-free run.
+type FaultStats struct {
+	// Events is the number of plan events applied (events scheduled
+	// after the run drained still count: they fired, into an idle
+	// machine).
+	Events int `json:"events,omitempty"`
+	// LinksDown and LinksDegraded count distinct link state changes.
+	LinksDown     int `json:"links_down,omitempty"`
+	LinksDegraded int `json:"links_degraded,omitempty"`
+	// Stragglers counts straggler events applied.
+	Stragglers int `json:"stragglers,omitempty"`
+	// Rerouted counts flows that could not use their direct route: new
+	// flows detoured around dead links plus in-flight flows rerouted
+	// when their link died under them.
+	Rerouted int `json:"rerouted,omitempty"`
+	// Background traffic injected: flow count and wire bytes.
+	BackgroundFlows     int   `json:"background_flows,omitempty"`
+	BackgroundWireBytes int64 `json:"background_wire_bytes,omitempty"`
+}
+
+// ErrUnknownFaultProfile is returned (wrapped, with the requested name
+// and the known names) by NewFaultPlan on a profile miss.
+var ErrUnknownFaultProfile = errors.New("unknown fault profile")
+
+// faultProfile is one named plan generator.
+type faultProfile struct {
+	name  string
+	doc   string
+	build func(t topo.Topology, seed int64) *FaultPlan
+}
+
+// faultProfiles lists the named profiles in canonical order. Every
+// generator is a pure function of (topology, seed): the same inputs
+// always produce the same plan, so profile-built plans hash stably.
+var faultProfiles = []faultProfile{
+	{"healthy", "no faults: the control profile, byte-identical to running without a plan",
+		func(t topo.Topology, seed int64) *FaultPlan { return NewHealthyPlan() }},
+	{"link-down", "interior link failures with detour reroute: 1+N/64 links dead at start, one more dies mid-run; a kill that would cut the network browns the link out to 20% instead",
+		func(t topo.Topology, seed int64) *FaultPlan {
+			interior := interiorLinks(t)
+			rng := rand.New(rand.NewSource(seed ^ 0x6c696e6b)) // "link"
+			want := 2 + t.N()/64                               // the last pick fails mid-run
+			perm := rng.Perm(len(interior))
+			down := map[int]bool{}
+			p := NewHealthyPlan()
+			for picked := 0; picked < want && picked < len(perm); picked++ {
+				link := interior[perm[picked]]
+				var at sim.Time
+				if picked == want-1 {
+					at = 100 * sim.Microsecond
+				}
+				if killSurvivable(t, down, link) {
+					down[link] = true
+					p.Events = append(p.Events, FaultEvent{At: at, Kind: FaultLinkDown, Link: link})
+				} else {
+					// No detour survives this kill — on topologies with no
+					// path diversity (the fat tree is a tree: every
+					// interior link is a cut edge) the victim link browns
+					// out instead, modeling the loss of some of the
+					// parallel physical channels its capacity aggregates.
+					p.Events = append(p.Events, FaultEvent{At: at, Kind: FaultDegrade, Link: link, Factor: 0.2})
+				}
+			}
+			return p
+		}},
+	{"degrade", "capacity brownout: ~1/8 of interior links at quarter capacity from the start",
+		func(t topo.Topology, seed int64) *FaultPlan {
+			interior := interiorLinks(t)
+			rng := rand.New(rand.NewSource(seed ^ 0x64656772)) // "degr"
+			hit := len(interior)/8 + 1
+			perm := rng.Perm(len(interior))
+			p := NewHealthyPlan()
+			for i := 0; i < hit && i < len(perm); i++ {
+				p.Events = append(p.Events, FaultEvent{
+					At: 0, Kind: FaultDegrade, Link: interior[perm[i]], Factor: 0.25,
+				})
+			}
+			return p
+		}},
+	{"straggler", "slow nodes: 1 + N/32 nodes compute and drive their interfaces 6x slower from the start",
+		func(t topo.Topology, seed int64) *FaultPlan {
+			n := t.N()
+			rng := rand.New(rand.NewSource(seed ^ 0x73747261)) // "stra"
+			count := 1 + n/32
+			perm := rng.Perm(n)
+			p := NewHealthyPlan()
+			for i := 0; i < count && i < len(perm); i++ {
+				p.Events = append(p.Events, FaultEvent{
+					At: 0, Kind: FaultStraggler, Node: perm[i], Factor: 6,
+				})
+			}
+			return p
+		}},
+	{"crosstraffic", "background load: N-flow bursts of 2 KB cross-traffic at 0, 1 and 2 ms",
+		func(t topo.Topology, seed int64) *FaultPlan {
+			p := NewHealthyPlan()
+			for i, at := range []sim.Time{0, sim.Millisecond, 2 * sim.Millisecond} {
+				p.Events = append(p.Events, FaultEvent{
+					At: at, Kind: FaultBackground, Flows: t.N(), Bytes: 2048,
+					Seed: seed ^ int64(i+1),
+				})
+			}
+			return p
+		}},
+}
+
+// killSurvivable reports whether every (src, dst) pair still has a
+// fault-free route (direct or single-via detour) after downing
+// candidate on top of the already-down set — the link-down profile's
+// guarantee that a plan it builds can always be routed.
+func killSurvivable(t topo.Topology, down map[int]bool, candidate int) bool {
+	isDown := func(l int) bool { return l == candidate || down[l] }
+	n := t.N()
+	var buf []int
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			var ok bool
+			if buf, ok = topo.DetourRoute(t, buf[:0], src, dst, isDown); !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// interiorLinks returns the indices of every level >= 1 link.
+func interiorLinks(t topo.Topology) []int {
+	var out []int
+	for i := 0; i < t.NumLinks(); i++ {
+		if t.Link(i).Level >= 1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FaultProfiles returns the named fault profiles in canonical order.
+func FaultProfiles() []string {
+	out := make([]string, len(faultProfiles))
+	for i, p := range faultProfiles {
+		out[i] = p.name
+	}
+	return out
+}
+
+// FaultProfileDoc returns the one-line description of a profile name,
+// or "" for an unknown name.
+func FaultProfileDoc(name string) string {
+	for _, p := range faultProfiles {
+		if p.name == name {
+			return p.doc
+		}
+	}
+	return ""
+}
+
+// NewFaultPlan builds the named profile's plan for the given topology
+// and seed. The result is deterministic in (profile, topology shape,
+// seed) and already validated against t. A name miss returns an error
+// wrapping ErrUnknownFaultProfile that lists every known name.
+func NewFaultPlan(profile string, t topo.Topology, seed int64) (*FaultPlan, error) {
+	for _, fp := range faultProfiles {
+		if fp.name == profile {
+			p := fp.build(t, seed)
+			if err := p.Validate(t); err != nil {
+				return nil, err
+			}
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("network: %w %q (known: %s)",
+		ErrUnknownFaultProfile, profile, strings.Join(FaultProfiles(), " "))
+}

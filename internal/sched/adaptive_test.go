@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/pattern"
+	"repro/internal/topo"
+)
+
+// butterflyOn builds the faults family's shape at test scale: the
+// butterfly workload pattern and a hypercube to run it on.
+func butterflyOn(t *testing.T, n int) (pattern.Matrix, topo.Topology) {
+	t.Helper()
+	w, ok := pattern.WorkloadByName("butterfly")
+	if !ok {
+		t.Fatal("butterfly workload missing from the catalogue")
+	}
+	tp, err := topo.New("hypercube", n, network.DefaultConfig().TopologyRates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Gen(n, 256, int64(n)), tp
+}
+
+func linkDownPlan(t *testing.T, tp topo.Topology) *network.FaultPlan {
+	t.Helper()
+	plan, err := network.NewFaultPlan("link-down", tp, int64(tp.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestASRegistered(t *testing.T) {
+	a, err := Lookup("AS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kind != KindIrregular {
+		t.Fatalf("AS kind = %s, want irregular", a.Kind)
+	}
+	if !a.Aux {
+		t.Error("AS is beyond the paper and must be Aux")
+	}
+	if a.Doc == "" {
+		t.Error("AS has no doc line")
+	}
+}
+
+// countingObs counts finished flows — the delivered-transfer check for
+// a program-backed scheduler with no schedule to cover-check.
+type countingObs struct{ started, finished int }
+
+func (c *countingObs) FlowStarted(network.FlowInfo)  { c.started++ }
+func (c *countingObs) FlowFinished(network.FlowInfo) { c.finished++ }
+
+// TestASDeliversEveryTransfer: a healthy AS run starts and finishes
+// exactly one flow per pattern transfer — everything delivered, nothing
+// forwarded, nothing lost.
+func TestASDeliversEveryTransfer(t *testing.T) {
+	p, tp := butterflyOn(t, 16)
+	a, err := Lookup("AS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &countingObs{}
+	met, err := a.Execute(Request{Pattern: p, Cfg: network.DefaultConfig(), Topo: tp, Obs: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.finished != p.Messages() || obs.started != p.Messages() {
+		t.Fatalf("observed %d/%d flows, want %d (one per transfer)",
+			obs.started, obs.finished, p.Messages())
+	}
+	if met.Messages != p.Messages() || met.TotalBytes != p.TotalBytes() {
+		t.Fatalf("metrics report %d msgs / %d bytes, want %d / %d",
+			met.Messages, met.TotalBytes, p.Messages(), p.TotalBytes())
+	}
+	if met.Steps <= 0 {
+		t.Fatalf("Steps = %d, want the executed matching-round count", met.Steps)
+	}
+	if met.MaxFanIn != 1 {
+		t.Fatalf("MaxFanIn = %d, want 1 (every round is a matching)", met.MaxFanIn)
+	}
+}
+
+// TestASDeterministicUnderFaults: two identical faulty runs produce
+// identical metrics — the adaptive re-planning consumes only
+// deterministic simulation observations.
+func TestASDeterministicUnderFaults(t *testing.T) {
+	run := func() *Metrics {
+		p, tp := butterflyOn(t, 16)
+		a, err := Lookup("AS")
+		if err != nil {
+			t.Fatal(err)
+		}
+		met, err := a.Execute(Request{
+			Pattern: p, Cfg: network.DefaultConfig(), Topo: tp,
+			Faults: linkDownPlan(t, tp),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return met
+	}
+	m1, m2 := run(), run()
+	if m1.Elapsed != m2.Elapsed || m1.Steps != m2.Steps ||
+		m1.Flows != m2.Flows || m1.WireBytes != m2.WireBytes || m1.Faults != m2.Faults {
+		t.Fatalf("AS runs differ:\n%+v\n%+v", m1, m2)
+	}
+	if m1.Faults.Events == 0 {
+		t.Fatal("fault plan applied no events")
+	}
+}
+
+// TestASHealthyPlanIsIdentity: the zero-event plan leaves an AS run
+// bit-identical to running with no plan at all.
+func TestASHealthyPlanIsIdentity(t *testing.T) {
+	run := func(plan *network.FaultPlan) *Metrics {
+		p, tp := butterflyOn(t, 16)
+		a, err := Lookup("AS")
+		if err != nil {
+			t.Fatal(err)
+		}
+		met, err := a.Execute(Request{Pattern: p, Cfg: network.DefaultConfig(), Topo: tp, Faults: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return met
+	}
+	bare, healthy := run(nil), run(network.NewHealthyPlan())
+	if bare.Elapsed != healthy.Elapsed || bare.Steps != healthy.Steps ||
+		bare.Flows != healthy.Flows || bare.WireBytes != healthy.WireBytes {
+		t.Fatalf("healthy plan changed the run:\nbare    %+v\nhealthy %+v", bare, healthy)
+	}
+}
+
+// TestASBeatsStaticSchedulersUnderLinkDown is the tentpole's acceptance
+// bar: under the link-down profile on the hypercube butterfly, the
+// adaptive scheduler's re-planning must finish ahead of the static LS
+// and BS schedules, which keep their precomputed pairings no matter
+// what the machine does.
+func TestASBeatsStaticSchedulersUnderLinkDown(t *testing.T) {
+	elapsed := map[string]int64{}
+	for _, name := range []string{"LS", "BS", "AS"} {
+		p, tp := butterflyOn(t, 64)
+		a, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		met, err := a.Execute(Request{
+			Pattern: p, Cfg: network.DefaultConfig(), Topo: tp,
+			Faults: linkDownPlan(t, tp),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed[name] = int64(met.Elapsed)
+	}
+	for _, static := range []string{"LS", "BS"} {
+		if elapsed["AS"] >= elapsed[static] {
+			t.Errorf("AS (%d ns) not faster than %s (%d ns) under link-down",
+				elapsed["AS"], static, elapsed[static])
+		}
+	}
+}

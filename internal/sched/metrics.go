@@ -44,6 +44,11 @@ type Metrics struct {
 	Flows     int
 	WireBytes int64
 
+	// Faults reports what Request.Faults did to the run (the zero value
+	// for a fault-free run): events applied, links killed/degraded,
+	// stragglers, flows rerouted, background traffic injected.
+	Faults network.FaultStats
+
 	// Trace holds per-message events when Request.Trace was set.
 	Trace *cmmd.Trace
 }
@@ -77,6 +82,9 @@ func newMachine(n int, req Request) (*cmmd.Machine, error) {
 	if req.Obs != nil {
 		m.Net().SetObserver(req.Obs)
 	}
+	if err := m.ApplyFaults(req.Faults); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -87,6 +95,7 @@ func finishMetrics(met *Metrics, m *cmmd.Machine, elapsed sim.Time) {
 	met.LinkUtilization = m.Net().LinkUtilization(elapsed)
 	met.Flows = m.Net().TotalFlows()
 	met.WireBytes = m.Net().TotalWireBytes()
+	met.Faults = m.FaultStats()
 	met.Trace = m.Trace()
 }
 

@@ -44,6 +44,7 @@ type Request struct {
 	Async   bool                 // buffered (non-blocking) sends
 	Trace   bool                 // collect per-message trace events
 	Obs     network.FlowObserver // live flow observer, or nil
+	Faults  *network.FaultPlan   // fault events injected into the run, or nil
 }
 
 // Info describes one registered algorithm. At least one of plan/run is
@@ -124,6 +125,9 @@ var registry = []*Info{
 		plan: func(r Request) (*Schedule, error) {
 			return GSWith(r.Pattern, GSOptions{RandomTieBreak: true, Seed: r.Seed}), nil
 		}},
+	{Name: "AS", Kind: KindIrregular, Aux: true,
+		Doc: "Adaptive Scheduling: greedy-matching phases re-planned mid-run from observed wire and end-to-end transfer rates (fault-aware; beyond the paper)",
+		run: runAdaptiveMetrics},
 }
 
 // collectiveDocs captures one line per collective for the registry.

@@ -17,6 +17,12 @@
 // algorithms filtered by a communication matrix) and GS (greedy matching,
 // Figure 12).
 //
+// Beyond the paper, AS (adaptive.go) schedules the same irregular
+// patterns in greedy-matching phases that are re-planned mid-run from
+// observed wire and end-to-end transfer rates, so it reacts to link
+// failures, degraded capacity and stragglers injected by a
+// network.FaultPlan where the static schedulers cannot.
+//
 // A Schedule is an explicit list of steps, each an ordered list of
 // point-to-point transfers; the executor in exec.go runs one on a
 // simulated machine.

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/network"
+)
+
+const faultJobSpec = `{"algorithm":"GS","n":16,"bytes":256,"workload":"butterfly",` +
+	`"topology":"hypercube","seed":16,"fault_profile":"straggler"}`
+
+func TestFaultProfilesEndpoint(t *testing.T) {
+	s := New(network.DefaultConfig(), testStore(t))
+	w := get(s.Handler(), "/v1/faultprofiles")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	for _, want := range []string{`"healthy"`, `"link-down"`, `"degrade"`, `"straggler"`, `"crosstraffic"`, `"doc"`} {
+		if !strings.Contains(w.Body.String(), want) {
+			t.Fatalf("body %s does not contain %s", w.Body, want)
+		}
+	}
+}
+
+// TestFaultJobMissThenHit: a faulty job simulates once, reports its
+// fault stats, and replays byte-identically from the store.
+func TestFaultJobMissThenHit(t *testing.T) {
+	s := New(network.DefaultConfig(), testStore(t))
+	h := s.Handler()
+
+	cold := post(h, "/v1/jobs", faultJobSpec)
+	if cold.Code != http.StatusOK {
+		t.Fatalf("cold status %d: %s", cold.Code, cold.Body)
+	}
+	for _, want := range []string{`"faults"`, `"stragglers"`, `"fault_profile":"straggler"`} {
+		if !strings.Contains(cold.Body.String(), want) {
+			t.Fatalf("cold body %s does not contain %s", cold.Body, want)
+		}
+	}
+	warm := post(h, "/v1/jobs", faultJobSpec)
+	if warm.Code != http.StatusOK {
+		t.Fatalf("warm status %d", warm.Code)
+	}
+	if cold.Body.String() != warm.Body.String() {
+		t.Fatal("store replay of a faulty job is not byte-identical")
+	}
+}
+
+func TestFaultJobValidation(t *testing.T) {
+	s := New(network.DefaultConfig(), testStore(t))
+	w := post(s.Handler(), "/v1/jobs", `{"algorithm":"BEX","n":8,"bytes":64,"fault_profile":"meteor"}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "healthy") {
+		t.Fatalf("error %s does not list the known profiles", w.Body)
+	}
+}
+
+// TestFaultProfileAddressesTheStore: the profile is part of the job's
+// content address — the same job healthy and faulty never collide, and
+// the empty profile hashes like an unset field.
+func TestFaultProfileAddressesTheStore(t *testing.T) {
+	cfg := network.DefaultConfig()
+	base := JobSpec{Algorithm: "GS", N: 16, Bytes: 256, Workload: "butterfly", Topology: "hypercube", Seed: 16}
+	faulty := base
+	faulty.FaultProfile = "straggler"
+	h1, err := base.Hash(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := faulty.Hash(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Fatal("healthy and faulty specs hash to the same address")
+	}
+}

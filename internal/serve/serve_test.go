@@ -414,7 +414,13 @@ func TestSweepStreamsAndMatchesHarness(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	for pass, wantCached := range map[string]bool{"cold": false, "warm": true} {
+	// The cold pass must run first — a map literal here would randomize
+	// the order and intermittently assert cache hits on a fresh store.
+	for _, p := range []struct {
+		pass       string
+		wantCached bool
+	}{{"cold", false}, {"warm", true}} {
+		pass, wantCached := p.pass, p.wantCached
 		w := post(h, "/v1/sweep", sweepBody("json"))
 		if w.Code != http.StatusOK {
 			t.Fatalf("%s sweep: status %d, body %s", pass, w.Code, w.Body)

@@ -106,6 +106,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/faultprofiles", s.handleFaultProfiles)
 	mux.HandleFunc("POST /v1/jobs", s.handleJob)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	return s.withDeadline(mux)
@@ -513,6 +514,18 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 		Desc: "random pattern of the given density (the paper's Table 11 shape)",
 	})
 	writeJSON(w, map[string]any{"workloads": list})
+}
+
+func (s *Server) handleFaultProfiles(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name string `json:"name"`
+		Doc  string `json:"doc"`
+	}
+	var list []entry
+	for _, name := range cm5.FaultProfiles() {
+		list = append(list, entry{Name: name, Doc: cm5.FaultProfileDoc(name)})
+	}
+	writeJSON(w, map[string]any{"fault_profiles": list})
 }
 
 func writeJSON(w http.ResponseWriter, doc any) {

@@ -55,6 +55,11 @@ type JobSpec struct {
 	Topology string `json:"topology,omitempty"`
 	// Seed feeds the workload generator and stochastic planners.
 	Seed int64 `json:"seed,omitempty"`
+	// FaultProfile names a fault profile (GET /v1/faultprofiles) to
+	// inject into the run, built deterministically from the run's
+	// topology and Seed; empty means a healthy machine ("healthy" is a
+	// valid, equivalent value).
+	FaultProfile string `json:"fault_profile,omitempty"`
 	// Root is the broadcast root; Offset the SHIFT distance.
 	Root   int  `json:"root,omitempty"`
 	Offset int  `json:"offset,omitempty"`
@@ -104,6 +109,10 @@ func (js JobSpec) Validate() error {
 		return fmt.Errorf("unknown topology %q (known: %s)",
 			js.Topology, strings.Join(cm5.Topologies(), " "))
 	}
+	if js.FaultProfile != "" && cm5.FaultProfileDoc(js.FaultProfile) == "" {
+		return fmt.Errorf("unknown fault profile %q (known: %s)",
+			js.FaultProfile, strings.Join(cm5.FaultProfiles(), " "))
+	}
 	return nil
 }
 
@@ -118,12 +127,26 @@ func (js JobSpec) job(cfg network.Config) (cm5.Job, error) {
 		cm5.WithRoot(js.Root), cm5.WithOffset(js.Offset),
 		cm5.WithAsync(js.Async),
 	}
+	var tp cm5.Topology
 	if js.Topology != "" {
-		tp, err := topo.New(js.Topology, js.N, cfg.TopologyRates())
-		if err != nil {
+		if tp, err = topo.New(js.Topology, js.N, cfg.TopologyRates()); err != nil {
 			return cm5.Job{}, err
 		}
 		opts = append(opts, cm5.WithTopology(tp))
+	}
+	if js.FaultProfile != "" {
+		if tp == nil {
+			// The plan must be built against the same link graph the job
+			// runs on — for topology-less jobs, the config's fat tree.
+			if tp, err = cfg.FatTree(js.N); err != nil {
+				return cm5.Job{}, err
+			}
+		}
+		plan, err := cm5.NewFaultPlan(js.FaultProfile, tp, js.Seed)
+		if err != nil {
+			return cm5.Job{}, err
+		}
+		opts = append(opts, cm5.WithFaults(plan))
 	}
 	if a.Kind() != cm5.KindIrregular {
 		return cm5.NewJob(a, js.N, js.Bytes, opts...), nil
@@ -156,6 +179,8 @@ func (js JobSpec) storeSpec(cfg network.Config) store.Spec {
 	// string keeps the hash readable and immune to formatting drift.
 	s["density"] = fmt.Sprintf("%g", js.Density)
 	s["topology"] = js.Topology
+	s["fault_profile"] = js.FaultProfile
+	s["fault_plan_version"] = network.FaultPlanVersion
 	// Seeds are 64-bit: decimal string, like exp.Runner's cell specs.
 	s["seed"] = fmt.Sprintf("%d", js.Seed)
 	s["root"] = js.Root
@@ -198,6 +223,9 @@ type Metrics struct {
 	LevelUtilization map[int]float64 `json:"level_utilization,omitempty"`
 	Flows            int             `json:"flows"`
 	WireBytes        int64           `json:"wire_bytes"`
+	// Faults reports what the spec's fault profile did to the run;
+	// omitted for healthy runs (the zero value marshals away).
+	Faults *network.FaultStats `json:"faults,omitempty"`
 }
 
 // encodeResult renders the canonical payload bytes for one completed
@@ -224,6 +252,10 @@ func encodeResult(js JobSpec, hash string, res cm5.Result) ([]byte, error) {
 	}
 	if len(res.LevelUtilization) > 0 {
 		m.LevelUtilization = res.LevelUtilization
+	}
+	if res.Faults != (cm5.FaultStats{}) {
+		f := res.Faults
+		m.Faults = &f
 	}
 	data, err := json.Marshal(JobResult{Schema: ResultSchema, Spec: js, Hash: hash, Result: m})
 	if err != nil {

@@ -1,0 +1,64 @@
+package topo
+
+// Fault-aware routing. A Topology's RouteAppend is static and minimal;
+// when links fail at runtime the data network needs routes over the
+// surviving link graph. Topologies expose no adjacency structure beyond
+// the routing function itself, so the reroute primitive is built from
+// it: if the direct route crosses a dead link, the message detours
+// through an intermediate node ("via") whose two legs — src -> via and
+// via -> dst — are both clean. The via scan order is a deterministic
+// function of the pair, so reroutes are bit-reproducible and detour
+// load spreads across candidate intermediates instead of piling onto
+// node 0.
+//
+// A detour route traverses the via node's ejection and injection links,
+// modeling cut-through forwarding through that node's network
+// interface: the via pays interface bandwidth for traffic it relays,
+// exactly the cost that makes rerouting around a dead link expensive
+// rather than free.
+
+// RouteClean reports whether no link of route is down.
+func RouteClean(route []int, down func(int) bool) bool {
+	for _, l := range route {
+		if down(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// DetourRoute appends a src -> dst route that avoids every link for
+// which down returns true. The direct route is used when it is already
+// clean; otherwise the message detours through the first intermediate
+// node (in a deterministic pair-dependent scan order) whose both legs
+// are clean. The second return is false when no such route exists —
+// src or dst has a dead interface link, or the failures cut the
+// network — in which case buf's extension is meaningless.
+func DetourRoute(t Topology, buf []int, src, dst int, down func(int) bool) ([]int, bool) {
+	base := len(buf)
+	buf = t.RouteAppend(buf, src, dst)
+	if RouteClean(buf[base:], down) {
+		return buf, true
+	}
+	n := t.N()
+	// Scan vias starting at a pair-dependent offset: deterministic, and
+	// different pairs favor different intermediates.
+	start := (src*31 + dst*17) % n
+	for k := 0; k < n; k++ {
+		via := (start + k) % n
+		if via == src || via == dst {
+			continue
+		}
+		buf = buf[:base]
+		buf = t.RouteAppend(buf, src, via)
+		if !RouteClean(buf[base:], down) {
+			continue
+		}
+		mid := len(buf)
+		buf = t.RouteAppend(buf, via, dst)
+		if RouteClean(buf[mid:], down) {
+			return buf, true
+		}
+	}
+	return buf[:base], false
+}

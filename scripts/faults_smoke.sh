@@ -1,0 +1,49 @@
+#!/bin/sh
+# faults_smoke.sh — end-to-end smoke test of the fault-injection
+# experiment family (CI's faults-smoke step; `make faults-smoke`
+# locally).
+#
+# Runs a small `cmexp faults` sweep against a fresh result store twice
+# and asserts the family's caching contract from the outside:
+#
+#   1. the cold run simulates every selected cell (0 replayed);
+#   2. the warm run replays every cell from the store (0 simulated) —
+#      each cell's fault plan is part of its content address, so faulty
+#      results cache exactly like healthy ones;
+#   3. both runs' rendered tables are byte-identical.
+#
+# Exits non-zero on the first failed assertion.
+set -eu
+
+GO="${GO:-go}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+echo "== build"
+"$GO" build -o "$tmp/cmexp" ./cmd/cmexp
+
+# Every fault profile x scheduler at the smallest machine size:
+# 5 profiles x 5 schedulers = 25 cells.
+filter='/N16$'
+cells=25
+
+echo "== cold sweep simulates every cell"
+"$tmp/cmexp" -store "$tmp/store" -run "$filter" -v faults >"$tmp/cold.txt" 2>"$tmp/cold.log"
+grep -q "cmexp: 0 cells replayed from .*, $cells simulated" "$tmp/cold.log" || {
+	echo "faults-smoke: cold run was not $cells simulations:"
+	tail -n 2 "$tmp/cold.log"
+	exit 1
+}
+
+echo "== warm sweep is 100% cache hits"
+"$tmp/cmexp" -store "$tmp/store" -run "$filter" -v faults >"$tmp/warm.txt" 2>"$tmp/warm.log"
+grep -q "cmexp: $cells cells replayed from .*, 0 simulated" "$tmp/warm.log" || {
+	echo "faults-smoke: warm run was not $cells cache hits:"
+	tail -n 2 "$tmp/warm.log"
+	exit 1
+}
+
+echo "== warm replay is byte-identical to the cold run"
+cmp "$tmp/cold.txt" "$tmp/warm.txt"
+
+echo "faults-smoke: all assertions passed"
