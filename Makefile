@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json bench-baseline cover perf-check lint vet fmt-check tables examples linkcheck api api-check serve-smoke faults-smoke
+.PHONY: build test race bench bench-smoke bench-json bench-baseline cover perf-check lint vet fmt-check tables examples linkcheck api api-check serve-smoke faults-smoke apps-smoke
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ test:
 # guarantee — the race pass holds it to that). -short trims the
 # heaviest deterministic sweeps; `make test` still runs them raceless.
 race:
-	$(GO) test -race -short ./internal/exp/ ./internal/sim/ ./internal/cmmd/ ./internal/network/ ./internal/store/ ./internal/serve/ ./internal/sched/ ./internal/topo/
+	$(GO) test -race -short ./internal/exp/ ./internal/sim/ ./internal/cmmd/ ./internal/network/ ./internal/store/ ./internal/serve/ ./internal/sched/ ./internal/topo/ ./internal/trace/
 
 # Full-suite run with a coverage profile plus a function summary; on
 # CI's stable leg this IS the test step (one execution, not two), and
@@ -88,6 +88,14 @@ serve-smoke:
 # faults-smoke step; see scripts/faults_smoke.sh).
 faults-smoke:
 	sh scripts/faults_smoke.sh
+
+# End-to-end smoke test of the trace subsystem: a small `cmexp apps
+# -store` sweep run twice — the cold run records the applications and
+# simulates, the warm run must be 100% cache hits with byte-identical
+# output and never re-run an application (CI's apps-smoke step; see
+# scripts/apps_smoke.sh).
+apps-smoke:
+	sh scripts/apps_smoke.sh
 
 # Snapshot the public API surface. Run after intentionally changing
 # exported cm5 declarations; CI's api job diffs against this file.

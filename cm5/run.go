@@ -43,6 +43,10 @@ type Job struct {
 	trace    bool
 	obs      Observer
 	faults   *FaultPlan
+	// optErr defers an option-construction failure (e.g. an invalid
+	// trace passed to WithTraceWorkload) to Run/Plan, which cannot
+	// otherwise report it: JobOption returns nothing.
+	optErr error
 }
 
 // JobOption configures a Job.
@@ -216,6 +220,9 @@ type Result struct {
 // rich result. Every algorithm in the registry runs through this one
 // path; the deprecated facade functions are thin wrappers over it.
 func Run(job Job) (Result, error) {
+	if job.optErr != nil {
+		return Result{}, job.optErr
+	}
 	var (
 		met *sched.Metrics
 		err error
@@ -259,6 +266,9 @@ func Run(job Job) (Result, error) {
 // broadcasts, CRYSTAL, the collectives) return an error; ScheduleJob
 // jobs return their schedule unchanged.
 func Plan(job Job) (*Schedule, error) {
+	if job.optErr != nil {
+		return nil, job.optErr
+	}
 	if job.schedule != nil {
 		return job.schedule, nil
 	}

@@ -1,0 +1,74 @@
+package cm5
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// AppTrace is a recorded application communication trace: every data-
+// network message one of the bundled applications (see Traces) sent
+// during a real simulated run, in canonical order, stamped with the
+// inputs that produced it. Traces are seed-deterministic — recording
+// the same (app, size, nprocs, seed, config) tuple twice yields
+// byte-identical Encode output — and versioned by AppTraceVersion.
+// Record one with RecordTrace and replay it through any scheduler with
+// WithTraceWorkload.
+type AppTrace = trace.Trace
+
+// AppTraceEvent is one recorded message of an AppTrace.
+type AppTraceEvent = trace.Event
+
+// AppTraceVersion is the trace format/semantics version stamped into
+// every recorded trace and mixed into trace content hashes.
+const AppTraceVersion = trace.TraceVersion
+
+// ErrUnknownTraceApp is wrapped by RecordTrace on an application-name
+// miss; the error text lists the known names.
+var ErrUnknownTraceApp = trace.ErrUnknownApp
+
+// Traces returns the recordable application names in canonical order:
+// cg, fft, euler.
+func Traces() []string { return trace.Apps() }
+
+// TraceDoc returns the one-line description of a recordable
+// application, or "" for an unknown name.
+func TraceDoc(name string) string { return trace.AppDoc(name) }
+
+// RecordTrace runs the named application for real on nprocs simulated
+// CM-5 nodes and captures its communication. size 0 means the app's
+// default problem size (mesh vertices for cg and euler, array edge for
+// fft). The result is a pure function of its inputs: the same tuple
+// always records the same trace.
+func RecordTrace(app string, size, nprocs int, seed int64, cfg Config) (*AppTrace, error) {
+	return trace.Record(app, size, nprocs, seed, cfg)
+}
+
+// DecodeTrace parses a canonical trace file (AppTrace.Encode output)
+// and validates it: format version, endpoint ranges, event ordering.
+func DecodeTrace(data []byte) (*AppTrace, error) { return trace.Decode(data) }
+
+// WithTraceWorkload replays a recorded application trace as the job's
+// communication pattern: the trace collapses to its traffic matrix
+// (who sends how many bytes to whom), which any irregular scheduler
+// can then plan. Use with the pattern-driven algorithms the same way
+// as WithPattern:
+//
+//	tr, _ := cm5.RecordTrace("cg", 0, 16, 1, cm5.DefaultConfig())
+//	res, _ := cm5.Run(cm5.NewJob(alg, 0, 0, cm5.WithTraceWorkload(tr)))
+//
+// An invalid or nil trace surfaces as an error from Run/Plan.
+func WithTraceWorkload(t *AppTrace) JobOption {
+	return func(j *Job) {
+		if t == nil {
+			j.optErr = fmt.Errorf("cm5: WithTraceWorkload: nil trace")
+			return
+		}
+		p, err := t.Pattern()
+		if err != nil {
+			j.optErr = fmt.Errorf("cm5: WithTraceWorkload: %w", err)
+			return
+		}
+		j.pattern = p
+	}
+}

@@ -6,7 +6,7 @@
 //	cmexp [flags] <experiment>...
 //
 // Experiments: fig5 fig6 fig7 fig8 fig10 fig11 table5 table11 table12
-// schedules scenarios collectives topology faults ablation-async
+// schedules scenarios collectives topology faults apps ablation-async
 // ablation-fattree ablation-greedy ablation-crossover ablation-crystal
 // ablations all
 //
@@ -25,7 +25,12 @@
 // scheduler AS, which re-plans mid-run from observed transfer rates.
 // Each faults cell's seed-deterministic fault plan is hashed into its
 // -store address, so faulty runs cache and replay exactly like healthy
-// ones.
+// ones. "apps" records the real communication of the paper's three
+// applications (CG, 2-D FFT, unstructured-mesh Euler; internal/trace)
+// and replays each recorded trace through LS/PS/BS/GS/AS on the fat
+// tree and the hypercube at 8 and 16 processors, plus a per-trace
+// statistics table; with -store the recordings themselves persist
+// content-addressed, so warm sweeps never rerun the applications.
 //
 // Flags:
 //
@@ -108,7 +113,7 @@ func main() {
 	flag.BoolVar(&o.verbose, "v", false, "report per-cell progress on stderr")
 	flag.Parse()
 	if flag.NArg() == 0 && o.invalidate == "" {
-		fmt.Fprintln(os.Stderr, "usage: cmexp [flags] fig5|fig6|fig7|fig8|fig10|fig11|table5|table11|table12|scenarios|collectives|topology|faults|schedules|ablations|all")
+		fmt.Fprintln(os.Stderr, "usage: cmexp [flags] fig5|fig6|fig7|fig8|fig10|fig11|table5|table11|table12|scenarios|collectives|topology|faults|apps|schedules|ablations|all")
 		os.Exit(2)
 	}
 
@@ -196,7 +201,7 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string, o options
 				specs = append(specs, exp.Table5Spec(n, o.maxSize, cfg))
 			}
 		default:
-			ss, err := exp.FamilySpecs(name, cfg)
+			ss, err := exp.FamilySpecsStore(name, cfg, st)
 			if err != nil {
 				return err
 			}

@@ -18,6 +18,7 @@
 //	GET  /v1/algorithms  the typed registry's algorithms
 //	GET  /v1/topologies  the interconnect families
 //	GET  /v1/workloads   the scenario catalogue (+ "synthetic")
+//	GET  /v1/traces      the recordable applications (+ stored recordings)
 //	GET  /v1/stats       hits, misses, coalesced, in-flight, queue depth
 //	GET  /healthz        liveness
 //

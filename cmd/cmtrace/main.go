@@ -12,6 +12,9 @@
 //	cmtrace -alg gs -n 64 -pattern hotspot -nodes
 //	cmtrace -alg bex -n 32 -bytes 1024 -steps
 //	cmtrace -alg bs -n 64 -pattern bisection -topo dragonfly -links
+//	cmtrace -record cg -n 16 -out cg16.trace
+//	cmtrace -replay cg16.trace -alg bs -nodes
+//	cmtrace -replay euler -n 8 -alg gs
 //
 // -alg accepts any registered algorithm name (see cm5.Algorithms):
 // exchanges and broadcasts take -n and -bytes, the irregular schedulers
@@ -23,6 +26,14 @@
 // -steps appends the per-step completion table (schedule-backed
 // algorithms only); -nodes appends the per-node rendezvous wait table;
 // -links appends the busiest-links table from Result.LinkUtilization.
+//
+// -record APP runs one of the bundled applications (cg, fft, euler —
+// see cm5.Traces) for real on -n simulated nodes and writes its
+// recorded communication as a canonical trace file (-out FILE, default
+// stdout) instead of tracing a scheduler. -replay FILE|APP loads a
+// trace file (or records the named app on the fly) and replays its
+// collapsed traffic matrix as the workload of an irregular -alg — the
+// same diagnostic report, driven by a real application's communication.
 package main
 
 import (
@@ -57,13 +68,38 @@ func run(args []string, out io.Writer) error {
 	perStep := fs.Bool("steps", false, "print the per-step completion table")
 	perNode := fs.Bool("nodes", false, "print the per-node wait table")
 	perLink := fs.Bool("links", false, "print the busiest-links table")
+	record := fs.String("record", "", "record a bundled application's communication as a trace "+
+		"(cg|fft|euler) instead of tracing a scheduler; see -out, -size")
+	replay := fs.String("replay", "", "replay a trace file (or record the named app on the fly) "+
+		"as the workload of an irregular -alg")
+	size := fs.Int("size", 0, "problem size for -record/-replay recordings (0 = the app's default)")
+	outFile := fs.String("out", "", "write the -record trace to this file (default: stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *record != "" && *replay != "" {
+		return fmt.Errorf("-record and -replay are mutually exclusive")
+	}
+	if *record != "" {
+		return recordTrace(out, *record, *size, *n, *seed, *outFile)
 	}
 
 	a, err := cm5.LookupAlgorithm(*alg)
 	if err != nil {
 		return err
+	}
+
+	// -replay loads (or records) its trace before the topology is built:
+	// the machine size comes from the trace, not -n.
+	var replayTrace *cm5.AppTrace
+	if *replay != "" {
+		if a.Kind() != cm5.KindIrregular {
+			return fmt.Errorf("-replay needs an irregular scheduler for -alg (ls|ps|bs|gs|gsr|crystal), not %s", a.Name())
+		}
+		if replayTrace, err = loadTrace(*replay, *size, *n, *seed); err != nil {
+			return err
+		}
+		*n = replayTrace.Procs
 	}
 
 	var opts []cm5.JobOption
@@ -78,8 +114,14 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var job cm5.Job
-	switch a.Kind() {
-	case cm5.KindIrregular:
+	switch {
+	case replayTrace != nil:
+		fmt.Fprintf(out, "replaying %s trace: size %d, %d nodes, seed %d, %d recorded events, %d bytes\n",
+			replayTrace.App, replayTrace.Size, replayTrace.Procs, replayTrace.Seed,
+			len(replayTrace.Events), replayTrace.TotalBytes())
+		job = cm5.NewJob(a, 0, 0, append(opts,
+			cm5.WithTraceWorkload(replayTrace), cm5.WithTrace(), cm5.WithSeed(*seed))...)
+	case a.Kind() == cm5.KindIrregular:
 		var p cm5.Pattern
 		if *workload != "" {
 			p, err = cm5.WorkloadPattern(*workload, *n, *bytes, *seed)
@@ -116,6 +158,43 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprint(out, res.Trace.Summary(*n))
 	}
 	return nil
+}
+
+// recordTrace implements -record: run the application, write the
+// canonical trace (stdout when outFile is empty), report where it went.
+func recordTrace(out io.Writer, app string, size, nprocs int, seed int64, outFile string) error {
+	tr, err := cm5.RecordTrace(app, size, nprocs, seed, cm5.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	data, err := tr.Encode()
+	if err != nil {
+		return err
+	}
+	if outFile == "" {
+		_, err := out.Write(data)
+		return err
+	}
+	if err := os.WriteFile(outFile, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "recorded %s: size %d, %d nodes, seed %d -> %s (%d events, %d bytes, span %.3f ms)\n",
+		tr.App, tr.Size, tr.Procs, tr.Seed, outFile, len(tr.Events), tr.TotalBytes(), tr.Span().Millis())
+	return nil
+}
+
+// loadTrace resolves a -replay argument: an existing file parses as a
+// canonical trace; anything else records the named bundled app on the
+// fly (so an app-name miss lists the known names).
+func loadTrace(arg string, size, nprocs int, seed int64) (*cm5.AppTrace, error) {
+	if data, err := os.ReadFile(arg); err == nil {
+		tr, derr := cm5.DecodeTrace(data)
+		if derr != nil {
+			return nil, fmt.Errorf("%s: %w", arg, derr)
+		}
+		return tr, nil
+	}
+	return cm5.RecordTrace(arg, size, nprocs, seed, cm5.DefaultConfig())
 }
 
 // printLevelUtilization renders Result.LevelUtilization as the

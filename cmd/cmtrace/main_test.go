@@ -27,6 +27,10 @@ func TestGolden(t *testing.T) {
 			"-bytes", "256", "-topo", "dragonfly", "-links"}},
 		{"pex_n16_torus2d_links.golden", []string{"-alg", "pex", "-n", "16", "-bytes", "256",
 			"-topo", "torus2d", "-links"}},
+		{"record_fft_n4_s8.golden", []string{"-record", "fft", "-n", "4", "-size", "8"}},
+		{"replay_cg_n8_s64_bs.golden", []string{"-replay", "cg", "-n", "8", "-size", "64",
+			"-alg", "bs", "-nodes"}},
+		{"replay_euler_n8_gs.golden", []string{"-replay", "euler", "-n", "8", "-alg", "gs"}},
 	}
 	for _, c := range cases {
 		t.Run(c.golden, func(t *testing.T) {
@@ -76,6 +80,60 @@ func TestUnknownTopologyListsNames(t *testing.T) {
 		if !bytes.Contains([]byte(err.Error()), []byte(name)) {
 			t.Errorf("error should list topology name %s: %v", name, err)
 		}
+	}
+}
+
+// A trace recorded to a file replays identically to recording the same
+// app on the fly: the file round-trip (Encode, Decode) is lossless.
+func TestReplayFileMatchesReplayApp(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "cg.trace")
+	var recOut bytes.Buffer
+	if err := run([]string{"-record", "cg", "-n", "8", "-size", "64", "-out", file}, &recOut); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(recOut.Bytes(), []byte("recorded cg: size 64, 8 nodes, seed 1 -> ")) {
+		t.Errorf("unexpected -record summary: %s", recOut.Bytes())
+	}
+	var fromFile, fromApp bytes.Buffer
+	if err := run([]string{"-replay", file, "-alg", "bs"}, &fromFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-replay", "cg", "-n", "8", "-size", "64", "-alg", "bs"}, &fromApp); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromFile.Bytes(), fromApp.Bytes()) {
+		t.Errorf("file replay differs from on-the-fly replay:\nfile:\n%s\napp:\n%s",
+			fromFile.Bytes(), fromApp.Bytes())
+	}
+}
+
+func TestUnknownTraceAppListsNames(t *testing.T) {
+	for _, args := range [][]string{
+		{"-record", "bogus"},
+		{"-replay", "bogus", "-alg", "bs"},
+	} {
+		var out bytes.Buffer
+		err := run(args, &out)
+		if err == nil {
+			t.Fatalf("%v: unknown app should error", args)
+		}
+		for _, name := range []string{"cg", "fft", "euler"} {
+			if !bytes.Contains([]byte(err.Error()), []byte(name)) {
+				t.Errorf("%v: error should list app name %s: %v", args, name, err)
+			}
+		}
+	}
+}
+
+func TestReplayNeedsIrregularScheduler(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-replay", "cg", "-alg", "pex"}, &out)
+	if err == nil {
+		t.Fatal("replay with a regular algorithm should error")
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("irregular scheduler")) {
+		t.Errorf("error should explain the irregular-scheduler requirement: %v", err)
 	}
 }
 

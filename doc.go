@@ -6,7 +6,10 @@
 // registry and the Run(Job) -> Result entry point over a deterministic
 // discrete-event simulation of a CM-5 partition. The benchmark harness
 // in bench_test.go regenerates every table and figure of the paper's
-// evaluation.
+// evaluation, and the trace subsystem (internal/trace) records the
+// real communication of the bundled CG/FFT/Euler applications and
+// replays the recordings as schedulable workloads (the "apps"
+// experiment family).
 //
 // Commands:
 //
@@ -14,7 +17,9 @@
 //	               incremental via the content-addressed result store
 //	               (-store), output as text, JSON or CSV (-format)
 //	cmd/cmtrace    run one algorithm with tracing: rendezvous waits,
-//	               per-level/link utilization, per-step completions
+//	               per-level/link utilization, per-step completions;
+//	               -record/-replay capture a bundled application's real
+//	               communication and schedule the recording
 //	cmd/cmserve    experiment-as-a-service HTTP daemon over the result
 //	               store (single-flight coalescing, streaming sweeps;
 //	               see docs/API.md)

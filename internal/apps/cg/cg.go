@@ -115,6 +115,10 @@ type Options struct {
 	Alg     string // irregular scheduler: LS, PS, BS, GS
 	Tol     float64
 	MaxIter int
+	// TraceSink, when non-nil, receives every data-network message
+	// event of the run (cmmd.Machine.SetTraceSink) — the recording
+	// entry point of internal/trace. It never changes simulated timing.
+	TraceSink func(cmmd.MsgEvent)
 }
 
 // Result reports a distributed solve.
@@ -157,6 +161,9 @@ func Solve(nprocs int, m *mesh.Mesh, b []float64, opts Options, cfg network.Conf
 	mach, err := cmmd.NewMachine(nprocs, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if opts.TraceSink != nil {
+		mach.SetTraceSink(opts.TraceSink)
 	}
 
 	n := m.NumVertices()

@@ -16,6 +16,10 @@ type Options struct {
 	Alg   string  // irregular scheduler: LS, PS, BS, GS
 	Steps int     // explicit time steps
 	CFL   float64 // CFL number (default 0.5)
+	// TraceSink, when non-nil, receives every data-network message
+	// event of the run (cmmd.Machine.SetTraceSink) — the recording
+	// entry point of internal/trace. It never changes simulated timing.
+	TraceSink func(cmmd.MsgEvent)
 }
 
 // Result reports a distributed run.
@@ -61,6 +65,9 @@ func Run(nprocs int, m *mesh.Mesh, initFn func(mesh.Point) State, opts Options, 
 	mach, err := cmmd.NewMachine(nprocs, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if opts.TraceSink != nil {
+		mach.SetTraceSink(opts.TraceSink)
 	}
 
 	nv := m.NumVertices()

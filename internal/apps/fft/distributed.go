@@ -28,6 +28,14 @@ type Result struct {
 // for the transpose. The input array is rows x cols, both powers of two
 // and divisible by nprocs.
 func Run2D(nprocs int, input [][]complex128, alg string, cfg network.Config) (*Result, error) {
+	return Run2DWithSink(nprocs, input, alg, cfg, nil)
+}
+
+// Run2DWithSink is Run2D with a message-trace sink attached to the
+// machine (cmmd.Machine.SetTraceSink) — the recording entry point of
+// internal/trace. The sink never changes simulated timing; nil behaves
+// exactly like Run2D.
+func Run2DWithSink(nprocs int, input [][]complex128, alg string, cfg network.Config, sink func(cmmd.MsgEvent)) (*Result, error) {
 	rows := len(input)
 	if rows == 0 {
 		return nil, fmt.Errorf("fft: empty input")
@@ -48,6 +56,9 @@ func Run2D(nprocs int, input [][]complex128, alg string, cfg network.Config) (*R
 	m, err := cmmd.NewMachine(nprocs, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if sink != nil {
+		m.SetTraceSink(sink)
 	}
 	rpb := rows / nprocs // rows per block
 	cpb := cols / nprocs // cols per block

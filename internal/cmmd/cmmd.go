@@ -179,12 +179,10 @@ func (n *Node) send(dst, tag int, data []byte, size int) {
 		m.eng.After(m.cfg.WireLatency, func() {
 			m.net.Start(req.src, req.dst, req.size, func() {
 				req.arrived = true
-				if m.trace != nil {
-					m.trace.Events = append(m.trace.Events, MsgEvent{
-						Src: req.src, Dst: req.dst, Tag: req.tag, Bytes: req.size,
-						Posted: req.posted, Started: started, Ended: m.eng.Now(),
-					})
-				}
+				m.recordEvent(MsgEvent{
+					Src: req.src, Dst: req.dst, Tag: req.tag, Bytes: req.size,
+					Posted: req.posted, Started: started, Ended: m.eng.Now(),
+				})
 				if req.waiter != nil {
 					m.deliver(req, req.waiter)
 					m.eng.Ready(req.waiter.proc)
@@ -276,6 +274,7 @@ type Machine struct {
 	ran   bool
 	async bool
 	trace *Trace
+	sink  func(MsgEvent)
 
 	faultEvents int // fault plan events scheduled (see ApplyFaults)
 	stragglers  int // straggler events applied so far
@@ -485,12 +484,10 @@ func (m *Machine) beginTransfer(s *sendReq, r *recvReq) {
 	started := m.eng.Now()
 	m.eng.After(m.cfg.WireLatency, func() {
 		m.net.Start(s.src, dst, s.size, func() {
-			if m.trace != nil {
-				m.trace.Events = append(m.trace.Events, MsgEvent{
-					Src: s.src, Dst: dst, Tag: s.tag, Bytes: s.size,
-					Posted: s.posted, Started: started, Ended: m.eng.Now(),
-				})
-			}
+			m.recordEvent(MsgEvent{
+				Src: s.src, Dst: dst, Tag: s.tag, Bytes: s.size,
+				Posted: s.posted, Started: started, Ended: m.eng.Now(),
+			})
 			m.eng.Ready(s.proc)
 			m.eng.Ready(r.proc)
 		})

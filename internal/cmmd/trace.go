@@ -89,3 +89,21 @@ func (m *Machine) EnableTrace() {
 
 // Trace returns the recorded events (nil unless EnableTrace was called).
 func (m *Machine) Trace() *Trace { return m.trace }
+
+// SetTraceSink registers fn to receive every message event as it
+// completes, independently of EnableTrace — the tee behind the trace
+// recorder of internal/trace. Must be called before Run. The callback
+// runs inside the simulation (single engine goroutine) and must not
+// block; a nil fn detaches the sink.
+func (m *Machine) SetTraceSink(fn func(MsgEvent)) { m.sink = fn }
+
+// recordEvent files one completed message with the trace buffer and
+// the sink, whichever are attached.
+func (m *Machine) recordEvent(ev MsgEvent) {
+	if m.trace != nil {
+		m.trace.Events = append(m.trace.Events, ev)
+	}
+	if m.sink != nil {
+		m.sink(ev)
+	}
+}

@@ -1,0 +1,193 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+func TestAppsDeterministicAcrossPoolWidths(t *testing.T) {
+	cfg := network.DefaultConfig()
+	filter := ""
+	if testing.Short() {
+		filter = "/P8$"
+	}
+	// Each build gets its own memo-only library: determinism must not
+	// depend on two runs sharing recordings.
+	build := func() []*TableSpec {
+		specs, err := AppsSpecs(cfg, trace.NewLibrary(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return specs
+	}
+	serial := renderWith(t, 1, filter, build)
+	wide := renderWith(t, 8, filter, build)
+	if serial != wide {
+		t.Fatal("apps tables differ between 1 and 8 workers")
+	}
+	if serial == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestAppsCoverage(t *testing.T) {
+	specs, err := AppsSpecs(network.DefaultConfig(), trace.NewLibrary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != len(AppsProcs)+1 {
+		t.Fatalf("%d table specs, want one per processor count plus stats", len(specs))
+	}
+	apps := len(trace.Apps())
+	for i, n := range AppsProcs {
+		spec := specs[i]
+		if spec.Name != "apps" {
+			t.Fatalf("spec %d name %q", i, spec.Name)
+		}
+		want := apps * len(AppsTopologies) * len(AppsSchedulers)
+		if len(spec.Cells) != want {
+			t.Fatalf("P=%d: %d cells, want %d", n, len(spec.Cells), want)
+		}
+	}
+	stats := specs[len(specs)-1]
+	if stats.Name != "apps-stats" {
+		t.Fatalf("last spec name %q, want apps-stats", stats.Name)
+	}
+	if len(stats.Cells) != apps*len(AppsProcs) {
+		t.Fatalf("stats: %d cells, want %d", len(stats.Cells), apps*len(AppsProcs))
+	}
+	found := false
+	for _, name := range FamilyNames() {
+		if name == "apps" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("apps missing from FamilyNames %v", FamilyNames())
+	}
+	// Every cell carries its trace's input hash and the format version,
+	// so cells replaying different recordings can never collide in the
+	// store — and a format bump invalidates them all.
+	for _, spec := range specs {
+		for _, c := range spec.Cells {
+			if c.Spec["trace"] == nil || c.Spec["trace"] == "" {
+				t.Fatalf("cell %s has no trace hash in its spec", c.Key)
+			}
+			if c.Spec["trace_version"] != trace.TraceVersion {
+				t.Fatalf("cell %s does not pin the trace version", c.Key)
+			}
+		}
+	}
+}
+
+func TestAppsKeyFields(t *testing.T) {
+	got := KeyFields("apps/cg/hypercube/BS/P16")
+	for k, v := range map[string]any{
+		"family": "apps", "app": "cg", "topology": "hypercube",
+		"scheduler": "BS", "n": 16,
+	} {
+		if fmt.Sprint(got[k]) != fmt.Sprint(v) {
+			t.Errorf("KeyFields[%s] = %v, want %v (all: %v)", k, got[k], v, got)
+		}
+	}
+}
+
+// TestAppsStoreReplay: the apps family honors the cache contract — a
+// warm store replays every cell without touching the applications,
+// byte-identically — and the recordings themselves persist as
+// family-"trace" store records, so the warm sweep's library loads them
+// instead of re-running CG/FFT/Euler.
+func TestAppsStoreReplay(t *testing.T) {
+	cfg := network.DefaultConfig()
+	filter := regexp.MustCompile("/P8$")
+	dir := t.TempDir()
+
+	cold := storeRunner(t, dir, 4)
+	cold.Filter = filter
+	coldLib := trace.NewLibrary(cold.Store)
+	coldSpecs, err := AppsSpecs(cfg, coldLib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Run(context.Background(), coldSpecs...); err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHits() != 0 {
+		t.Fatalf("cold run hit the cache %d times", cold.CacheHits())
+	}
+
+	apps := len(trace.Apps())
+	recs, err := cold.Store.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := 0
+	for _, rec := range recs {
+		if rec.Family == "trace" {
+			traces++
+		}
+	}
+	if traces != apps { // one recording per app at P=8
+		t.Fatalf("store holds %d trace records after the cold run, want %d", traces, apps)
+	}
+
+	warm := storeRunner(t, dir, 4)
+	warm.Filter = filter
+	warmLib := trace.NewLibrary(warm.Store)
+	warmSpecs, err := AppsSpecs(cfg, warmLib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Run(context.Background(), warmSpecs...); err != nil {
+		t.Fatal(err)
+	}
+	wantCells := apps*len(AppsTopologies)*len(AppsSchedulers) + apps // P8 table + P8 stats rows
+	if warm.CacheHits() != wantCells {
+		t.Fatalf("warm run hit %d cells, want all %d", warm.CacheHits(), wantCells)
+	}
+	for i := range coldSpecs {
+		if coldSpecs[i].Table.Render() != warmSpecs[i].Table.Render() {
+			t.Fatalf("warm replay of table %d is not byte-identical to the cold run", i)
+		}
+	}
+}
+
+// TestAppsTracesAddressTheStore: two cells identical in every
+// key-derived axis but replaying different recordings (a different
+// trace hash, or the same trace under a bumped format version) must
+// hash to different store addresses.
+func TestAppsTracesAddressTheStore(t *testing.T) {
+	base := StoreBase(network.DefaultConfig())
+	hash := func(extra store.Spec) string {
+		s := store.Spec{}
+		for k, v := range base {
+			s[k] = v
+		}
+		for k, v := range KeyFields("apps/cg/hypercube/BS/P16") {
+			s[k] = v
+		}
+		for k, v := range extra {
+			s[k] = v
+		}
+		h, err := store.HashSpec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	a := hash(store.Spec{"trace": "aaaa", "trace_version": trace.TraceVersion})
+	b := hash(store.Spec{"trace": "bbbb", "trace_version": trace.TraceVersion})
+	v := hash(store.Spec{"trace": "aaaa", "trace_version": trace.TraceVersion + 1})
+	if a == b {
+		t.Fatal("different trace hashes address the same store record")
+	}
+	if a == v {
+		t.Fatal("a trace-version bump does not change the store address")
+	}
+}

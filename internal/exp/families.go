@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"repro/internal/network"
+	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // The experiment families — which names exist, how the grouping
@@ -28,6 +30,7 @@ func FamilyNames() []string {
 	return []string{
 		"fig5", "fig6", "fig7", "fig8", "table5", "fig10", "fig11",
 		"table11", "table12", "scenarios", "collectives", "topology", "faults",
+		"apps",
 		"ablation-async", "ablation-fattree", "ablation-greedy",
 		"ablation-crossover", "ablation-crystal",
 	}
@@ -87,6 +90,15 @@ func ExpandFamilies(args []string) ([]string, error) {
 // static "schedules" listing builds no spec and is rejected here; so
 // is any unknown name, with the same error text ExpandFamilies uses.
 func FamilySpecs(name string, cfg network.Config) ([]*TableSpec, error) {
+	return FamilySpecsStore(name, cfg, nil)
+}
+
+// FamilySpecsStore is FamilySpecs with a result store threaded through
+// to the families that persist more than cell records — the apps
+// family's trace library records into it, so recorded application
+// traces survive across processes. A nil store degrades gracefully
+// (traces are memoized for the sweep and re-recorded next process).
+func FamilySpecsStore(name string, cfg network.Config, st *store.Store) ([]*TableSpec, error) {
 	switch name {
 	case "fig5":
 		return []*TableSpec{Fig5Spec(cfg)}, nil
@@ -126,6 +138,8 @@ func FamilySpecs(name string, cfg network.Config) ([]*TableSpec, error) {
 			return nil, err
 		}
 		return []*TableSpec{spec}, nil
+	case "apps":
+		return AppsSpecs(cfg, trace.NewLibrary(st))
 	case "ablation-async":
 		return []*TableSpec{AblationAsyncSpec(cfg)}, nil
 	case "ablation-fattree":

@@ -8,6 +8,7 @@ import (
 
 	"repro/cm5"
 	"repro/internal/pattern"
+	"repro/internal/trace"
 )
 
 // Cell keys are structured paths — "topology/stencil2d/torus2d/GS/N256",
@@ -23,9 +24,10 @@ var (
 	workloadNames map[string]bool
 	topoNames     map[string]bool
 	faultNames    map[string]bool
+	appNames      map[string]bool
 )
 
-func axisSets() (algs, workloads, topos, faults map[string]bool) {
+func axisSets() (algs, workloads, topos, faults, traceApps map[string]bool) {
 	axisOnce.Do(func() {
 		algNames = map[string]bool{}
 		for _, a := range cm5.Algorithms() {
@@ -43,8 +45,12 @@ func axisSets() (algs, workloads, topos, faults map[string]bool) {
 		for _, n := range cm5.FaultProfiles() {
 			faultNames[n] = true
 		}
+		appNames = map[string]bool{}
+		for _, n := range trace.Apps() {
+			appNames[n] = true
+		}
 	})
-	return algNames, workloadNames, topoNames, faultNames
+	return algNames, workloadNames, topoNames, faultNames, appNames
 }
 
 var (
@@ -55,11 +61,12 @@ var (
 
 // KeyFields derives the named axes of a cell key: "family" (the first
 // segment), and — where the key encodes them — "n" (machine size),
-// "bytes", "density_pct", "workload", "scheduler", "topology", and
-// "fault_profile". The fields are redundant with the key itself, so
-// callers may fold them into a content hash freely.
+// "bytes", "density_pct", "workload", "scheduler", "topology",
+// "fault_profile", and "app" (a recorded-trace application). The
+// fields are redundant with the key itself, so callers may fold them
+// into a content hash freely.
 func KeyFields(key string) map[string]any {
-	algs, workloads, topos, faults := axisSets()
+	algs, workloads, topos, faults, traceApps := axisSets()
 	fields := map[string]any{}
 	for i, seg := range strings.Split(key, "/") {
 		if i == 0 {
@@ -80,6 +87,8 @@ func KeyFields(key string) map[string]any {
 			fields["topology"] = seg
 		case faults[seg]:
 			fields["fault_profile"] = seg
+		case traceApps[seg]:
+			fields["app"] = seg
 		case workloads[seg]:
 			fields["workload"] = seg
 		case algs[seg]:

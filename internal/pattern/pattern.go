@@ -152,6 +152,38 @@ func (m Matrix) String() string {
 	return b.String()
 }
 
+// TraceMsg is one recorded message as FromTrace consumes it: who sent
+// how many bytes to whom. internal/trace adapts its richer timed events
+// down to this (pattern must not depend on the trace package).
+type TraceMsg struct {
+	Src, Dst, Bytes int
+}
+
+// FromTrace collapses a recorded communication trace into a schedulable
+// traffic matrix over n processors: entry [i][j] sums the bytes of every
+// traced message from i to j. Timing is deliberately discarded — the
+// point of replay is to hand the *shape* of an application's real
+// traffic to the paper's schedulers and let them find their own order.
+// Messages must stay on the off-diagonal with src/dst in [0, n) and
+// non-negative sizes.
+func FromTrace(n int, msgs []TraceMsg) (Matrix, error) {
+	m := New(n)
+	for i, msg := range msgs {
+		if msg.Src < 0 || msg.Src >= n || msg.Dst < 0 || msg.Dst >= n {
+			return nil, fmt.Errorf("pattern: trace message %d endpoints %d->%d outside %d processors",
+				i, msg.Src, msg.Dst, n)
+		}
+		if msg.Src == msg.Dst {
+			return nil, fmt.Errorf("pattern: trace message %d is a self-send on processor %d", i, msg.Src)
+		}
+		if msg.Bytes < 0 {
+			return nil, fmt.Errorf("pattern: trace message %d has negative size %d", i, msg.Bytes)
+		}
+		m[msg.Src][msg.Dst] += msg.Bytes
+	}
+	return m, nil
+}
+
 // CompleteExchange returns the pattern in which every processor sends
 // bytesPerPair to every other processor (all-to-all personalized).
 func CompleteExchange(n, bytesPerPair int) Matrix {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/pattern"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // errBusy is the admission queue's overflow signal, mapped to 429.
@@ -40,6 +41,11 @@ type Server struct {
 	workers int
 	queue   int
 	timeout time.Duration
+
+	// traces resolves trace-driven jobs' recordings: memoized per
+	// process and, when a store is attached, persisted content-addressed
+	// — so each (app, size, nprocs, seed) records at most once ever.
+	traces *trace.Library
 
 	flight  *flightGroup
 	sem     chan struct{} // admission: one slot per simulating worker
@@ -78,6 +84,7 @@ func New(cfg network.Config, st *store.Store, opts ...Option) *Server {
 	s := &Server{
 		cfg:      cfg,
 		store:    st,
+		traces:   trace.NewLibrary(st),
 		workers:  runtime.GOMAXPROCS(0),
 		queue:    64,
 		timeout:  2 * time.Minute,
@@ -107,6 +114,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/faultprofiles", s.handleFaultProfiles)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("POST /v1/jobs", s.handleJob)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	return s.withDeadline(mux)
@@ -205,7 +213,7 @@ func (s *Server) runJob(ctx context.Context, js JobSpec, hash string) ([]byte, s
 			return nil, err
 		}
 		defer release()
-		job, err := js.job(s.cfg)
+		job, err := js.job(s.cfg, s.traces)
 		if err != nil {
 			return nil, err
 		}
@@ -352,7 +360,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			// for it by name still gets FamilySpecs' explanation below.
 			continue
 		}
-		ss, err := exp.FamilySpecs(name, s.cfg)
+		ss, err := exp.FamilySpecsStore(name, s.cfg, s.store)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -514,6 +522,38 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 		Desc: "random pattern of the given density (the paper's Table 11 shape)",
 	})
 	writeJSON(w, map[string]any{"workloads": list})
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name        string `json:"name"`
+		Doc         string `json:"doc"`
+		DefaultSize int    `json:"default_size"`
+	}
+	var list []entry
+	for _, name := range cm5.Traces() {
+		a, _ := trace.Lookup(name)
+		list = append(list, entry{Name: name, Doc: a.Doc, DefaultSize: a.DefaultSize})
+	}
+	doc := map[string]any{"trace_version": trace.TraceVersion, "apps": list}
+	if s.store != nil {
+		// The recordings this store already holds, addressable without
+		// re-running anything.
+		type stored struct {
+			Cell string `json:"cell"`
+			Hash string `json:"hash"`
+		}
+		recorded := []stored{}
+		if recs, err := s.store.All(); err == nil {
+			for _, rec := range recs {
+				if rec.Family == "trace" {
+					recorded = append(recorded, stored{Cell: rec.Cell, Hash: rec.Hash})
+				}
+			}
+		}
+		doc["recorded"] = recorded
+	}
+	writeJSON(w, doc)
 }
 
 func (s *Server) handleFaultProfiles(w http.ResponseWriter, r *http.Request) {

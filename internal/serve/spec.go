@@ -20,6 +20,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/store"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // ResultSchema versions the job-result document; it participates in
@@ -50,6 +51,15 @@ type JobSpec struct {
 	// Density is the synthetic workload's fill fraction in (0, 1];
 	// only valid with workload "synthetic".
 	Density float64 `json:"density,omitempty"`
+	// Trace names a recordable application (GET /v1/traces) whose
+	// recorded communication becomes the job's pattern — the
+	// alternative to Workload for irregular schedulers. The trace is
+	// recorded (or fetched from the store) deterministically from
+	// (trace, trace_size, n, seed, config).
+	Trace string `json:"trace,omitempty"`
+	// TraceSize is the traced application's problem size; 0 means the
+	// app's default. Only valid with Trace.
+	TraceSize int `json:"trace_size,omitempty"`
 	// Topology names the interconnect (GET /v1/topologies); empty means
 	// the calibrated CM-5 fat tree.
 	Topology string `json:"topology,omitempty"`
@@ -83,11 +93,33 @@ func (js JobSpec) Validate() error {
 	if js.Bytes < 0 {
 		return fmt.Errorf("bytes %d must be >= 0", js.Bytes)
 	}
-	if a.Kind() == cm5.KindIrregular {
+	switch {
+	case js.Trace != "":
+		if a.Kind() != cm5.KindIrregular {
+			return fmt.Errorf("algorithm %s (%s) cannot replay a trace: traces schedule through the irregular schedulers",
+				a.Name(), a.Kind())
+		}
+		if cm5.TraceDoc(js.Trace) == "" {
+			return fmt.Errorf("unknown trace app %q (known: %s)",
+				js.Trace, strings.Join(cm5.Traces(), " "))
+		}
+		if js.Workload != "" || js.Density != 0 {
+			return fmt.Errorf("trace and workload are mutually exclusive")
+		}
+		if js.TraceSize < 0 {
+			return fmt.Errorf("trace_size %d must be >= 0", js.TraceSize)
+		}
+		if js.Bytes != 0 {
+			return fmt.Errorf("bytes is not valid with a trace: message sizes come from the recording")
+		}
+	case js.TraceSize != 0:
+		return fmt.Errorf("trace_size is only valid with a trace")
+	case a.Kind() == cm5.KindIrregular:
 		switch {
 		case js.Workload == "":
-			return fmt.Errorf("algorithm %s schedules a pattern: set workload (known: %s %s)",
-				a.Name(), strings.Join(pattern.WorkloadNames(), " "), SyntheticWorkload)
+			return fmt.Errorf("algorithm %s schedules a pattern: set workload (known: %s %s) or trace (known: %s)",
+				a.Name(), strings.Join(pattern.WorkloadNames(), " "), SyntheticWorkload,
+				strings.Join(cm5.Traces(), " "))
 		case js.Workload == SyntheticWorkload:
 			if js.Density <= 0 || js.Density > 1 {
 				return fmt.Errorf("synthetic workload density %g must be in (0, 1]", js.Density)
@@ -101,7 +133,7 @@ func (js JobSpec) Validate() error {
 				return fmt.Errorf("density is only valid with workload %q", SyntheticWorkload)
 			}
 		}
-	} else if js.Workload != "" || js.Density != 0 {
+	case js.Workload != "" || js.Density != 0:
 		return fmt.Errorf("algorithm %s (%s) takes n and bytes, not a workload",
 			a.Name(), a.Kind())
 	}
@@ -116,8 +148,11 @@ func (js JobSpec) Validate() error {
 	return nil
 }
 
-// job lowers a validated spec onto a runnable cm5.Job.
-func (js JobSpec) job(cfg network.Config) (cm5.Job, error) {
+// job lowers a validated spec onto a runnable cm5.Job. Trace-driven
+// jobs resolve their recording through lib — the server's store-backed
+// library, or a memo-only one — so a recorded trace is fetched, not
+// re-run, whenever it is already known.
+func (js JobSpec) job(cfg network.Config, lib *trace.Library) (cm5.Job, error) {
 	a, err := cm5.LookupAlgorithm(js.Algorithm)
 	if err != nil {
 		return cm5.Job{}, err
@@ -151,6 +186,13 @@ func (js JobSpec) job(cfg network.Config) (cm5.Job, error) {
 	if a.Kind() != cm5.KindIrregular {
 		return cm5.NewJob(a, js.N, js.Bytes, opts...), nil
 	}
+	if js.Trace != "" {
+		tr, _, err := lib.Get(js.Trace, js.TraceSize, js.N, js.Seed, cfg)
+		if err != nil {
+			return cm5.Job{}, err
+		}
+		return cm5.NewJob(a, 0, 0, append(opts, cm5.WithTraceWorkload(tr))...), nil
+	}
 	var p cm5.Pattern
 	if js.Workload == SyntheticWorkload {
 		p = cm5.SyntheticPattern(js.N, js.Density, js.Bytes, js.Seed)
@@ -181,6 +223,9 @@ func (js JobSpec) storeSpec(cfg network.Config) store.Spec {
 	s["topology"] = js.Topology
 	s["fault_profile"] = js.FaultProfile
 	s["fault_plan_version"] = network.FaultPlanVersion
+	s["trace"] = js.Trace
+	s["trace_size"] = js.TraceSize
+	s["trace_version"] = trace.TraceVersion
 	// Seeds are 64-bit: decimal string, like exp.Runner's cell specs.
 	s["seed"] = fmt.Sprintf("%d", js.Seed)
 	s["root"] = js.Root
@@ -275,7 +320,7 @@ func RunOne(js JobSpec, cfg network.Config) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	job, err := js.job(cfg)
+	job, err := js.job(cfg, trace.NewLibrary(nil))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,211 @@
+// Package trace records the real communication of the paper's
+// applications (CG, 2-D FFT, unstructured-mesh Euler) and replays it as
+// a schedulable workload. A Trace is a versioned, seed-deterministic
+// artifact: the full lifecycle of every data-network message a run sent
+// (src, dst, bytes, posted/started/ended nanoseconds), in canonical
+// order, encoded as canonical JSON. The same (app, size, nprocs, seed,
+// config) tuple always records byte-identical trace files, so traces
+// are stored content-addressed in internal/store exactly like
+// experiment cells — and because the address is a hash of those inputs
+// (not of the recorded bytes), a trace's hash is computable without
+// recording it, which is what lets warm sweeps skip recording entirely.
+//
+// The lifecycle is record -> collapse -> replay: a Recorder tees off
+// the cmmd MsgEvent stream while the application really runs; Pattern
+// collapses the recorded messages into a traffic matrix
+// (pattern.FromTrace); any registered scheduler then replays that
+// matrix on any topology. TraceVersion salts every trace hash — bump it
+// whenever the recording semantics change (baseline algorithms,
+// iteration counts, event ordering), so stale traces invalidate at
+// once.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/network"
+	"repro/internal/pattern"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// TraceVersion is the trace format and recording-semantics version; it
+// participates in every trace hash and in every apps-family cell hash.
+const TraceVersion = 1
+
+// Event is one recorded message lifecycle, nanosecond-exact: when the
+// sender finished its software overhead and entered the rendezvous
+// (Posted), when the wire transfer began (Started), and when the last
+// byte arrived (Ended). Field order is fixed — Encode relies on struct
+// order for canonical JSON.
+type Event struct {
+	Src     int      `json:"src"`
+	Dst     int      `json:"dst"`
+	Tag     int      `json:"tag"`
+	Bytes   int      `json:"bytes"`
+	Posted  sim.Time `json:"posted_ns"`
+	Started sim.Time `json:"started_ns"`
+	Ended   sim.Time `json:"ended_ns"`
+}
+
+// Trace is one recorded application run: its identifying inputs and
+// every data-network message, in canonical order (AllReduce rides the
+// control network, so it never appears here). Traces are plain data;
+// build them with Record or decode stored ones with Decode.
+type Trace struct {
+	Version int     `json:"version"`
+	App     string  `json:"app"`
+	Size    int     `json:"size"`
+	Procs   int     `json:"nprocs"`
+	Seed    int64   `json:"seed"`
+	Events  []Event `json:"events"`
+}
+
+// Validate checks structural invariants: current version, a named app,
+// a sensible machine size, and every event on the off-diagonal with
+// in-range endpoints and ordered non-negative times.
+func (t *Trace) Validate() error {
+	if t.Version != TraceVersion {
+		return fmt.Errorf("trace: version %d, want %d", t.Version, TraceVersion)
+	}
+	if t.App == "" {
+		return fmt.Errorf("trace: missing app name")
+	}
+	if t.Procs < 2 {
+		return fmt.Errorf("trace: %d processors, need >= 2", t.Procs)
+	}
+	if t.Size <= 0 {
+		return fmt.Errorf("trace: non-positive problem size %d", t.Size)
+	}
+	for i, e := range t.Events {
+		if e.Src < 0 || e.Src >= t.Procs || e.Dst < 0 || e.Dst >= t.Procs {
+			return fmt.Errorf("trace: event %d endpoints %d->%d outside %d processors",
+				i, e.Src, e.Dst, t.Procs)
+		}
+		if e.Src == e.Dst {
+			return fmt.Errorf("trace: event %d is a self-send on processor %d", i, e.Src)
+		}
+		if e.Bytes < 0 {
+			return fmt.Errorf("trace: event %d has negative size %d", i, e.Bytes)
+		}
+		if e.Posted < 0 || e.Started < e.Posted || e.Ended < e.Started {
+			return fmt.Errorf("trace: event %d times not ordered: posted %d, started %d, ended %d",
+				i, e.Posted, e.Started, e.Ended)
+		}
+	}
+	return nil
+}
+
+// sortEvents puts events into the canonical order every encoded trace
+// uses: by posted time, then endpoints, tag, and the remaining times.
+// Recording order is engine-arrival order, which is deterministic but
+// an artifact of simulator internals; sorting makes equality of two
+// recordings mean equality of the communication itself.
+func sortEvents(events []Event) {
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		switch {
+		case a.Posted != b.Posted:
+			return a.Posted < b.Posted
+		case a.Src != b.Src:
+			return a.Src < b.Src
+		case a.Dst != b.Dst:
+			return a.Dst < b.Dst
+		case a.Tag != b.Tag:
+			return a.Tag < b.Tag
+		case a.Started != b.Started:
+			return a.Started < b.Started
+		default:
+			return a.Ended < b.Ended
+		}
+	})
+}
+
+// Encode renders the canonical trace file bytes: compact JSON with
+// fixed field order plus a trailing newline. Two recordings of the same
+// inputs encode byte-identically.
+func (t *Trace) Encode() ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(t)
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode parses and validates trace file bytes.
+func Decode(data []byte) (*Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Pattern collapses the trace into the schedulable traffic matrix the
+// paper's irregular schedulers consume: entry [i][j] sums the bytes of
+// every recorded message from i to j.
+func (t *Trace) Pattern() (pattern.Matrix, error) {
+	msgs := make([]pattern.TraceMsg, len(t.Events))
+	for i, e := range t.Events {
+		msgs[i] = pattern.TraceMsg{Src: e.Src, Dst: e.Dst, Bytes: e.Bytes}
+	}
+	return pattern.FromTrace(t.Procs, msgs)
+}
+
+// Span returns the recorded application's own communication makespan:
+// the latest event end time (zero for an empty trace).
+func (t *Trace) Span() sim.Time {
+	var span sim.Time
+	for _, e := range t.Events {
+		if e.Ended > span {
+			span = e.Ended
+		}
+	}
+	return span
+}
+
+// TotalBytes sums the recorded message sizes.
+func (t *Trace) TotalBytes() int64 {
+	var total int64
+	for _, e := range t.Events {
+		total += int64(e.Bytes)
+	}
+	return total
+}
+
+// SpecFor is the full content-address specification of a trace: the
+// identifying inputs, the format version, and the machine configuration
+// the recording ran under. The address hashes the *inputs*, not the
+// recorded bytes, so it is computable without recording — warm sweeps
+// resolve trace hashes for free.
+func SpecFor(app string, size, nprocs int, seed int64, cfg network.Config) store.Spec {
+	return store.Spec{
+		"kind":          "trace",
+		"trace_version": TraceVersion,
+		"app":           app,
+		"size":          size,
+		"nprocs":        nprocs,
+		// Seeds are 64-bit: decimal string, like exp.Runner's cell specs.
+		"seed":   strconv.FormatInt(seed, 10),
+		"config": cfg,
+	}
+}
+
+// HashFor returns the content address of the trace SpecFor describes.
+func HashFor(app string, size, nprocs int, seed int64, cfg network.Config) (string, error) {
+	return store.HashSpec(SpecFor(app, size, nprocs, seed, cfg))
+}
+
+// CellKey names a trace's store record, e.g. "trace/cg/S512/P8/seed1".
+func CellKey(app string, size, nprocs int, seed int64) string {
+	return fmt.Sprintf("trace/%s/S%d/P%d/seed%d", app, size, nprocs, seed)
+}

@@ -1,0 +1,51 @@
+#!/bin/sh
+# apps_smoke.sh — end-to-end smoke test of the trace-driven apps
+# experiment family (CI's apps-smoke step; `make apps-smoke` locally).
+#
+# Runs a small `cmexp apps` sweep against a fresh result store twice
+# and asserts the trace subsystem's caching contract from the outside:
+#
+#   1. the cold run records the applications and simulates every
+#      selected cell (0 replayed), persisting the recordings as
+#      content-addressed trace records alongside the results;
+#   2. the warm run replays every cell from the store (0 simulated) —
+#      each cell's trace hash + trace version is part of its content
+#      address, so trace-driven results cache exactly like synthetic
+#      ones, and the applications never run again;
+#   3. both runs' rendered tables are byte-identical.
+#
+# Exits non-zero on the first failed assertion.
+set -eu
+
+GO="${GO:-go}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+echo "== build"
+"$GO" build -o "$tmp/cmexp" ./cmd/cmexp
+
+# Every application x interconnect x scheduler at the smaller machine
+# size, plus that size's stats rows: 3 x 2 x 5 + 3 = 33 cells.
+filter='/P8$'
+cells=33
+
+echo "== cold sweep records the apps and simulates every cell"
+"$tmp/cmexp" -store "$tmp/store" -run "$filter" -v apps >"$tmp/cold.txt" 2>"$tmp/cold.log"
+grep -q "cmexp: 0 cells replayed from .*, $cells simulated" "$tmp/cold.log" || {
+	echo "apps-smoke: cold run was not $cells simulations:"
+	tail -n 2 "$tmp/cold.log"
+	exit 1
+}
+
+echo "== warm sweep is 100% cache hits"
+"$tmp/cmexp" -store "$tmp/store" -run "$filter" -v apps >"$tmp/warm.txt" 2>"$tmp/warm.log"
+grep -q "cmexp: $cells cells replayed from .*, 0 simulated" "$tmp/warm.log" || {
+	echo "apps-smoke: warm run was not $cells cache hits:"
+	tail -n 2 "$tmp/warm.log"
+	exit 1
+}
+
+echo "== warm replay is byte-identical to the cold run"
+cmp "$tmp/cold.txt" "$tmp/warm.txt"
+
+echo "apps-smoke: all assertions passed"
