@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json bench-baseline cover perf-check lint vet fmt-check tables examples linkcheck api api-check serve-smoke faults-smoke apps-smoke
+.PHONY: build test race bench bench-smoke bench-json bench-baseline cover perf-check lint vet fmt-check tables examples linkcheck api api-check serve-smoke faults-smoke apps-smoke obs-smoke profile
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ test:
 # guarantee — the race pass holds it to that). -short trims the
 # heaviest deterministic sweeps; `make test` still runs them raceless.
 race:
-	$(GO) test -race -short ./internal/exp/ ./internal/sim/ ./internal/cmmd/ ./internal/network/ ./internal/store/ ./internal/serve/ ./internal/sched/ ./internal/topo/ ./internal/trace/
+	$(GO) test -race -short ./internal/exp/ ./internal/sim/ ./internal/cmmd/ ./internal/network/ ./internal/store/ ./internal/serve/ ./internal/sched/ ./internal/topo/ ./internal/trace/ ./internal/obs/
 
 # Full-suite run with a coverage profile plus a function summary; on
 # CI's stable leg this IS the test step (one execution, not two), and
@@ -96,6 +96,22 @@ faults-smoke:
 # scripts/apps_smoke.sh).
 apps-smoke:
 	sh scripts/apps_smoke.sh
+
+# End-to-end smoke test of the observability layer: /v1/metrics serves
+# Prometheus text whose counters move with real requests and agree
+# with /v1/stats, and `cmexp -timeline` writes valid, deterministic
+# Chrome trace-event files (CI's obs-smoke step; see
+# scripts/obs_smoke.sh).
+obs-smoke:
+	sh scripts/obs_smoke.sh
+
+# CPU + heap profiles of the topology benchmark (the perf gate's
+# workload) via the standard pprof flags; inspect with
+# `go tool pprof cpu.pprof`. CI uploads both files as artifacts.
+profile:
+	$(GO) test -run '^$$' -bench BenchmarkTopology -benchtime 3x \
+		-cpuprofile cpu.pprof -memprofile mem.pprof .
+	@echo "profile: wrote cpu.pprof and mem.pprof"
 
 # Snapshot the public API surface. Run after intentionally changing
 # exported cm5 declarations; CI's api job diffs against this file.

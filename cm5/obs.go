@@ -1,0 +1,62 @@
+package cm5
+
+import "repro/internal/obs"
+
+// MetricsRegistry collects counters, gauges and histograms from a run
+// (and anything else instrumented with it — the serving layer shares
+// one registry across requests). Render it with WritePrometheus or
+// WriteJSON; both are deterministic (name-sorted). Attach one to a job
+// with WithMetrics.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// Timeline records a run's spans and instants in simulated nanoseconds:
+// flow lifetimes, message rendezvous waits and wire transfers,
+// scheduler steps and phases, fault events, AS re-plans. Encode renders
+// Chrome trace-event JSON loadable in Perfetto or chrome://tracing.
+// Attach one with WithTimeline; it is returned in Result.Timeline.
+type Timeline = obs.Timeline
+
+// NewTimeline returns an empty timeline recorder — pass it to several
+// jobs via WithTimeline to merge their events onto one trace.
+func NewTimeline() *Timeline { return obs.NewTimeline() }
+
+// TimelineSpan is one closed interval of simulated time on a timeline.
+type TimelineSpan = obs.Span
+
+// TimelineInstant is one point event on a timeline.
+type TimelineInstant = obs.Instant
+
+// WithMetrics attaches a metrics registry to the run: engine event
+// counters, data-network flow/solver counters and histograms, and
+// scheduler step/phase counters accumulate into it. Registries are
+// passive — attaching one never changes simulated timing or results —
+// and shareable: point several jobs at one registry to aggregate.
+func WithMetrics(r *MetricsRegistry) JobOption {
+	return func(j *Job) { j.reg = r }
+}
+
+// WithTimeline records the run's sim-time timeline into tl (a fresh
+// recorder when nil) and returns it in Result.Timeline. Sim time is
+// deterministic, so the timeline — and its Encode bytes — are too.
+func WithTimeline(tl *Timeline) JobOption {
+	return func(j *Job) {
+		if tl == nil {
+			tl = obs.NewTimeline()
+		}
+		j.timeline = tl
+	}
+}
+
+// With returns a copy of the job with the extra options applied — the
+// hook for wrappers (the experiment runner, the serving layer) that
+// receive a fully built Job and need to attach their own observability
+// sinks before running it.
+func (j Job) With(opts ...JobOption) Job {
+	for _, opt := range opts {
+		opt(&j)
+	}
+	return j
+}

@@ -1,0 +1,181 @@
+package cm5
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lsN8TimelineJob is the golden run: the LS scheduler over the
+// canonical synthetic pattern at N=8. Small enough to eyeball in
+// Perfetto, rich enough to exercise message waits, wire transfers,
+// flows and step spans.
+func lsN8TimelineJob(t *testing.T) Job {
+	t.Helper()
+	a, err := LookupAlgorithm("LS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return PatternJob(a, SyntheticPattern(8, 0.25, 64, 1), WithTimeline(nil))
+}
+
+// TestTimelineGolden pins the full Chrome trace-event encoding of the
+// LS N=8 run byte-for-byte: sim time is deterministic, so the timeline
+// is too. Regenerate testdata/timeline_ls_n8.golden.json from
+// Result.Timeline.Encode() if the simulator's timing model changes
+// deliberately.
+func TestTimelineGolden(t *testing.T) {
+	res, err := Run(lsN8TimelineJob(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline == nil {
+		t.Fatal("Run(WithTimeline) returned a nil Result.Timeline")
+	}
+	got := res.Timeline.Encode()
+
+	want, err := os.ReadFile(filepath.Join("testdata", "timeline_ls_n8.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("timeline drifted from golden file (got %d bytes, want %d):\n%s",
+			len(got), len(want), firstDiffLine(got, want))
+	}
+
+	spans, instants := res.Timeline.Len()
+	if spans != 44 || instants != 0 {
+		t.Fatalf("LS N=8 timeline recorded %d spans, %d instants; want 44, 0", spans, instants)
+	}
+}
+
+// firstDiffLine locates the first differing line of two encodings for
+// a readable failure message.
+func firstDiffLine(got, want []byte) string {
+	gl := strings.Split(string(got), "\n")
+	wl := strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			return "line " + string(rune('0'+i%10)) + ": got " + gl[i] + "\nwant " + wl[i]
+		}
+	}
+	return "encodings differ only in length"
+}
+
+// TestTimelineDeterministic runs the same job twice and demands
+// byte-identical encodings — the property the golden file relies on.
+func TestTimelineDeterministic(t *testing.T) {
+	enc := func() []byte {
+		res, err := Run(lsN8TimelineJob(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Timeline.Encode()
+	}
+	if a, b := enc(), enc(); !bytes.Equal(a, b) {
+		t.Fatal("two identical runs produced different timeline encodings")
+	}
+}
+
+// TestTimelineFaultInstants checks that a fault plan shows up as
+// instant events on the timeline.
+func TestTimelineFaultInstants(t *testing.T) {
+	tp, err := NewTopology("hypercube", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewFaultPlan("link-down", tp, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := LookupAlgorithm("LS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := PatternJob(a, SyntheticPattern(8, 0.25, 64, 1),
+		WithTimeline(nil), WithFaults(plan), WithTopology(tp))
+	res, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faults int
+	for _, in := range res.Timeline.Instants() {
+		if in.Cat == "fault" {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("fault plan left no fault instants on the timeline")
+	}
+}
+
+// TestMetricsExpositionDeterministic runs the same job against two
+// fresh registries and demands identical Prometheus renderings: every
+// sim-driven counter must land on the same values, and the exposition
+// order is name-sorted. The one wall-clock series
+// (net_maxmin_solve_seconds, real time spent in the solver) is
+// excluded — it is the only metric allowed to vary between identical
+// runs.
+func TestMetricsExpositionDeterministic(t *testing.T) {
+	render := func() string {
+		reg := NewMetricsRegistry()
+		a, err := LookupAlgorithm("LS")
+		if err != nil {
+			t.Fatal(err)
+		}
+		job := PatternJob(a, SyntheticPattern(8, 0.25, 64, 1), WithMetrics(reg))
+		if _, err := Run(job); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		reg.WritePrometheus(&buf)
+		var kept []string
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if strings.Contains(line, "net_maxmin_solve_seconds") {
+				continue
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n")
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("two identical runs rendered different expositions:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	for _, series := range []string{
+		"sim_events_fired_total",
+		"net_flows_started_total",
+		"net_flows_finished_total",
+		"net_maxmin_solves_total",
+		"sched_steps_total",
+	} {
+		if !strings.Contains(a, series+" ") {
+			t.Errorf("exposition is missing %s:\n%s", series, a)
+		}
+	}
+}
+
+// TestMetricsPassive checks that attaching observability changes
+// nothing about the simulated outcome: same makespan, steps, messages
+// and wire bytes with and without a registry and timeline.
+func TestMetricsPassive(t *testing.T) {
+	a, err := LookupAlgorithm("LS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := SyntheticPattern(8, 0.25, 64, 1)
+	plain, err := Run(PatternJob(a, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := Run(PatternJob(a, p, WithMetrics(NewMetricsRegistry()), WithTimeline(nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Elapsed != observed.Elapsed || plain.Steps != observed.Steps ||
+		plain.Messages != observed.Messages || plain.WireBytes != observed.WireBytes {
+		t.Fatalf("observability changed the result: plain %+v, observed %+v", plain, observed)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cmmd"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -43,6 +44,8 @@ type Job struct {
 	trace    bool
 	obs      Observer
 	faults   *FaultPlan
+	reg      *MetricsRegistry
+	timeline *Timeline
 	// optErr defers an option-construction failure (e.g. an invalid
 	// trace passed to WithTraceWorkload) to Run/Plan, which cannot
 	// otherwise report it: JobOption returns nothing.
@@ -159,6 +162,7 @@ func (j Job) request() sched.Request {
 		N: j.n, Bytes: j.bytes, Root: j.root, Offset: j.offset,
 		Pattern: j.pattern, Seed: j.seed, Cfg: cfg, Topo: j.topo,
 		Async: j.async, Trace: j.trace, Obs: j.obs, Faults: j.faults,
+		Met: obs.Sim(j.reg), Timeline: j.timeline,
 	}
 }
 
@@ -214,6 +218,10 @@ type Result struct {
 
 	// Trace holds per-message events when the job ran WithTrace.
 	Trace *Trace
+
+	// Timeline holds the run's sim-time spans and instants when the job
+	// ran WithTimeline; nil otherwise.
+	Timeline *Timeline
 }
 
 // Run executes the job on a fresh simulated machine and returns the
@@ -252,6 +260,7 @@ func Run(job Job) (Result, error) {
 		WireBytes:        met.WireBytes,
 		Faults:           met.Faults,
 		Trace:            met.Trace,
+		Timeline:         job.timeline,
 	}
 	if res.Algorithm.IsZero() && job.schedule != nil {
 		if a, lerr := LookupAlgorithm(job.schedule.Algorithm); lerr == nil {

@@ -59,7 +59,15 @@
 //	              cell). The static "schedules" listing is text-only
 //	              and is skipped under json/csv.
 //	-v            report per-cell progress and wall-clock time on stderr
-//	              (cached cells are marked "(store)")
+//	              (cached cells are marked "(store)"), plus a final
+//	              replayed/simulated/wall summary from the sweep's
+//	              metrics registry
+//	-timeline DIR write one Chrome trace-event JSON timeline per
+//	              simulated cell into DIR (open in Perfetto or
+//	              chrome://tracing); cells replayed from the store are
+//	              skipped — they never simulate
+//	-cpuprofile F write a CPU profile of the whole sweep to F
+//	-memprofile F write a heap profile (taken after the sweep) to F
 //
 // All experiment cells — one simulation per (figure, algorithm, machine
 // size, message size) tuple — are fanned across one worker pool, so a
@@ -76,6 +84,8 @@ import (
 	"os"
 	"os/signal"
 	"regexp"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -87,16 +97,19 @@ import (
 
 // options carries every flag so tests can drive run directly.
 type options struct {
-	procs      int
-	maxSize    int
-	parallel   int
-	seed       int64
-	runPat     string
-	storeDir   string
-	resume     bool
-	invalidate string
-	format     string
-	verbose    bool
+	procs       int
+	maxSize     int
+	parallel    int
+	seed        int64
+	runPat      string
+	storeDir    string
+	resume      bool
+	invalidate  string
+	format      string
+	verbose     bool
+	timelineDir string
+	cpuProfile  string
+	memProfile  string
 }
 
 func main() {
@@ -111,6 +124,9 @@ func main() {
 	flag.StringVar(&o.invalidate, "invalidate", "", "delete stored results whose cell key matches this regexp before the sweep (requires -store)")
 	flag.StringVar(&o.format, "format", "text", "output format: text, json, or csv")
 	flag.BoolVar(&o.verbose, "v", false, "report per-cell progress on stderr")
+	flag.StringVar(&o.timelineDir, "timeline", "", "write one Chrome trace-event JSON timeline per simulated cell into this directory")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the sweep to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile (after the sweep) to this file")
 	flag.Parse()
 	if flag.NArg() == 0 && o.invalidate == "" {
 		fmt.Fprintln(os.Stderr, "usage: cmexp [flags] fig5|fig6|fig7|fig8|fig10|fig11|table5|table11|table12|scenarios|collectives|topology|faults|apps|schedules|ablations|all")
@@ -139,6 +155,32 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string, o options
 	format, err := exp.ParseFormat(o.format)
 	if err != nil {
 		return err
+	}
+
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if o.memProfile != "" {
+		defer func() {
+			f, err := os.Create(o.memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "cmexp: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "cmexp: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	// The result store: -resume demands an existing one (resuming from
@@ -211,6 +253,13 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string, o options
 
 	runner := exp.NewRunner(o.parallel)
 	runner.Seed = o.seed
+	runner.TimelineDir = o.timelineDir
+	// The registry is cmexp's own sweep bookkeeping: the runner counts
+	// replayed and simulated cells (and per-cell wall time) into it, and
+	// the -v summary line reads those counters back. Metrics are
+	// passive, so the rendered tables stay byte-identical.
+	reg := cm5.NewMetricsRegistry()
+	runner.Metrics = reg
 	if st != nil {
 		runner.Store = st
 		runner.StoreBase = exp.StoreBase(cfg)
@@ -268,7 +317,9 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string, o options
 			runner.CacheHits(), o.storeDir, runner.CacheMisses())
 	}
 	if o.verbose {
-		fmt.Fprintf(stderr, "cmexp: %d tables, %d workers, %.2fs wall\n",
+		fmt.Fprintf(stderr, "cmexp: %d replayed, %d simulated, %d tables, %d workers, %.2fs wall\n",
+			reg.Counter("exp_cells_replayed_total").Value(),
+			reg.Counter("exp_cells_simulated_total").Value(),
 			len(specs), runner.Workers, time.Since(start).Seconds())
 	}
 	return nil

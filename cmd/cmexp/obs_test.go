@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTimelineFiles runs a small family with -timeline and checks the
+// emitted files: one valid Chrome trace-event JSON per cell, tables
+// byte-identical to a run without -timeline, and the files themselves
+// byte-identical across two runs (sim time is deterministic).
+func TestTimelineFiles(t *testing.T) {
+	args := []string{"ablation-async"}
+	plain, _ := cmexpOut(t, args, options{parallel: 2})
+
+	dir := filepath.Join(t.TempDir(), "timelines")
+	traced, _ := cmexpOut(t, args, options{parallel: 2, timelineDir: dir})
+	if traced != plain {
+		t.Fatalf("-timeline changed the rendered tables:\n%s\nvs\n%s", traced, plain)
+	}
+
+	files, err := filepath.Glob(filepath.Join(dir, "*.trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 16 {
+		t.Fatalf("wrote %d timeline files, want one per cell (16): %v", len(files), files)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			DisplayTimeUnit string           `json:"displayTimeUnit"`
+			TraceEvents     []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("%s: not valid trace-event JSON: %v", f, err)
+		}
+		if doc.DisplayTimeUnit != "ns" {
+			t.Fatalf("%s: displayTimeUnit %q, want ns", f, doc.DisplayTimeUnit)
+		}
+		if len(doc.TraceEvents) == 0 {
+			t.Fatalf("%s: empty timeline", f)
+		}
+		for _, ev := range doc.TraceEvents {
+			if ph := ev["ph"]; ph != "X" && ph != "i" {
+				t.Fatalf("%s: unexpected event phase %v", f, ph)
+			}
+		}
+	}
+
+	// Determinism: a second traced run writes the identical bytes.
+	dir2 := filepath.Join(t.TempDir(), "timelines2")
+	cmexpOut(t, args, options{parallel: 2, timelineDir: dir2})
+	for _, f := range files {
+		a, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir2, filepath.Base(f)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s differs between two identical runs", filepath.Base(f))
+		}
+	}
+}
+
+// TestTimelineSkipsReplayedCells: cells replayed from the store never
+// simulate, so a warm -timeline run writes no files for them.
+func TestTimelineSkipsReplayedCells(t *testing.T) {
+	storeDir := filepath.Join(t.TempDir(), "results")
+	args := []string{"ablation-async"}
+	cmexpOut(t, args, options{parallel: 2, storeDir: storeDir})
+
+	dir := filepath.Join(t.TempDir(), "timelines")
+	cmexpOut(t, args, options{parallel: 2, storeDir: storeDir, timelineDir: dir})
+	files, err := filepath.Glob(filepath.Join(dir, "*.trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Fatalf("warm run wrote %d timeline files for replayed cells, want 0: %v", len(files), files)
+	}
+}
+
+// TestVerboseSummaryLine: -v ends with the replayed/simulated/wall
+// summary read back from the sweep's metrics registry.
+func TestVerboseSummaryLine(t *testing.T) {
+	_, stderr := cmexpOut(t, []string{"ablation-async"}, options{parallel: 2, verbose: true})
+	if !strings.Contains(stderr, "0 replayed, 16 simulated,") {
+		t.Fatalf("-v summary should report '0 replayed, 16 simulated,':\n%s", stderr)
+	}
+}

@@ -20,6 +20,7 @@
 //	GET  /v1/workloads   the scenario catalogue (+ "synthetic")
 //	GET  /v1/traces      the recordable applications (+ stored recordings)
 //	GET  /v1/stats       hits, misses, coalesced, in-flight, queue depth
+//	GET  /v1/metrics     the same counters (and more) as Prometheus text
 //	GET  /healthz        liveness
 //
 // Flags:
@@ -31,6 +32,9 @@
 //	-queue N         admission queue depth beyond the busy workers;
 //	                 overflowing requests get 429 (default 64)
 //	-timeout D       per-request deadline (default 2m; 0 disables)
+//	-pprof HOST:PORT mount net/http/pprof on a separate debug listener
+//	                 (empty = off). Kept off the service mux so profiling
+//	                 is never exposed on the public address.
 //	-oneshot FILE    do not serve: read one job spec (JSON; "-" =
 //	                 stdin), run it, print the canonical payload to
 //	                 stdout, exit. Byte-identical to the body a running
@@ -50,6 +54,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -62,24 +67,43 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8127", "listen address")
-		dir     = flag.String("store", "", "content-addressed result store directory (empty: no cache)")
-		workers = flag.Int("workers", 0, "concurrent simulations (0 = all CPUs)")
-		queue   = flag.Int("queue", 64, "admission queue depth beyond the busy workers")
-		timeout = flag.Duration("timeout", 2*time.Minute, "per-request deadline (0 disables)")
-		oneshot = flag.String("oneshot", "", "run one job spec from this file (\"-\" = stdin) and exit")
+		addr      = flag.String("addr", ":8127", "listen address")
+		dir       = flag.String("store", "", "content-addressed result store directory (empty: no cache)")
+		workers   = flag.Int("workers", 0, "concurrent simulations (0 = all CPUs)")
+		queue     = flag.Int("queue", 64, "admission queue depth beyond the busy workers")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request deadline (0 disables)")
+		pprofAddr = flag.String("pprof", "", "mount net/http/pprof on this separate debug address (empty: off)")
+		oneshot   = flag.String("oneshot", "", "run one job spec from this file (\"-\" = stdin) and exit")
 	)
 	flag.Parse()
-	if err := run(*addr, *dir, *workers, *queue, *timeout, *oneshot); err != nil {
+	if err := run(*addr, *dir, *workers, *queue, *timeout, *pprofAddr, *oneshot); err != nil {
 		fmt.Fprintf(os.Stderr, "cmserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir string, workers, queue int, timeout time.Duration, oneshot string) error {
+func run(addr, dir string, workers, queue int, timeout time.Duration, pprofAddr, oneshot string) error {
 	cfg := network.DefaultConfig()
 	if oneshot != "" {
 		return runOneshot(oneshot, cfg)
+	}
+
+	if pprofAddr != "" {
+		// The profiler gets its own mux on its own listener: the service
+		// address never exposes /debug/pprof, and the debug server's
+		// lifetime is simply the process's.
+		go func() {
+			dbg := http.NewServeMux()
+			dbg.HandleFunc("/debug/pprof/", pprof.Index)
+			dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			fmt.Fprintf(os.Stderr, "cmserve: pprof on http://%s/debug/pprof/\n", pprofAddr)
+			if err := http.ListenAndServe(pprofAddr, dbg); err != nil {
+				fmt.Fprintf(os.Stderr, "cmserve: pprof listener: %v\n", err)
+			}
+		}()
 	}
 
 	var st *store.Store

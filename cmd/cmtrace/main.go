@@ -34,6 +34,12 @@
 // trace file (or records the named app on the fly) and replays its
 // collapsed traffic matrix as the workload of an irregular -alg — the
 // same diagnostic report, driven by a real application's communication.
+//
+// -timeline FILE additionally records the run's sim-time timeline —
+// message rendezvous waits and wire transfers, flow lifetimes,
+// scheduler steps and phases, fault events — and writes it as Chrome
+// trace-event JSON, loadable in Perfetto or chrome://tracing. Sim time
+// is deterministic, so the file is byte-identical across runs.
 package main
 
 import (
@@ -74,6 +80,7 @@ func run(args []string, out io.Writer) error {
 		"as the workload of an irregular -alg")
 	size := fs.Int("size", 0, "problem size for -record/-replay recordings (0 = the app's default)")
 	outFile := fs.String("out", "", "write the -record trace to this file (default: stdout)")
+	timelineFile := fs.String("timeline", "", "write the run's sim-time timeline as Chrome trace-event JSON to this file (open in Perfetto)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -136,9 +143,21 @@ func run(args []string, out io.Writer) error {
 		job = cm5.NewJob(a, *n, *bytes, append(opts, cm5.WithTrace(), cm5.WithOffset(*offset))...)
 	}
 
+	if *timelineFile != "" {
+		job = job.With(cm5.WithTimeline(nil))
+	}
+
 	res, err := cm5.Run(job)
 	if err != nil {
 		return err
+	}
+
+	if *timelineFile != "" {
+		if err := res.Timeline.WriteFile(*timelineFile); err != nil {
+			return err
+		}
+		spans, instants := res.Timeline.Len()
+		fmt.Fprintf(out, "timeline: %d spans, %d instants -> %s\n", spans, instants, *timelineFile)
 	}
 
 	fmt.Fprintf(out, "%s on %d nodes: %d steps, %d messages, makespan %.3f ms\n",

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/fattree"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topo"
 )
@@ -275,6 +276,8 @@ type Machine struct {
 	async bool
 	trace *Trace
 	sink  func(MsgEvent)
+	met   *obs.SimMetrics
+	tl    *obs.Timeline
 
 	faultEvents int // fault plan events scheduled (see ApplyFaults)
 	stragglers  int // straggler events applied so far
@@ -396,6 +399,10 @@ func (m *Machine) ApplyFaults(p *network.FaultPlan) error {
 		case network.FaultBackground:
 			apply = func() { m.net.InjectBackground(ev.Flows, ev.Bytes, ev.Seed) }
 		}
+		if m.tl != nil {
+			inner := apply
+			apply = func() { m.faultInstant(ev); inner() }
+		}
 		if ev.At == 0 {
 			apply()
 		} else {
@@ -433,6 +440,13 @@ func (m *Machine) Run(program func(*Node)) (sim.Time, error) {
 		})
 	}
 	end, err := m.eng.Run()
+	if m.met != nil {
+		st := m.eng.Stats()
+		m.met.EventsFired.Add(st.EventsFired)
+		m.met.EventsPooled.Add(st.EventsPooled)
+		m.met.EventsAllocated.Add(st.EventsAllocated)
+		m.met.HeapHighWater.SetMax(float64(st.HeapHighWater))
+	}
 	if err != nil {
 		return end, err
 	}

@@ -1,0 +1,62 @@
+package cmmd
+
+import (
+	"strconv"
+
+	"repro/internal/network"
+	"repro/internal/obs"
+)
+
+// SetMetrics attaches the observability counter bundle to the machine
+// and its data network (nil detaches). The engine's event counters are
+// folded in when Run finishes; everything else updates live. Metrics
+// are passive — attaching them never changes simulated timing.
+func (m *Machine) SetMetrics(met *obs.SimMetrics) {
+	m.met = met
+	m.net.SetMetrics(met)
+}
+
+// SetTimeline attaches a sim-time timeline recorder (nil detaches):
+// flow lifetimes from the data network, message wait/transfer spans
+// from the trace path, and fault instants from the plan applied by
+// ApplyFaults. Must be called before ApplyFaults for fault instants to
+// be captured, and before Run like every other machine option.
+func (m *Machine) SetTimeline(tl *obs.Timeline) {
+	m.tl = tl
+	m.net.SetTimeline(tl)
+}
+
+// recordTimeline files one completed message with the timeline: the
+// rendezvous wait (when any) and the wire transfer, both on the
+// sender's track.
+func (m *Machine) recordTimeline(ev MsgEvent) {
+	name := strconv.Itoa(ev.Src) + "->" + strconv.Itoa(ev.Dst)
+	args := []obs.Arg{{Key: "bytes", Val: int64(ev.Bytes)}, {Key: "tag", Val: int64(ev.Tag)}}
+	if ev.Started > ev.Posted {
+		m.tl.RecordSpan(obs.Span{
+			Cat: "msg", Name: "wait " + name, Tid: ev.Src,
+			Start: int64(ev.Posted), End: int64(ev.Started), Args: args,
+		})
+	}
+	m.tl.RecordSpan(obs.Span{
+		Cat: "msg", Name: "msg " + name, Tid: ev.Src,
+		Start: int64(ev.Started), End: int64(ev.Ended), Args: args,
+	})
+}
+
+// faultInstant records one fault event firing, on the run-scoped track.
+func (m *Machine) faultInstant(ev network.FaultEvent) {
+	var args []obs.Arg
+	switch ev.Kind {
+	case network.FaultLinkDown, network.FaultDegrade:
+		args = []obs.Arg{{Key: "link", Val: int64(ev.Link)}}
+	case network.FaultStraggler:
+		args = []obs.Arg{{Key: "node", Val: int64(ev.Node)}}
+	case network.FaultBackground:
+		args = []obs.Arg{{Key: "flows", Val: int64(ev.Flows)}}
+	}
+	m.tl.RecordInstant(obs.Instant{
+		Cat: "fault", Name: "fault " + string(ev.Kind), Tid: -1,
+		At: int64(ev.At), Args: args,
+	})
+}

@@ -97,13 +97,16 @@ func (m *Machine) Trace() *Trace { return m.trace }
 // block; a nil fn detaches the sink.
 func (m *Machine) SetTraceSink(fn func(MsgEvent)) { m.sink = fn }
 
-// recordEvent files one completed message with the trace buffer and
-// the sink, whichever are attached.
+// recordEvent files one completed message with the trace buffer, the
+// sink, and the timeline, whichever are attached.
 func (m *Machine) recordEvent(ev MsgEvent) {
 	if m.trace != nil {
 		m.trace.Events = append(m.trace.Events, ev)
 	}
 	if m.sink != nil {
 		m.sink(ev)
+	}
+	if m.tl != nil {
+		m.recordTimeline(ev)
 	}
 }

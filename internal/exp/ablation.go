@@ -42,7 +42,7 @@ func AblationAsyncSpec(cfg network.Config) *TableSpec {
 					if err != nil {
 						return err
 					}
-					res, err := cm5.Run(cm5.NewJob(a, 32, size,
+					res, err := runJob(ctx, cm5.NewJob(a, 32, size,
 						cm5.WithConfig(cfg), cm5.WithAsync(v.async)))
 					if err != nil {
 						return err
@@ -103,7 +103,7 @@ func AblationFatTreeSpec(cfg network.Config) *TableSpec {
 					if err != nil {
 						return err
 					}
-					res, err := cm5.Run(cm5.NewJob(a, 32, size, cm5.WithConfig(v.cfg)))
+					res, err := runJob(ctx, cm5.NewJob(a, 32, size, cm5.WithConfig(v.cfg)))
 					if err != nil {
 						return err
 					}
@@ -148,7 +148,7 @@ func AblationGreedySpec(cfg network.Config) *TableSpec {
 		spec.AddCell(fmt.Sprintf("ablation-greedy/det/%d%%", density),
 			func(ctx context.Context, _ int64, rec *Rec) error {
 				p := pattern.Synthetic(32, float64(density)/100, 256, int64(density))
-				res, err := cm5.Run(cm5.PatternJob(cm5.MustAlgorithm("GS"), p, cm5.WithConfig(cfg)))
+				res, err := runJob(ctx, cm5.PatternJob(cm5.MustAlgorithm("GS"), p, cm5.WithConfig(cfg)))
 				if err != nil {
 					return err
 				}
@@ -167,7 +167,7 @@ func AblationGreedySpec(cfg network.Config) *TableSpec {
 				gsr := cm5.MustAlgorithm("GSR")
 				bestSteps, bestMs := 0, -1.0
 				for trial := int64(0); trial < 5; trial++ {
-					res, err := cm5.Run(cm5.PatternJob(gsr, p,
+					res, err := runJob(ctx, cm5.PatternJob(gsr, p,
 						cm5.WithConfig(cfg), cm5.WithSeed(base^trial)))
 					if err != nil {
 						return err
@@ -224,7 +224,7 @@ func AblationCrystalSpec(cfg network.Config) *TableSpec {
 					if err != nil {
 						return err
 					}
-					res, err := cm5.Run(cm5.PatternJob(algo, p, cm5.WithConfig(cfg)))
+					res, err := runJob(ctx, cm5.PatternJob(algo, p, cm5.WithConfig(cfg)))
 					if err != nil {
 						return err
 					}
@@ -282,7 +282,7 @@ func AblationCrossoverSpec(cfg network.Config) *TableSpec {
 					if err != nil {
 						return err
 					}
-					res, err := cm5.Run(cm5.PatternJob(algo, p, cm5.WithConfig(cfg)))
+					res, err := runJob(ctx, cm5.PatternJob(algo, p, cm5.WithConfig(cfg)))
 					if err != nil {
 						return err
 					}

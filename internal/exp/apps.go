@@ -102,7 +102,7 @@ func appsSpec(cfg network.Config, lib *trace.Library, n int) (*TableSpec, error)
 						if err != nil {
 							return err
 						}
-						res, err := cm5.Run(cm5.PatternJob(a, p,
+						res, err := runJob(ctx, cm5.PatternJob(a, p,
 							cm5.WithConfig(cfg), cm5.WithTopology(tp)))
 						if err != nil {
 							return err

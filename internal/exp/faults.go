@@ -107,7 +107,7 @@ func FaultsSpec(cfg network.Config) (*TableSpec, error) {
 						if err != nil {
 							return err
 						}
-						res, err := cm5.Run(cm5.PatternJob(a, p,
+						res, err := runJob(ctx, cm5.PatternJob(a, p,
 							cm5.WithConfig(cfg), cm5.WithTopology(tp), cm5.WithFaults(plan)))
 						if err != nil {
 							return err

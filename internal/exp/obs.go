@@ -1,0 +1,34 @@
+package exp
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+
+	"repro/cm5"
+	"repro/internal/obs"
+)
+
+// runJob runs one cell's cm5 job with the sweep's observability sinks
+// attached from ctx: the per-cell timeline recorder (Runner.TimelineDir
+// / `cmexp -timeline`) and the sweep-wide metrics registry
+// (Runner.Metrics / the serving layer's /v1/metrics). Every cell
+// function routes its simulations through here, so observability
+// threads the whole experiment catalogue without any family knowing
+// about it. With neither sink in ctx this is exactly cm5.Run.
+func runJob(ctx context.Context, job cm5.Job) (cm5.Result, error) {
+	if tl := obs.TimelineFrom(ctx); tl != nil {
+		job = job.With(cm5.WithTimeline(tl))
+	}
+	if reg := obs.RegistryFrom(ctx); reg != nil {
+		job = job.With(cm5.WithMetrics(reg))
+	}
+	return cm5.Run(job)
+}
+
+// timelinePath maps a cell key to its timeline file: slashes flatten to
+// underscores ("fig5/LEX/N32/256B" -> "fig5_LEX_N32_256B.trace.json"),
+// keeping one flat directory of Perfetto-loadable files.
+func timelinePath(dir, key string) string {
+	return filepath.Join(dir, strings.ReplaceAll(key, "/", "_")+".trace.json")
+}

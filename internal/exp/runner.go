@@ -4,12 +4,15 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"os"
 	"regexp"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -173,6 +176,18 @@ type Runner struct {
 	// StoreBase holds the sweep-wide key fields mixed into every cell's
 	// content hash (see StoreBase); ignored without a Store.
 	StoreBase store.Spec
+	// Metrics, when non-nil, receives sweep observability — per-cell
+	// wall-time histograms and replayed/simulated counters — and is
+	// handed to every cell's simulations through the context, so
+	// sim-level counters (engine events, flows, solver re-solves)
+	// accumulate into the same registry. Purely passive: attaching a
+	// registry never changes any cell's output.
+	Metrics *obs.Registry
+	// TimelineDir, when non-empty, records a sim-time timeline for every
+	// simulated cell and writes it as Chrome trace-event JSON into this
+	// directory (created if missing), one file per cell. Replayed cells
+	// are skipped — a store hit has no simulation to record.
+	TimelineDir string
 
 	hits, misses atomic.Int64
 }
@@ -218,6 +233,11 @@ type boundCell struct {
 func (r *Runner) Run(ctx context.Context, specs ...*TableSpec) error {
 	r.hits.Store(0)
 	r.misses.Store(0)
+	if r.TimelineDir != "" {
+		if err := os.MkdirAll(r.TimelineDir, 0o755); err != nil {
+			return err
+		}
+	}
 	var cells []boundCell
 	complete := make([]bool, len(specs))
 	for i, s := range specs {
@@ -341,14 +361,33 @@ func (r *Runner) runCell(ctx context.Context, bc boundCell) (bool, error) {
 			}
 			bc.spec.putRec(bc.cell.Key, rec)
 			r.hits.Add(1)
+			r.Metrics.Counter("exp_cells_replayed_total").Add(1)
 			return true, nil
 		}
 		// A read error falls through to a fresh simulation: the store
 		// must never be able to break a sweep it could only speed up.
 	}
+	if r.Metrics != nil {
+		ctx = obs.ContextWithRegistry(ctx, r.Metrics)
+	}
+	var tl *obs.Timeline
+	if r.TimelineDir != "" {
+		tl = obs.NewTimeline()
+		ctx = obs.ContextWithTimeline(ctx, tl)
+	}
 	rec := &Rec{}
+	t0 := time.Now()
 	if err := bc.cell.Fn(ctx, seed, rec); err != nil {
 		return false, err
+	}
+	if r.Metrics != nil {
+		r.Metrics.Counter("exp_cells_simulated_total").Add(1)
+		r.Metrics.Histogram("exp_cell_seconds", obs.SecondsBuckets()).Observe(time.Since(t0).Seconds())
+	}
+	if tl != nil {
+		if err := tl.WriteFile(timelinePath(r.TimelineDir, bc.cell.Key)); err != nil {
+			return false, err
+		}
 	}
 	if err := applyWrites(bc.spec.Table, rec.writes); err != nil {
 		return false, err

@@ -44,7 +44,7 @@ func exchangeSweepBySizeSpec(name, title string, n int, sizes []int, cfg network
 					if err != nil {
 						return err
 					}
-					res, err := cm5.Run(cm5.NewJob(a, n, size, cm5.WithConfig(cfg)))
+					res, err := runJob(ctx, cm5.NewJob(a, n, size, cm5.WithConfig(cfg)))
 					if err != nil {
 						return err
 					}
@@ -112,7 +112,7 @@ func exchangeSweepByMachineSpec(name, title string, sizes []int, cfg network.Con
 						if err != nil {
 							return err
 						}
-						res, err := cm5.Run(cm5.NewJob(a, n, size, cm5.WithConfig(cfg)))
+						res, err := runJob(ctx, cm5.NewJob(a, n, size, cm5.WithConfig(cfg)))
 						if err != nil {
 							return err
 						}
@@ -216,7 +216,7 @@ func Fig10Spec(cfg network.Config) *TableSpec {
 					if err != nil {
 						return err
 					}
-					res, err := cm5.Run(cm5.NewJob(a, 32, size, cm5.WithRoot(0), cm5.WithConfig(cfg)))
+					res, err := runJob(ctx, cm5.NewJob(a, 32, size, cm5.WithRoot(0), cm5.WithConfig(cfg)))
 					if err != nil {
 						return err
 					}
@@ -258,7 +258,7 @@ func Fig11Spec(cfg network.Config) *TableSpec {
 						if err != nil {
 							return err
 						}
-						res, err := cm5.Run(cm5.NewJob(a, n, s, cm5.WithRoot(0), cm5.WithConfig(cfg)))
+						res, err := runJob(ctx, cm5.NewJob(a, n, s, cm5.WithRoot(0), cm5.WithConfig(cfg)))
 						if err != nil {
 							return err
 						}
@@ -310,7 +310,7 @@ func Table11Spec(cfg network.Config) *TableSpec {
 						if err != nil {
 							return err
 						}
-						res, err := cm5.Run(cm5.PatternJob(algo, p, cm5.WithConfig(cfg)))
+						res, err := runJob(ctx, cm5.PatternJob(algo, p, cm5.WithConfig(cfg)))
 						if err != nil {
 							return err
 						}
@@ -413,7 +413,7 @@ func Table12Spec(cfg network.Config) (*TableSpec, *[]RealPatternResult, error) {
 					if err != nil {
 						return err
 					}
-					res, err := cm5.Run(cm5.PatternJob(algo, p, cm5.WithConfig(cfg)))
+					res, err := runJob(ctx, cm5.PatternJob(algo, p, cm5.WithConfig(cfg)))
 					if err != nil {
 						return err
 					}

@@ -58,7 +58,7 @@ func ScenariosSpec(cfg network.Config) *TableSpec {
 						if err != nil {
 							return err
 						}
-						res, err := cm5.Run(cm5.PatternJob(a, p, cm5.WithConfig(cfg)))
+						res, err := runJob(ctx, cm5.PatternJob(a, p, cm5.WithConfig(cfg)))
 						if err != nil {
 							return err
 						}
@@ -166,7 +166,7 @@ func CollectivesSpec(cfg network.Config) *TableSpec {
 					if err != nil {
 						return err
 					}
-					res, err := cm5.Run(cm5.NewJob(a, n, CollectiveBytes, cm5.WithConfig(cfg)))
+					res, err := runJob(ctx, cm5.NewJob(a, n, CollectiveBytes, cm5.WithConfig(cfg)))
 					if err != nil {
 						return err
 					}
@@ -179,7 +179,7 @@ func CollectivesSpec(cfg network.Config) *TableSpec {
 					if err != nil {
 						return err
 					}
-					res, err := cm5.Run(cm5.PatternJob(cm5.MustAlgorithm("BS"), p, cm5.WithConfig(cfg)))
+					res, err := runJob(ctx, cm5.PatternJob(cm5.MustAlgorithm("BS"), p, cm5.WithConfig(cfg)))
 					if err != nil {
 						return err
 					}

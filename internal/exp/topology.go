@@ -73,7 +73,7 @@ func TopologySpec(cfg network.Config, n int) *TableSpec {
 						if err != nil {
 							return err
 						}
-						res, err := cm5.Run(cm5.PatternJob(a, p,
+						res, err := runJob(ctx, cm5.PatternJob(a, p,
 							cm5.WithConfig(cfg), cm5.WithTopology(tp)))
 						if err != nil {
 							return err

@@ -5,7 +5,10 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topo"
 )
@@ -68,6 +71,8 @@ type DataNet struct {
 	lastAdvance sim.Time
 	tick        *sim.Timer // single re-armed earliest-completion event
 	obs         FlowObserver
+	met         *obs.SimMetrics
+	tl          *obs.Timeline
 
 	// Fault state: how many links are down (the routing fast path skips
 	// the clean check while zero) and the fault counters FaultStats
@@ -147,6 +152,9 @@ func (d *DataNet) Start(src, dst, userBytes int, done func()) *Flow {
 	d.totalWireBytes += int64(wire)
 	if d.obs != nil {
 		d.obs.FlowStarted(FlowInfo{Src: src, Dst: dst, WireBytes: wire, Start: f.started})
+	}
+	if d.met != nil {
+		d.met.FlowsStarted.Add(1)
 	}
 	d.reallocate()
 	return f
@@ -269,6 +277,9 @@ func (d *DataNet) attach(f *Flow) {
 		d.routeScratch = route
 		if len(route) > 0 && !d.isDirect(route, f.Src, f.Dst) {
 			d.fstats.Rerouted++
+			if d.met != nil {
+				d.met.Reroutes.Add(1)
+			}
 		}
 	}
 	for _, idx := range d.routeScratch {
@@ -315,6 +326,9 @@ func (d *DataNet) FailLink(idx int) {
 	l.down = true
 	d.downLinks++
 	d.fstats.LinksDown++
+	if d.met != nil {
+		d.met.LinksDown.Add(1)
+	}
 	// Reroute the victims in creation order so reallocation stays
 	// deterministic.
 	var victims []*Flow
@@ -385,13 +399,33 @@ func (d *DataNet) reallocate() {
 	// not tracked; sort by src then dst, which is unique per in-flight
 	// pair in all our workloads and stable regardless).
 	sortFlows(finished)
-	d.maxmin()
+	if d.met != nil {
+		d.met.MaxminSolves.Add(1)
+		if d.met.MaxminWall != nil {
+			t0 := time.Now()
+			d.maxmin()
+			d.met.MaxminWall.Observe(time.Since(t0).Seconds())
+		} else {
+			d.maxmin()
+		}
+		d.met.FlowsFinished.Add(int64(len(finished)))
+	} else {
+		d.maxmin()
+	}
 	d.scheduleNextCompletion()
 	for _, f := range finished {
 		if d.obs != nil {
 			d.obs.FlowFinished(FlowInfo{
 				Src: f.Src, Dst: f.Dst, WireBytes: f.WireBytes,
 				Start: f.started, End: d.eng.Now(),
+			})
+		}
+		if d.tl != nil {
+			d.tl.RecordSpan(obs.Span{
+				Cat:  "flow",
+				Name: "flow " + strconv.Itoa(f.Src) + "->" + strconv.Itoa(f.Dst),
+				Tid:  f.Src, Start: int64(f.started), End: int64(d.eng.Now()),
+				Args: []obs.Arg{{Key: "wire_bytes", Val: int64(f.WireBytes)}},
 			})
 		}
 		if f.done != nil {

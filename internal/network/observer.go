@@ -1,6 +1,9 @@
 package network
 
-import "repro/internal/sim"
+import (
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
 
 // FlowInfo describes one data-network flow for observers. Start is when
 // the flow entered the network (after the sender's wire latency); End is
@@ -27,3 +30,12 @@ type FlowObserver interface {
 // SetObserver attaches a flow observer (nil detaches). Call before the
 // simulation starts; flows already in flight are not replayed.
 func (d *DataNet) SetObserver(o FlowObserver) { d.obs = o }
+
+// SetMetrics attaches the observability counter bundle (nil detaches).
+// Like observers, metrics are passive: attaching them never changes
+// simulated timing.
+func (d *DataNet) SetMetrics(m *obs.SimMetrics) { d.met = m }
+
+// SetTimeline attaches a sim-time timeline recorder (nil detaches).
+// Every finished flow is recorded as a span on its source node's track.
+func (d *DataNet) SetTimeline(tl *obs.Timeline) { d.tl = tl }

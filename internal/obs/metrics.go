@@ -1,0 +1,429 @@
+// Package obs is the repo's observability layer: a zero-dependency
+// metrics registry with deterministic Prometheus text exposition, and a
+// sim-time timeline recorder that exports Chrome trace-event JSON.
+//
+// Everything in this package is nil-safe by design: a nil *Registry
+// hands out nil metric handles, and every method on a nil handle is a
+// no-op. Instrumented code therefore obtains its handles once at
+// construction and calls them unconditionally — when observability is
+// off the calls compile down to a nil check and cost no allocations,
+// which is what keeps the sim hot path inside the perf gate.
+//
+// Exposition is deterministic: families and series are emitted in
+// sorted order, so two identical runs against fresh registries produce
+// byte-identical text. That determinism is load-bearing — it is what
+// lets tests pin metrics output the same way the repo pins simulated
+// results.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key/value dimension on a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotonically increasing integer series.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by d. No-op on a nil counter.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(d)
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is a floating-point series that can go up and down. A gauge
+// registered with GaugeFunc reads its value from the callback instead.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits of the current value
+	fn   func() float64
+}
+
+// Set replaces the gauge value. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add moves the gauge by d. No-op on a nil gauge.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v is larger than the current value —
+// the high-water-mark operation. No-op on a nil gauge.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	if g.fn != nil {
+		return g.fn()
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution: cumulative bucket counts in
+// the Prometheus style (le = upper bound, +Inf implicit), plus sum and
+// count.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, +Inf excluded
+	counts  []atomic.Int64
+	inf     atomic.Int64
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+// Observe records one sample. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	placed := false
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed (0 for a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed samples (0 for a nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// SecondsBuckets are the default wall-time buckets (1µs .. 10s) used by
+// the latency histograms across the stack.
+func SecondsBuckets() []float64 {
+	return []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one registered (name, labels) instance.
+type series struct {
+	labels string // rendered {k="v",...}, "" when unlabeled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	kind   metricKind
+	series map[string]*series // keyed by rendered labels
+}
+
+// Registry holds metric families and renders them. The zero registry
+// (nil pointer) is valid and hands out nil handles; use NewRegistry to
+// collect for real.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// renderLabels returns the canonical {k="v",...} form, keys sorted.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// getOrCreate returns the series for (name, labels), creating family
+// and series on first use. The caller must hold r.mu — handle
+// initialization has to happen under the same critical section, or two
+// goroutines racing on first use would each install their own handle.
+// Re-registering a name with a different kind panics: it is a
+// programming error that would corrupt exposition.
+func (r *Registry) getOrCreate(name string, kind metricKind, labels []Label) *series {
+	ls := renderLabels(labels)
+	f := r.families[name]
+	if f == nil {
+		f = &family{kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %v and %v", name, f.kind, kind))
+	}
+	s := f.series[ls]
+	if s == nil {
+		s = &series{labels: ls}
+		f.series[ls] = s
+	}
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. A nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getOrCreate(name, kindCounter, labels)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+// A nil registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getOrCreate(name, kindGauge, labels)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at exposition
+// time — live values like queue depth. No-op on a nil registry.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getOrCreate(name, kindGauge, labels)
+	s.g = &Gauge{fn: fn}
+}
+
+// Histogram returns the histogram for (name, labels) with the given
+// ascending bucket upper bounds (+Inf implied), creating it on first
+// use. A nil registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getOrCreate(name, kindHistogram, labels)
+	if s.h == nil {
+		bs := make([]float64, len(bounds))
+		copy(bs, bounds)
+		s.h = &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs))}
+	}
+	return s.h
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// appendLabel splices one extra label into an already-rendered label
+// set (used for histogram le= buckets).
+func appendLabel(rendered, key, value string) string {
+	extra := key + "=" + strconv.Quote(value)
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4). Families are sorted by name and series by
+// label set, so output is deterministic. No-op on a nil registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := r.families[name]
+		fmt.Fprintf(&b, "# TYPE %s %v\n", name, f.kind)
+		ids := make([]string, 0, len(f.series))
+		for id := range f.series {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			s := f.series[id]
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", name, id, s.c.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", name, id, fmtFloat(s.g.Value()))
+			case kindHistogram:
+				cum := int64(0)
+				for i, bound := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", name, appendLabel(id, "le", fmtFloat(bound)), cum)
+				}
+				cum += s.h.inf.Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", name, appendLabel(id, "le", "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", name, id, fmtFloat(s.h.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", name, id, s.h.Count())
+			}
+		}
+	}
+	r.mu.Unlock()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// histSnapshot is the JSON form of one histogram series.
+type histSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"` // le -> cumulative count
+}
+
+// Snapshot returns every series as a flat map keyed by
+// name{labels...}: counters as int64, gauges as float64, histograms as
+// {count, sum, buckets}. Nil registry returns an empty map.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, f := range r.families {
+		for id, s := range f.series {
+			key := name + id
+			switch f.kind {
+			case kindCounter:
+				out[key] = s.c.Value()
+			case kindGauge:
+				out[key] = s.g.Value()
+			case kindHistogram:
+				hs := histSnapshot{Count: s.h.Count(), Sum: s.h.Sum(), Buckets: make(map[string]int64)}
+				cum := int64(0)
+				for i, bound := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					hs.Buckets[fmtFloat(bound)] = cum
+				}
+				hs.Buckets["+Inf"] = cum + s.h.inf.Load()
+				out[key] = hs
+			}
+		}
+	}
+	return out
+}
+
+// WriteJSON renders Snapshot as JSON (keys sorted by encoding/json, so
+// output is deterministic). No-op on a nil registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(r.Snapshot())
+}

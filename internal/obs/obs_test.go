@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fill exercises every metric type against r the way instrumented code
+// does: handles first, then updates.
+func fill(r *Registry) {
+	c := r.Counter("requests_total", Label{"route", "/v1/jobs"}, Label{"status", "200"})
+	c.Add(3)
+	r.Counter("requests_total", Label{"status", "429"}, Label{"route", "/v1/jobs"}).Inc()
+	g := r.Gauge("queue_depth")
+	g.Set(2)
+	g.Add(3)
+	hw := r.Gauge("heap_high_water")
+	hw.SetMax(10)
+	hw.SetMax(7) // lower: must not win
+	h := r.Histogram("latency_seconds", []float64{0.001, 0.1, 1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(42)
+	r.GaugeFunc("live_value", func() float64 { return 6.5 })
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	fill(r)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE heap_high_water gauge
+heap_high_water 10
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.001"} 1
+latency_seconds_bucket{le="0.1"} 2
+latency_seconds_bucket{le="1"} 2
+latency_seconds_bucket{le="+Inf"} 3
+latency_seconds_sum 42.0505
+latency_seconds_count 3
+# TYPE live_value gauge
+live_value 6.5
+# TYPE queue_depth gauge
+queue_depth 5
+# TYPE requests_total counter
+requests_total{route="/v1/jobs",status="200"} 3
+requests_total{route="/v1/jobs",status="429"} 1
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestExpositionDeterminism: the same updates against two fresh
+// registries render byte-identical text.
+func TestExpositionDeterminism(t *testing.T) {
+	render := func() string {
+		r := NewRegistry()
+		fill(r)
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Errorf("two identical runs rendered differently:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", Label{"a", "1"}, Label{"b", "2"})
+	b := r.Counter("x_total", Label{"b", "2"}, Label{"a", "1"})
+	if a != b {
+		t.Fatal("label order produced distinct series")
+	}
+}
+
+func TestJSONSnapshot(t *testing.T) {
+	r := NewRegistry()
+	fill(r)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &m); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if m[`requests_total{route="/v1/jobs",status="200"}`] != float64(3) {
+		t.Errorf("snapshot counter = %v, want 3", m[`requests_total{route="/v1/jobs",status="200"}`])
+	}
+	if m["queue_depth"] != float64(5) {
+		t.Errorf("snapshot gauge = %v, want 5", m["queue_depth"])
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total")
+}
+
+// TestNilSafety: a nil registry hands out nil handles and every method
+// on them is a no-op.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h", SecondsBuckets())
+	r.GaugeFunc("f", func() float64 { return 1 })
+	c.Add(5)
+	c.Inc()
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles reported non-zero values")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var sm *SimMetrics
+	_ = sm // a nil bundle's fields are nil handles; Sim(nil) is nil
+	if Sim(nil) != nil {
+		t.Fatal("Sim(nil) != nil")
+	}
+}
+
+// BenchmarkDisabledRegistry is the no-op-overhead guard: the disabled
+// path — nil handles obtained once at construction, updated per event —
+// must cost only nil checks and zero allocations.
+func BenchmarkDisabledRegistry(b *testing.B) {
+	var r *Registry
+	c := r.Counter("events_total")
+	g := r.Gauge("high_water")
+	h := r.Histogram("latency_seconds", SecondsBuckets())
+	var tl *Timeline
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+		g.SetMax(float64(i))
+		h.Observe(0.01)
+		tl.RecordSpan(Span{Start: int64(i), End: int64(i + 1)})
+		tl.RecordInstant(Instant{At: int64(i)})
+	}
+}
+
+func TestDisabledRegistryAllocs(t *testing.T) {
+	var r *Registry
+	c := r.Counter("events_total")
+	h := r.Histogram("latency_seconds", SecondsBuckets())
+	var tl *Timeline
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		h.Observe(0.5)
+		tl.RecordSpan(Span{})
+		tl.RecordInstant(Instant{})
+	})
+	if allocs != 0 {
+		t.Errorf("disabled observability allocated %.1f per op, want 0", allocs)
+	}
+}
+
+// TestConcurrentFirstUse hammers first-use creation of the same series
+// from many goroutines: every caller must receive the same handle
+// (handle initialization happens under the registry lock), so the
+// final count equals the total adds. Run under -race this also pins
+// the synchronization itself.
+func TestConcurrentFirstUse(t *testing.T) {
+	r := NewRegistry()
+	const workers, adds = 16, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < adds; i++ {
+				r.Counter("shared_total").Add(1)
+				r.Histogram("shared_seconds", SecondsBuckets()).Observe(0.001)
+				r.Gauge("shared_gauge").Set(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != workers*adds {
+		t.Fatalf("counter lost updates under concurrent first use: %d, want %d", got, workers*adds)
+	}
+	if got := r.Histogram("shared_seconds", SecondsBuckets()).Count(); got != workers*adds {
+		t.Fatalf("histogram lost updates under concurrent first use: %d, want %d", got, workers*adds)
+	}
+}

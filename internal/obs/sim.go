@@ -1,0 +1,85 @@
+package obs
+
+import "context"
+
+// SimMetrics bundles the handles the simulation stack writes to. The
+// sim engine, the data network, and the schedulers hold one of these
+// and update it unconditionally: a nil *SimMetrics — or any nil handle
+// inside — is a no-op, so a run without a registry pays only nil
+// checks on its hot paths.
+type SimMetrics struct {
+	// Engine (folded in after the run from Engine.Stats).
+	EventsFired     *Counter // sim_events_fired_total
+	EventsPooled    *Counter // sim_events_pooled_total
+	EventsAllocated *Counter // sim_events_allocated_total
+	HeapHighWater   *Gauge   // sim_heap_depth_high_water
+
+	// Data network.
+	FlowsStarted  *Counter   // net_flows_started_total
+	FlowsFinished *Counter   // net_flows_finished_total
+	MaxminSolves  *Counter   // net_maxmin_solves_total
+	MaxminWall    *Histogram // net_maxmin_solve_seconds
+	Reroutes      *Counter   // net_reroutes_total
+	LinksDown     *Counter   // net_links_down_total
+
+	// Scheduler executor.
+	SchedSteps  *Counter // sched_steps_total
+	SchedPhases *Counter // sched_phases_total
+	ASReplans   *Counter // sched_as_replans_total
+}
+
+// Sim returns the simulation-side metric bundle backed by r, creating
+// the series on first use. A nil registry returns nil — the bundle
+// itself is nil-safe at every call site.
+func Sim(r *Registry) *SimMetrics {
+	if r == nil {
+		return nil
+	}
+	return &SimMetrics{
+		EventsFired:     r.Counter("sim_events_fired_total"),
+		EventsPooled:    r.Counter("sim_events_pooled_total"),
+		EventsAllocated: r.Counter("sim_events_allocated_total"),
+		HeapHighWater:   r.Gauge("sim_heap_depth_high_water"),
+		FlowsStarted:    r.Counter("net_flows_started_total"),
+		FlowsFinished:   r.Counter("net_flows_finished_total"),
+		MaxminSolves:    r.Counter("net_maxmin_solves_total"),
+		MaxminWall:      r.Histogram("net_maxmin_solve_seconds", SecondsBuckets()),
+		Reroutes:        r.Counter("net_reroutes_total"),
+		LinksDown:       r.Counter("net_links_down_total"),
+		SchedSteps:      r.Counter("sched_steps_total"),
+		SchedPhases:     r.Counter("sched_phases_total"),
+		ASReplans:       r.Counter("sched_as_replans_total"),
+	}
+}
+
+type ctxKey int
+
+const (
+	registryKey ctxKey = iota
+	timelineKey
+)
+
+// ContextWithRegistry attaches a metrics registry to ctx so layers that
+// only see a context (the experiment runner's cell functions) can reach
+// the sweep's registry.
+func ContextWithRegistry(ctx context.Context, r *Registry) context.Context {
+	return context.WithValue(ctx, registryKey, r)
+}
+
+// RegistryFrom returns the registry attached to ctx, or nil.
+func RegistryFrom(ctx context.Context) *Registry {
+	r, _ := ctx.Value(registryKey).(*Registry)
+	return r
+}
+
+// ContextWithTimeline attaches a timeline recorder to ctx (one per
+// experiment cell when `cmexp -timeline` is on).
+func ContextWithTimeline(ctx context.Context, tl *Timeline) context.Context {
+	return context.WithValue(ctx, timelineKey, tl)
+}
+
+// TimelineFrom returns the timeline attached to ctx, or nil.
+func TimelineFrom(ctx context.Context) *Timeline {
+	tl, _ := ctx.Value(timelineKey).(*Timeline)
+	return tl
+}

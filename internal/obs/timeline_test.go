@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestTimelineEncode(t *testing.T) {
+	tl := NewTimeline()
+	tl.RecordSpan(Span{Cat: "msg", Name: "msg 0->1", Tid: 0, Start: 2000, End: 88125,
+		Args: []Arg{{"bytes", 64}, {"tag", 7}}})
+	tl.RecordInstant(Instant{Cat: "fault", Name: "fault link-down", Tid: -1, At: 500})
+	tl.RecordSpan(Span{Cat: "sched", Name: "step 1", Tid: -1, Start: 0, End: 90000})
+	got := string(tl.Encode())
+	want := `{"displayTimeUnit":"ns","traceEvents":[
+{"name":"step 1","cat":"sched","ph":"X","pid":0,"tid":-1,"ts":0.000,"dur":90.000},
+{"name":"fault link-down","cat":"fault","ph":"i","s":"g","pid":0,"tid":-1,"ts":0.500},
+{"name":"msg 0->1","cat":"msg","ph":"X","pid":0,"tid":0,"ts":2.000,"dur":86.125,"args":{"bytes":64,"tag":7}}
+]}
+`
+	if got != want {
+		t.Errorf("encode mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The output must be valid JSON with the trace-event shape.
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(got), &doc); err != nil {
+		t.Fatalf("encoded timeline is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 || doc.TraceEvents[0].Name != "step 1" {
+		t.Errorf("decoded %d events, first %q", len(doc.TraceEvents), doc.TraceEvents[0].Name)
+	}
+
+	if spans, instants := tl.Len(); spans != 2 || instants != 1 {
+		t.Errorf("Len() = %d, %d; want 2, 1", spans, instants)
+	}
+}
+
+func TestTimelineNil(t *testing.T) {
+	var tl *Timeline
+	tl.RecordSpan(Span{})
+	tl.RecordInstant(Instant{})
+	if s, i := tl.Len(); s != 0 || i != 0 {
+		t.Fatal("nil timeline recorded events")
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(tl.Encode(), &doc); err != nil {
+		t.Fatalf("nil timeline encoding invalid: %v", err)
+	}
+}
+
+func TestUsec(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want string
+	}{{0, "0.000"}, {84, "0.084"}, {1000, "1.000"}, {88125, "88.125"}, {1234567, "1234.567"}}
+	for _, c := range cases {
+		if got := usec(c.ns); got != c.want {
+			t.Errorf("usec(%d) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}

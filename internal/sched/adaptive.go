@@ -1,10 +1,12 @@
 package sched
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/cmmd"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/sim"
 )
@@ -50,6 +52,10 @@ type adaptivePlanner struct {
 	phases    [][]Step            // memoized phase plans; last one empty
 	starts    []int               // each phase's first global round number
 	rounds    int                 // total rounds planned so far
+
+	// Observability sinks (both nil-safe; see Request.Met/Timeline).
+	met *obs.SimMetrics
+	tl  *obs.Timeline
 }
 
 func newAdaptivePlanner(p pattern.Matrix, cfg network.Config) *adaptivePlanner {
@@ -113,10 +119,12 @@ func (ad *adaptivePlanner) estimate(tr Transfer) float64 {
 // phase returns phase k's rounds, planning on first request. Nodes
 // only ask for phase k after the barrier that ends phase k-1, so the
 // plan sees every flow and transfer measurement the previous phases
-// produced. An empty phase means the schedule is complete.
-func (ad *adaptivePlanner) phase(k int) []Step {
+// produced. now is the asking node's current sim time, stamping the
+// re-plan instant when this call plans. An empty phase means the
+// schedule is complete.
+func (ad *adaptivePlanner) phase(k int, now sim.Time) []Step {
 	for len(ad.phases) <= k {
-		ad.planPhase()
+		ad.planPhase(now)
 	}
 	return ad.phases[k]
 }
@@ -124,7 +132,7 @@ func (ad *adaptivePlanner) phase(k int) []Step {
 // planPhase plans the next phase: enough greedy-matching rounds to
 // cover at least half the transfers still unscheduled, under the
 // current rate estimates.
-func (ad *adaptivePlanner) planPhase() {
+func (ad *adaptivePlanner) planPhase(now sim.Time) {
 	ad.starts = append(ad.starts, ad.rounds)
 	if len(ad.remaining) == 0 {
 		ad.phases = append(ad.phases, nil)
@@ -142,6 +150,14 @@ func (ad *adaptivePlanner) planPhase() {
 	}
 	ad.rounds += len(steps)
 	ad.phases = append(ad.phases, steps)
+	if ad.met != nil {
+		ad.met.ASReplans.Add(1)
+		ad.met.SchedPhases.Add(1)
+	}
+	ad.tl.RecordInstant(obs.Instant{
+		Cat: "sched", Name: fmt.Sprintf("replan phase %d", len(ad.phases)), Tid: -1,
+		At: int64(now), Args: []obs.Arg{{Key: "rounds", Val: int64(len(steps))}},
+	})
 }
 
 // planRound builds one round: remaining transfers sorted longest
@@ -212,7 +228,8 @@ func (ad *adaptivePlanner) planRound() Step {
 func (ad *adaptivePlanner) runNode(nd *cmmd.Node) {
 	me := nd.ID()
 	for k := 0; ; k++ {
-		steps := ad.phase(k)
+		start := nd.Now()
+		steps := ad.phase(k, start)
 		if len(steps) == 0 {
 			return
 		}
@@ -231,6 +248,15 @@ func (ad *adaptivePlanner) runNode(nd *cmmd.Node) {
 			}
 		}
 		nd.Barrier()
+		// One node records the phase span — from its entry into the
+		// phase to the barrier that ends it — on the run-scoped track.
+		if me == 0 {
+			ad.tl.RecordSpan(obs.Span{
+				Cat: "sched", Name: fmt.Sprintf("phase %d", k+1), Tid: -1,
+				Start: int64(start), End: int64(nd.Now()),
+				Args: []obs.Arg{{Key: "rounds", Val: int64(len(steps))}},
+			})
+		}
 	}
 }
 
@@ -268,6 +294,8 @@ func runAdaptiveMetrics(req Request) (*Metrics, error) {
 		return nil, err
 	}
 	ad := newAdaptivePlanner(p, req.Cfg)
+	ad.met = req.Met
+	ad.tl = req.Timeline
 	m.Net().SetObserver(&teeObserver{planner: ad, obs: req.Obs})
 	elapsed, err := m.Run(func(nd *cmmd.Node) { ad.runNode(nd) })
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cmmd"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -82,6 +83,14 @@ func newMachine(n int, req Request) (*cmmd.Machine, error) {
 	if req.Obs != nil {
 		m.Net().SetObserver(req.Obs)
 	}
+	if req.Met != nil {
+		m.SetMetrics(req.Met)
+	}
+	// Timeline before faults: ApplyFaults wraps its events with instant
+	// recorders only when a timeline is already attached.
+	if req.Timeline != nil {
+		m.SetTimeline(req.Timeline)
+	}
 	if err := m.ApplyFaults(req.Faults); err != nil {
 		return nil, err
 	}
@@ -130,6 +139,24 @@ func ExecuteSchedule(s *Schedule, req Request) (*Metrics, error) {
 		return nil, err
 	}
 	finishMetrics(met, m, elapsed)
+	if req.Met != nil {
+		req.Met.SchedSteps.Add(int64(met.Steps))
+	}
+	// Step spans derive from the executor's StepDone marks: step i runs
+	// from the previous step's completion (the schedule is globally
+	// step-synchronized) to its own.
+	if req.Timeline != nil {
+		prev := sim.Time(0)
+		for i, at := range met.StepDone {
+			if at > 0 {
+				req.Timeline.RecordSpan(obs.Span{
+					Cat: "sched", Name: fmt.Sprintf("step %d", i+1), Tid: -1,
+					Start: int64(prev), End: int64(at),
+				})
+				prev = at
+			}
+		}
+	}
 	return met, nil
 }
 
@@ -148,6 +175,9 @@ func runProgramMetrics(n, steps int, req Request, program func(*cmmd.Node)) (*Me
 	met.Messages = m.Net().TotalFlows()
 	met.TotalBytes = m.UserBytesSent()
 	finishMetrics(met, m, elapsed)
+	if req.Met != nil {
+		req.Met.SchedSteps.Add(int64(steps))
+	}
 	return met, nil
 }
 

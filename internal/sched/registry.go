@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cmmd"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/topo"
 )
@@ -45,6 +46,12 @@ type Request struct {
 	Trace   bool                 // collect per-message trace events
 	Obs     network.FlowObserver // live flow observer, or nil
 	Faults  *network.FaultPlan   // fault events injected into the run, or nil
+
+	// Observability sinks, both passive and both optional: Met receives
+	// engine/network/scheduler counters, Timeline records sim-time spans
+	// and instants (flows, messages, steps, faults, AS re-plans).
+	Met      *obs.SimMetrics
+	Timeline *obs.Timeline
 }
 
 // Info describes one registered algorithm. At least one of plan/run is

@@ -38,7 +38,7 @@ func BenchmarkHerdIdentical(b *testing.B) {
 		spec := fmt.Sprintf(
 			`{"algorithm":"GS","n":32,"bytes":64,"workload":"synthetic","density":0.25,"seed":%d}`,
 			int64(i)+1)
-		before := s.stats.misses.Load()
+		before := s.stats.misses.Value()
 		var wg sync.WaitGroup
 		var bad atomic.Int64
 		for j := 0; j < herdSize; j++ {
@@ -57,14 +57,14 @@ func BenchmarkHerdIdentical(b *testing.B) {
 		if n := bad.Load(); n != 0 {
 			b.Fatalf("iteration %d: %d of %d requests failed", i, n, herdSize)
 		}
-		if sims := s.stats.misses.Load() - before; sims != 1 {
+		if sims := s.stats.misses.Value() - before; sims != 1 {
 			b.Fatalf("iteration %d: %d concurrent identical requests ran %d simulations, want exactly 1",
 				i, herdSize, sims)
 		}
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(herdSize), "req/op")
-	b.ReportMetric(float64(s.stats.misses.Load())/float64(b.N), "sims/op")
+	b.ReportMetric(float64(s.stats.misses.Value())/float64(b.N), "sims/op")
 }
 
 // BenchmarkWarmHit measures pure store-hit throughput: a single spec
@@ -97,8 +97,8 @@ func BenchmarkWarmHit(b *testing.B) {
 		}
 	})
 	b.StopTimer()
-	if s.stats.misses.Load() != 1 {
-		b.Fatalf("warm benchmark simulated %d times, want 1", s.stats.misses.Load())
+	if s.stats.misses.Value() != 1 {
+		b.Fatalf("warm benchmark simulated %d times, want 1", s.stats.misses.Value())
 	}
 }
 

@@ -200,7 +200,7 @@ func TestCoalescingThunderingHerd(t *testing.T) {
 	}
 	// One leader entered the simulator; everyone else joined its flight.
 	waitFor(t, "herd to coalesce", func() bool {
-		return sims.Load() == 1 && s.stats.coalesced.Load() == herd-1
+		return sims.Load() == 1 && s.stats.coalesced.Value() == herd-1
 	})
 	close(release)
 	wg.Wait()
@@ -271,8 +271,8 @@ func TestQueueOverflow429(t *testing.T) {
 	if rejected.Header().Get("Retry-After") == "" {
 		t.Fatal("429 response carries no Retry-After")
 	}
-	if s.stats.rejected.Load() != 1 {
-		t.Fatalf("rejected counter %d, want 1", s.stats.rejected.Load())
+	if s.stats.rejected.Value() != 1 {
+		t.Fatalf("rejected counter %d, want 1", s.stats.rejected.Value())
 	}
 
 	close(release)

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"regexp"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"repro/cm5"
 	"repro/internal/exp"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -56,10 +58,21 @@ type Server struct {
 	simulate func(cm5.Job) (cm5.Result, error)
 
 	start time.Time
-	stats struct {
-		served, hits, misses, coalesced atomic.Int64
-		rejected, failed, sweeps        atomic.Int64
-	}
+
+	// reg is the server's metrics registry: the serve counters below,
+	// the store's hit/miss/latency series, per-route request counters
+	// and latency histograms, and the sim-level counters of every job
+	// and sweep the server runs. GET /v1/metrics renders it; /v1/stats
+	// reads the same counters, so the two views can never drift.
+	reg   *obs.Registry
+	stats serveStats
+}
+
+// serveStats are the daemon's request-outcome counters, held as obs
+// handles so /v1/stats and /v1/metrics read identical values.
+type serveStats struct {
+	served, hits, misses, coalesced *obs.Counter
+	rejected, failed, sweeps        *obs.Counter
 }
 
 // Option configures a Server.
@@ -102,22 +115,103 @@ func New(cfg network.Config, st *store.Store, opts ...Option) *Server {
 		s.queue = 0
 	}
 	s.sem = make(chan struct{}, s.workers)
+
+	s.reg = obs.NewRegistry()
+	s.stats = serveStats{
+		served:    s.reg.Counter("serve_served_total"),
+		hits:      s.reg.Counter("serve_hits_total"),
+		misses:    s.reg.Counter("serve_misses_total"),
+		coalesced: s.reg.Counter("serve_coalesced_total"),
+		rejected:  s.reg.Counter("serve_rejected_total"),
+		failed:    s.reg.Counter("serve_failed_total"),
+		sweeps:    s.reg.Counter("serve_sweeps_total"),
+	}
+	s.reg.GaugeFunc("serve_in_flight", func() float64 { return float64(len(s.sem)) })
+	s.reg.GaugeFunc("serve_queue_depth", func() float64 {
+		if q := int(s.pending.Load()) - len(s.sem); q > 0 {
+			return float64(q)
+		}
+		return 0
+	})
+	s.reg.GaugeFunc("serve_workers", func() float64 { return float64(s.workers) })
+	s.reg.GaugeFunc("serve_queue_capacity", func() float64 { return float64(s.queue) })
+	if st != nil {
+		st.SetMetrics(s.reg)
+		s.reg.GaugeFunc("store_records", func() float64 { return float64(st.Len()) })
+	}
 	return s
 }
 
-// Handler returns the daemon's full route table.
+// Registry returns the server's metrics registry (the one /v1/metrics
+// renders).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Handler returns the daemon's full route table. Every route is
+// wrapped with the per-route instrumentation middleware, so
+// serve_requests_total{route,status,cache} and the latency histograms
+// cover the whole surface, /v1/metrics itself included.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
-	mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
-	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
-	mux.HandleFunc("GET /v1/faultprofiles", s.handleFaultProfiles)
-	mux.HandleFunc("GET /v1/traces", s.handleTraces)
-	mux.HandleFunc("POST /v1/jobs", s.handleJob)
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
+	mux.HandleFunc("GET /v1/metrics", s.instrument("/v1/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/algorithms", s.instrument("/v1/algorithms", s.handleAlgorithms))
+	mux.HandleFunc("GET /v1/topologies", s.instrument("/v1/topologies", s.handleTopologies))
+	mux.HandleFunc("GET /v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
+	mux.HandleFunc("GET /v1/faultprofiles", s.instrument("/v1/faultprofiles", s.handleFaultProfiles))
+	mux.HandleFunc("GET /v1/traces", s.instrument("/v1/traces", s.handleTraces))
+	mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleJob))
+	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	return s.withDeadline(mux)
+}
+
+// statusRecorder captures the response status (and the X-Cache header
+// the job path sets) for the instrumentation middleware. It forwards
+// Flush so the sweep stream keeps flushing through the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps one route with request counting by
+// (route, status, cache outcome) and a per-route latency histogram.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.reg.Histogram("serve_request_seconds", obs.SecondsBuckets(),
+		obs.Label{Key: "route", Value: route})
+	return func(w http.ResponseWriter, r *http.Request) {
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		h(sr, r)
+		hist.Observe(time.Since(t0).Seconds())
+		cache := sr.Header().Get("X-Cache")
+		if cache == "" {
+			cache = "none"
+		}
+		s.reg.Counter("serve_requests_total",
+			obs.Label{Key: "route", Value: route},
+			obs.Label{Key: "status", Value: strconv.Itoa(sr.status)},
+			obs.Label{Key: "cache", Value: cache},
+		).Add(1)
+	}
+}
+
+// handleMetrics renders the registry in Prometheus text exposition
+// format — the same counters /v1/stats reports, plus the store, sim
+// and per-route series.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
 }
 
 // withDeadline applies the per-request timeout to every handler's
@@ -217,7 +311,10 @@ func (s *Server) runJob(ctx context.Context, js JobSpec, hash string) ([]byte, s
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.simulate(job)
+		// Sim-level counters (engine events, flows, solver wall time)
+		// accumulate into the server registry; metrics are passive, so
+		// the payload stays byte-identical.
+		res, err := s.simulate(job.With(cm5.WithMetrics(s.reg)))
 		if err != nil {
 			return nil, err
 		}
@@ -417,6 +514,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	runner := exp.NewRunner(s.workers)
 	runner.Seed = req.Seed
 	runner.Filter = filter
+	runner.Metrics = s.reg
 	if s.store != nil {
 		runner.Store = s.store
 		runner.StoreBase = exp.StoreBase(s.cfg)
@@ -464,13 +562,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		queued = 0
 	}
 	doc := map[string]any{
-		"served":         s.stats.served.Load(),
-		"hits":           s.stats.hits.Load(),
-		"misses":         s.stats.misses.Load(),
-		"coalesced":      s.stats.coalesced.Load(),
-		"rejected":       s.stats.rejected.Load(),
-		"failed":         s.stats.failed.Load(),
-		"sweeps":         s.stats.sweeps.Load(),
+		"served":         s.stats.served.Value(),
+		"hits":           s.stats.hits.Value(),
+		"misses":         s.stats.misses.Value(),
+		"coalesced":      s.stats.coalesced.Value(),
+		"rejected":       s.stats.rejected.Value(),
+		"failed":         s.stats.failed.Value(),
+		"sweeps":         s.stats.sweeps.Value(),
 		"in_flight":      inFlight,
 		"queued":         queued,
 		"workers":        s.workers,

@@ -138,7 +138,22 @@ type Engine struct {
 	done     int           // finished processes
 	running  bool
 	ran      bool
+	stats    Stats
 }
+
+// Stats are the engine's internal event-machinery counters, maintained
+// unconditionally (plain integer increments on paths that already
+// touch the same cache lines) and folded into the observability layer
+// after the run.
+type Stats struct {
+	EventsFired     int64 // events executed, including timed wakeups
+	EventsPooled    int64 // events recycled from the free pool
+	EventsAllocated int64 // events allocated because the pool was empty
+	HeapHighWater   int   // maximum heap depth reached
+}
+
+// Stats returns the engine's event counters.
+func (e *Engine) Stats() Stats { return e.stats }
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
@@ -153,8 +168,10 @@ func (e *Engine) getEvent() *event {
 		ev := e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
+		e.stats.EventsPooled++
 		return ev
 	}
+	e.stats.EventsAllocated++
 	return &event{idx: -1}
 }
 
@@ -239,6 +256,7 @@ func (e *Engine) ready(p *Proc) {
 
 // fire runs one due event on the calling goroutine.
 func (e *Engine) fire(ev *event) {
+	e.stats.EventsFired++
 	if ev.proc != nil {
 		e.ready(ev.proc)
 		e.putEvent(ev)
@@ -422,6 +440,9 @@ func (e *Engine) heapSwap(i, j int) {
 func (e *Engine) heapPush(ev *event) {
 	ev.idx = len(e.events)
 	e.events = append(e.events, ev)
+	if len(e.events) > e.stats.HeapHighWater {
+		e.stats.HeapHighWater = len(e.events)
+	}
 	e.siftUp(ev.idx)
 }
 

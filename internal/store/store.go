@@ -33,6 +33,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // SchemaVersion is the record-format version; it participates in every
@@ -110,10 +113,33 @@ func canonicalJSON(v any) ([]byte, error) {
 // read-write so listings (Len, All) also run concurrently.
 type Store struct {
 	dir string
+	met *storeMetrics // nil unless SetMetrics attached a registry
 
 	mu    sync.RWMutex
 	index map[string]indexEntry // hash -> entry
 	dirty bool                  // index.json lags the in-memory index
+}
+
+// storeMetrics are the observability handles Get/Put update.
+type storeMetrics struct {
+	hits, misses *obs.Counter
+	get, put     *obs.Histogram
+}
+
+// SetMetrics attaches observability counters and latency histograms
+// (hit/miss counts, get/put wall time) backed by r; nil detaches. Call
+// before the store is used concurrently.
+func (s *Store) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		s.met = nil
+		return
+	}
+	s.met = &storeMetrics{
+		hits:   r.Counter("store_get_hits_total"),
+		misses: r.Counter("store_get_misses_total"),
+		get:    r.Histogram("store_get_seconds", obs.SecondsBuckets()),
+		put:    r.Histogram("store_put_seconds", obs.SecondsBuckets()),
+	}
 }
 
 type indexEntry struct {
@@ -187,6 +213,21 @@ func readRecord(path string) (*Record, error) {
 // reads the object file directly, so records written by a concurrent
 // process after Open are found too.
 func (s *Store) Get(hash string) (*Record, bool, error) {
+	if s.met == nil {
+		return s.get(hash)
+	}
+	t0 := time.Now()
+	rec, ok, err := s.get(hash)
+	s.met.get.Observe(time.Since(t0).Seconds())
+	if ok {
+		s.met.hits.Add(1)
+	} else if err == nil {
+		s.met.misses.Add(1)
+	}
+	return rec, ok, err
+}
+
+func (s *Store) get(hash string) (*Record, bool, error) {
 	if len(hash) < 2 {
 		return nil, false, fmt.Errorf("store: bad hash %q", hash)
 	}
@@ -210,6 +251,16 @@ func (s *Store) Get(hash string) (*Record, bool, error) {
 // marked stale — call Flush once after a batch of Puts, rather than
 // paying an O(records) index rewrite per cell.
 func (s *Store) Put(rec *Record) error {
+	if s.met == nil {
+		return s.put(rec)
+	}
+	t0 := time.Now()
+	err := s.put(rec)
+	s.met.put.Observe(time.Since(t0).Seconds())
+	return err
+}
+
+func (s *Store) put(rec *Record) error {
 	rec.Schema = SchemaVersion
 	if rec.Hash == "" {
 		h, err := HashSpec(rec.Spec)

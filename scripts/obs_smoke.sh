@@ -1,0 +1,117 @@
+#!/bin/sh
+# obs_smoke.sh — end-to-end smoke test of the observability layer (CI's
+# obs-smoke step; `make obs-smoke` locally).
+#
+# Asserts, from the outside over real HTTP:
+#
+#   1. GET /v1/metrics serves Prometheus text whose serve counters
+#      start at zero and move in lockstep with the requests we send:
+#      one miss, one hit, a herd of identical concurrent requests that
+#      must coalesce;
+#   2. the counters agree with GET /v1/stats — same registry, two
+#      renderings;
+#   3. `cmexp -timeline` writes one valid Chrome trace-event JSON file
+#      per simulated cell, byte-identical across two runs (jq required
+#      for the validity check; skipped without it).
+#
+# Requires curl; jq is optional. Exits non-zero on the first failed
+# assertion.
+set -eu
+
+PORT="${PORT:-18128}"
+GO="${GO:-go}"
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+# metric NAME FILE — extract one unlabeled sample value.
+metric() {
+	awk -v name="$1" '$1 == name { print $2; found = 1 } END { if (!found) print "MISSING" }' "$2"
+}
+
+echo "== build"
+"$GO" build -o "$tmp/cmserve" ./cmd/cmserve
+"$GO" build -o "$tmp/cmexp" ./cmd/cmexp
+
+echo "== start daemon on :$PORT (store $tmp/store)"
+"$tmp/cmserve" -addr "127.0.0.1:$PORT" -store "$tmp/store" &
+pid=$!
+
+i=0
+until curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -gt 50 ] && { echo "obs-smoke: daemon never became healthy"; exit 1; }
+	sleep 0.1
+done
+
+echo "== fresh daemon exposes zeroed serve counters"
+curl -sf "http://127.0.0.1:$PORT/v1/metrics" >"$tmp/m0"
+for name in serve_hits_total serve_misses_total serve_coalesced_total; do
+	v="$(metric "$name" "$tmp/m0")"
+	[ "$v" = "0" ] || { echo "obs-smoke: fresh $name = $v, want 0"; exit 1; }
+done
+
+spec='{"algorithm":"BEX","n":32,"bytes":1024}'
+
+echo "== one miss, one hit move the counters"
+curl -sf "http://127.0.0.1:$PORT/v1/jobs" -d "$spec" >/dev/null
+curl -sf "http://127.0.0.1:$PORT/v1/jobs" -d "$spec" >/dev/null
+curl -sf "http://127.0.0.1:$PORT/v1/metrics" >"$tmp/m1"
+[ "$(metric serve_misses_total "$tmp/m1")" = "1" ] || { echo "obs-smoke: serve_misses_total != 1 after cold POST"; exit 1; }
+[ "$(metric serve_hits_total "$tmp/m1")" = "1" ] || { echo "obs-smoke: serve_hits_total != 1 after warm POST"; exit 1; }
+[ "$(metric sim_events_fired_total "$tmp/m1")" != "MISSING" ] || { echo "obs-smoke: sim counters missing from /v1/metrics"; exit 1; }
+[ "$(metric store_get_misses_total "$tmp/m1")" != "MISSING" ] || { echo "obs-smoke: store counters missing from /v1/metrics"; exit 1; }
+
+echo "== a herd of one fresh spec coalesces"
+herd='{"algorithm":"GS","n":64,"bytes":256,"workload":"hotspot"}'
+herd_pids=""
+for _ in 1 2 3 4 5 6 7 8; do
+	curl -sf "http://127.0.0.1:$PORT/v1/jobs" -d "$herd" >/dev/null &
+	herd_pids="$herd_pids $!"
+done
+# wait on the curls specifically — a bare `wait` would also wait on
+# the daemon, which never exits.
+for p in $herd_pids; do
+	wait "$p"
+done
+curl -sf "http://127.0.0.1:$PORT/v1/metrics" >"$tmp/m2"
+misses="$(metric serve_misses_total "$tmp/m2")"
+hits="$(metric serve_hits_total "$tmp/m2")"
+coalesced="$(metric serve_coalesced_total "$tmp/m2")"
+[ "$misses" = "2" ] || { echo "obs-smoke: herd should cost exactly one more simulation (misses=$misses, want 2)"; exit 1; }
+total=$((misses + hits + coalesced))
+[ "$total" = "10" ] || { echo "obs-smoke: miss+hit+coalesced = $total, want 10"; exit 1; }
+
+echo "== /v1/metrics counters agree with /v1/stats"
+curl -sf "http://127.0.0.1:$PORT/v1/stats" >"$tmp/stats.json"
+if command -v jq >/dev/null 2>&1; then
+	for pair in "hits serve_hits_total" "misses serve_misses_total" "coalesced serve_coalesced_total"; do
+		key="${pair% *}"; name="${pair#* }"
+		sv="$(jq -r ".$key" "$tmp/stats.json")"
+		mv_="$(metric "$name" "$tmp/m2")"
+		[ "$sv" = "$mv_" ] || { echo "obs-smoke: /v1/stats $key=$sv but /v1/metrics $name=$mv_"; exit 1; }
+	done
+else
+	echo "   (jq not installed; skipping the field-by-field comparison)"
+fi
+
+echo "== cmexp -timeline writes valid, deterministic trace files"
+"$tmp/cmexp" -parallel 2 -timeline "$tmp/tl1" ablation-async >/dev/null
+"$tmp/cmexp" -parallel 2 -timeline "$tmp/tl2" ablation-async >/dev/null
+n="$(ls "$tmp/tl1"/*.trace.json | wc -l | tr -d ' ')"
+[ "$n" = "16" ] || { echo "obs-smoke: wrote $n timeline files, want 16"; exit 1; }
+for f in "$tmp/tl1"/*.trace.json; do
+	cmp "$f" "$tmp/tl2/$(basename "$f")" || { echo "obs-smoke: $f differs between identical runs"; exit 1; }
+	if command -v jq >/dev/null 2>&1; then
+		unit="$(jq -r .displayTimeUnit "$f")"
+		[ "$unit" = "ns" ] || { echo "obs-smoke: $f displayTimeUnit=$unit, want ns"; exit 1; }
+		events="$(jq '.traceEvents | length' "$f")"
+		[ "$events" -gt 0 ] || { echo "obs-smoke: $f has no trace events"; exit 1; }
+	fi
+done
+
+echo "obs-smoke: all assertions passed"
