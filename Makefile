@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json bench-baseline cover perf-check lint vet fmt-check tables examples linkcheck api api-check serve-smoke faults-smoke apps-smoke obs-smoke profile
+.PHONY: build test race bench bench-smoke bench-json bench-baseline cover perf-check lint vet fmt-check tables examples linkcheck api api-check serve-smoke faults-smoke apps-smoke obs-smoke workers-smoke profile
 
 build:
 	$(GO) build ./...
@@ -104,6 +104,15 @@ apps-smoke:
 # scripts/obs_smoke.sh).
 obs-smoke:
 	sh scripts/obs_smoke.sh
+
+# End-to-end smoke test of the distributed sweep fabric: a two-worker
+# `cmexp -workers` fleet sharing a cmserve-hosted HTTP store, one
+# worker SIGKILLed mid-sweep — the survivor steals the dead worker's
+# expired leases and completes, a final -resume is 100% replayed, and
+# both outputs are byte-identical to a storeless run (CI's
+# workers-smoke step; see scripts/workers_smoke.sh).
+workers-smoke:
+	sh scripts/workers_smoke.sh
 
 # CPU + heap profiles of the topology benchmark (the perf gate's
 # workload) via the standard pprof flags; inspect with

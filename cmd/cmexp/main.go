@@ -42,14 +42,34 @@
 //	-run REGEXP   only run cells whose key matches (unselected cells
 //	              stay blank in the rendered tables; derived columns
 //	              of partially-selected tables stay blank too)
-//	-store DIR    content-addressed result store: cells whose full
+//	-store LOC    content-addressed result store: cells whose full
 //	              specification (family, cell, axes, seed, config, code
 //	              version) is already stored replay byte-identically
 //	              instead of re-simulating; fresh results persist for
-//	              the next run. Created if missing.
-//	-resume       continue an interrupted sweep: like -store DIR, but
-//	              the store must already exist, and the replayed/
-//	              simulated split is reported on stderr. Requires -store.
+//	              the next run. LOC is a directory (created if missing)
+//	              or a cmserve URL ("http://host:port") — with a URL the
+//	              records live on the daemon and any number of cmexp
+//	              processes on any machine share them.
+//	-resume       continue an interrupted sweep: like -store LOC, but
+//	              the store must already exist (directories must be
+//	              present, URLs reachable), and the replayed/simulated
+//	              split is reported on stderr. Requires -store.
+//	-workers      run as one worker of a fleet sharing -store: before
+//	              simulating a cell, lease its content hash through the
+//	              backend, so concurrent workers partition the sweep
+//	              among themselves with no scheduler. Cells leased by a
+//	              live worker are deferred and replayed once stored;
+//	              leases of dead workers expire and are stolen, so any
+//	              worker's death is survivable — rerun (or just wait for
+//	              the fleet) and the sweep completes. Every worker still
+//	              renders the complete byte-identical output. Requires
+//	              -store.
+//	-worker-id S  this worker's lease identity (default worker-<pid>;
+//	              make it unique per live process)
+//	-lease-ttl D  how long a claimed cell stays leased (default 1m).
+//	              Must comfortably exceed one cell's simulation time;
+//	              an expired lease invites a steal and the cell is
+//	              computed twice (harmlessly, but wastefully).
 //	-invalidate REGEXP
 //	              delete stored results whose cell key matches, before
 //	              the sweep (with no experiments: invalidate and exit).
@@ -104,6 +124,9 @@ type options struct {
 	runPat      string
 	storeDir    string
 	resume      bool
+	workers     bool
+	workerID    string
+	leaseTTL    time.Duration
 	invalidate  string
 	format      string
 	verbose     bool
@@ -119,8 +142,11 @@ func main() {
 	flag.IntVar(&o.parallel, "parallel", 0, "worker pool size (0 = all CPUs)")
 	flag.Int64Var(&o.seed, "seed", 0, "perturb the per-cell seeds of stochastic cells (0 = canonical tables)")
 	flag.StringVar(&o.runPat, "run", "", "only run cells whose key matches this regexp")
-	flag.StringVar(&o.storeDir, "store", "", "content-addressed result store directory (cache hits replay instead of re-simulating)")
+	flag.StringVar(&o.storeDir, "store", "", "content-addressed result store: a directory or a cmserve URL (cache hits replay instead of re-simulating)")
 	flag.BoolVar(&o.resume, "resume", false, "continue an interrupted sweep from an existing -store (reports the replayed/simulated split)")
+	flag.BoolVar(&o.workers, "workers", false, "run as one worker of a fleet sharing -store: lease cells before simulating, steal expired leases of dead workers")
+	flag.StringVar(&o.workerID, "worker-id", "", "this worker's lease identity (default worker-<pid>)")
+	flag.DurationVar(&o.leaseTTL, "lease-ttl", time.Minute, "how long a claimed cell stays leased in -workers mode")
 	flag.StringVar(&o.invalidate, "invalidate", "", "delete stored results whose cell key matches this regexp before the sweep (requires -store)")
 	flag.StringVar(&o.format, "format", "text", "output format: text, json, or csv")
 	flag.BoolVar(&o.verbose, "v", false, "report per-cell progress on stderr")
@@ -184,23 +210,35 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string, o options
 	}
 
 	// The result store: -resume demands an existing one (resuming from
-	// nothing is a misspelled path, not a fresh sweep), -store creates
-	// on first use.
-	var st *store.Store
+	// nothing is a misspelled path or a dead daemon, not a fresh sweep),
+	// -store creates directories on first use. The location's scheme
+	// picks the backend: a plain path is a local disk store, an
+	// http(s):// URL is a cmserve-hosted one shared by every process
+	// that points at it.
+	var st store.Backend
 	if o.resume && o.storeDir == "" {
-		return fmt.Errorf("-resume requires -store DIR (the store the interrupted sweep was writing)")
+		return fmt.Errorf("-resume requires -store LOC (the store the interrupted sweep was writing)")
+	}
+	if o.workers && o.storeDir == "" {
+		return fmt.Errorf("-workers requires -store LOC (the backend the fleet coordinates through)")
 	}
 	if o.invalidate != "" && o.storeDir == "" {
-		return fmt.Errorf("-invalidate requires -store DIR")
+		return fmt.Errorf("-invalidate requires -store LOC")
 	}
 	if o.storeDir != "" {
-		if o.resume {
+		isURL := strings.HasPrefix(o.storeDir, "http://") || strings.HasPrefix(o.storeDir, "https://")
+		if o.resume && !isURL {
 			if fi, err := os.Stat(o.storeDir); err != nil || !fi.IsDir() {
 				return fmt.Errorf("-resume: store %s does not exist", o.storeDir)
 			}
 		}
-		if st, err = store.Open(o.storeDir); err != nil {
+		if st, err = store.OpenBackend(o.storeDir); err != nil {
 			return err
+		}
+		if isURL && o.resume {
+			if err := st.(*store.HTTPBackend).Ping(); err != nil {
+				return fmt.Errorf("-resume: %w", err)
+			}
 		}
 	}
 	if o.invalidate != "" {
@@ -263,6 +301,9 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string, o options
 	if st != nil {
 		runner.Store = st
 		runner.StoreBase = exp.StoreBase(cfg)
+		if o.workers {
+			runner.Lease = &exp.LeaseConfig{Owner: o.workerID, TTL: o.leaseTTL}
+		}
 	}
 	if o.runPat != "" {
 		re, err := regexp.Compile(o.runPat)

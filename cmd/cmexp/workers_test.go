@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// TestCmexpWorkerHelperProcess is not a test: it is the body of the
+// worker process TestWorkersKillAndResumeByteIdentical spawns. It runs
+// one cmexp -workers sweep against the store URL in CMEXP_WORKER_STORE,
+// printing per-cell progress to stderr so the parent can kill it
+// mid-sweep.
+func TestCmexpWorkerHelperProcess(t *testing.T) {
+	url := os.Getenv("CMEXP_WORKER_STORE")
+	if url == "" {
+		t.Skip("helper process entry point; spawned by TestWorkersKillAndResumeByteIdentical")
+	}
+	o := options{
+		parallel: 1,
+		storeDir: url,
+		workers:  true,
+		workerID: os.Getenv("CMEXP_WORKER_ID"),
+		leaseTTL: 2 * time.Second,
+		verbose:  true,
+	}
+	var stdout strings.Builder
+	if err := run(context.Background(), &stdout, os.Stderr, []string{os.Getenv("CMEXP_WORKER_FAMILY")}, o); err != nil {
+		t.Fatalf("worker sweep: %v", err)
+	}
+}
+
+// TestWorkersKillAndResumeByteIdentical is the distributed sweep's
+// crash contract, end to end over real sockets and processes: a worker
+// fleet shares a cmserve-hosted HTTP store; one worker is SIGKILLed
+// mid-sweep (its leases die with it); a surviving worker completes the
+// sweep anyway — stealing whatever the corpse held once the leases
+// expire — and renders output byte-identical to a single-process
+// storeless run. A final -resume replays everything without simulating
+// a single cell.
+func TestWorkersKillAndResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a process and real sockets; skipped in -short")
+	}
+	const family = "ablation-async" // 16 cells: big enough to die inside
+	baseline, _ := cmexpOut(t, []string{family}, options{parallel: 2})
+
+	disk, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.New(network.DefaultConfig(), disk).Handler())
+	defer ts.Close()
+
+	// Worker 1: a real OS process, killed with SIGKILL (no cleanup, no
+	// release — exactly a crash) as soon as its first progress line
+	// shows it is mid-sweep.
+	cmd := exec.Command(os.Args[0], "-test.run=TestCmexpWorkerHelperProcess$", "-test.count=1")
+	cmd.Env = append(os.Environ(),
+		"CMEXP_WORKER_STORE="+ts.URL,
+		"CMEXP_WORKER_ID=doomed",
+		"CMEXP_WORKER_FAMILY="+family,
+	)
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	scanner := bufio.NewScanner(stderrPipe)
+	for scanner.Scan() {
+		if strings.HasPrefix(scanner.Text(), "[") { // "[1/16] ablation-async/..."
+			if err := cmd.Process.Kill(); err != nil {
+				t.Fatal(err)
+			}
+			killed = true
+			break
+		}
+	}
+	cmd.Wait() // reap; a killed process reports an error, which is the point
+	if !killed {
+		// The worker finished every cell before printing progress —
+		// impossible with -v, so the pipe must have broken.
+		t.Fatal("worker 1 produced no progress output; cannot test mid-sweep death")
+	}
+	if disk.Len() >= 16 {
+		t.Skipf("worker 1 finished all %d cells before the kill landed; nothing to recover", disk.Len())
+	}
+
+	// Worker 2 survives: it replays what the corpse stored, waits out
+	// the corpse's leases, steals them, and completes the sweep.
+	var w2out, w2err strings.Builder
+	o2 := options{parallel: 2, storeDir: ts.URL, workers: true, workerID: "survivor", leaseTTL: 2 * time.Second}
+	if err := run(context.Background(), &w2out, &w2err, []string{family}, o2); err != nil {
+		t.Fatalf("surviving worker: %v\nstderr:\n%s", err, w2err.String())
+	}
+	if w2out.String() != baseline {
+		t.Fatalf("survivor's output differs from the storeless baseline:\n%s\nvs\n%s",
+			w2out.String(), baseline)
+	}
+
+	// The sweep is complete on the shared store: -resume replays all 16
+	// cells over HTTP and simulates none.
+	resumed, resumedErr := cmexpOut(t, []string{family},
+		options{parallel: 2, storeDir: ts.URL, resume: true})
+	if resumed != baseline {
+		t.Fatalf("-resume output differs from the storeless baseline:\n%s\nvs\n%s", resumed, baseline)
+	}
+	if !strings.Contains(resumedErr, "16 cells replayed") || !strings.Contains(resumedErr, "0 simulated") {
+		t.Fatalf("-resume should replay all 16 cells and simulate none:\n%s", resumedErr)
+	}
+}
+
+// TestWorkersFlagValidation pins the CLI contract around the new
+// flags: -workers and URL stores are rejected cleanly when misused.
+func TestWorkersFlagValidation(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run(context.Background(), &out, &errb, []string{"fig5"}, options{workers: true}); err == nil ||
+		!strings.Contains(err.Error(), "-workers requires -store") {
+		t.Fatalf("-workers without -store: err=%v", err)
+	}
+	if err := run(context.Background(), &out, &errb, []string{"fig5"},
+		options{storeDir: "http://"}); err == nil {
+		t.Fatal("hostless store URL accepted")
+	}
+	// -resume against an unreachable daemon fails fast instead of
+	// sweeping into the void.
+	if err := run(context.Background(), &out, &errb, []string{"fig5"},
+		options{storeDir: "http://127.0.0.1:1", resume: true}); err == nil ||
+		!strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("-resume against a dead daemon: err=%v", err)
+	}
+}

@@ -13,21 +13,31 @@
 //
 // Endpoints (see docs/API.md for the full reference):
 //
-//	POST /v1/jobs        run one job spec, return its Result JSON
-//	POST /v1/sweep       run experiment families, stream cells as NDJSON
-//	GET  /v1/algorithms  the typed registry's algorithms
-//	GET  /v1/topologies  the interconnect families
-//	GET  /v1/workloads   the scenario catalogue (+ "synthetic")
-//	GET  /v1/traces      the recordable applications (+ stored recordings)
-//	GET  /v1/stats       hits, misses, coalesced, in-flight, queue depth
-//	GET  /v1/metrics     the same counters (and more) as Prometheus text
-//	GET  /healthz        liveness
+//	POST /v1/jobs          run one job spec, return its Result JSON
+//	POST /v1/sweep         run experiment families, stream cells as NDJSON
+//	GET  /v1/registry      every listable registry in one uniform shape
+//	GET  /v1/registry/{kind}  one registry (algorithms, topologies,
+//	                       workloads, faultprofiles, traces)
+//	GET  /v1/algorithms    (alias) the typed registry's algorithms
+//	GET  /v1/topologies    (alias) the interconnect families
+//	GET  /v1/workloads     (alias) the scenario catalogue (+ "synthetic")
+//	GET  /v1/traces        (alias) the recordable applications
+//	GET  /v1/store/*       the attached store served over HTTP: objects,
+//	                       index, and claim leases — point any number of
+//	                       `cmexp -workers -store http://this-daemon` at
+//	                       it and they share records and partition sweeps
+//	GET  /v1/stats         hits, misses, coalesced, in-flight, queue depth
+//	GET  /v1/metrics       the same counters (and more) as Prometheus text
+//	GET  /healthz          liveness
 //
 // Flags:
 //
 //	-addr HOST:PORT  listen address (default :8127)
-//	-store DIR       content-addressed result store shared with cmexp
-//	                 (created if missing; empty = serve without a cache)
+//	-store LOC       content-addressed result store shared with cmexp: a
+//	                 directory (created if missing) or the URL of another
+//	                 cmserve whose store this daemon should use (empty =
+//	                 serve without a cache). With a directory attached the
+//	                 /v1/store API serves it to remote workers.
 //	-workers N       concurrent simulations (default: all CPUs)
 //	-queue N         admission queue depth beyond the busy workers;
 //	                 overflowing requests get 429 (default 64)
@@ -68,7 +78,7 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":8127", "listen address")
-		dir       = flag.String("store", "", "content-addressed result store directory (empty: no cache)")
+		dir       = flag.String("store", "", "content-addressed result store: a directory or a cmserve URL (empty: no cache)")
 		workers   = flag.Int("workers", 0, "concurrent simulations (0 = all CPUs)")
 		queue     = flag.Int("queue", 64, "admission queue depth beyond the busy workers")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request deadline (0 disables)")
@@ -106,10 +116,10 @@ func run(addr, dir string, workers, queue int, timeout time.Duration, pprofAddr,
 		}()
 	}
 
-	var st *store.Store
+	var st store.Backend
 	if dir != "" {
 		var err error
-		if st, err = store.Open(dir); err != nil {
+		if st, err = store.OpenBackend(dir); err != nil {
 			return err
 		}
 	}

@@ -93,12 +93,14 @@ func FamilySpecs(name string, cfg network.Config) ([]*TableSpec, error) {
 	return FamilySpecsStore(name, cfg, nil)
 }
 
-// FamilySpecsStore is FamilySpecs with a result store threaded through
-// to the families that persist more than cell records — the apps
-// family's trace library records into it, so recorded application
-// traces survive across processes. A nil store degrades gracefully
-// (traces are memoized for the sweep and re-recorded next process).
-func FamilySpecsStore(name string, cfg network.Config, st *store.Store) ([]*TableSpec, error) {
+// FamilySpecsStore is FamilySpecs with a result store backend threaded
+// through to the families that persist more than cell records — the
+// apps family's trace library records into it, so recorded application
+// traces survive across processes (and, with an HTTP backend, are
+// shared by every worker of a distributed sweep). A nil backend
+// degrades gracefully (traces are memoized for the sweep and
+// re-recorded next process).
+func FamilySpecsStore(name string, cfg network.Config, st store.Backend) ([]*TableSpec, error) {
 	switch name {
 	case "fig5":
 		return []*TableSpec{Fig5Spec(cfg)}, nil

@@ -1,0 +1,163 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Leased (multi-worker) execution: the distributed half of the runner.
+// Each worker process runs the same sweep over the same shared backend;
+// before simulating a cell it leases the cell's content hash, so the
+// fleet partitions cells dynamically — whoever claims first computes,
+// everyone else replays the stored result. A worker that dies holds its
+// leases only until they expire, at which point any other worker
+// steals them, so no single death can strand a cell.
+
+// cellStatus is the outcome of one leased cell attempt.
+type cellStatus int
+
+const (
+	cellReplayed  cellStatus = iota // stored result applied
+	cellSimulated                   // computed (and stored) here
+	cellDeferred                    // another live worker holds the lease
+)
+
+// runCellsLeased executes cells as one worker of a fleet. Each cell
+// token lives in the queue (or a pending requeue timer) at most once,
+// so the channel — sized to hold every cell — can never block a send.
+func (r *Runner) runCellsLeased(ctx context.Context, cells []boundCell) error {
+	total := len(cells)
+	if total == 0 {
+		return ctx.Err()
+	}
+	lc := r.Lease.withDefaults()
+	workers := r.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > total {
+		workers = total
+	}
+
+	queue := make(chan boundCell, total)
+	for _, bc := range cells {
+		queue <- bc
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex // guards firstErr, done, and OnProgress calls
+		firstErr  error
+		done      int
+		remaining atomic.Int64
+	)
+	remaining.Store(int64(total))
+	allDone := make(chan struct{})
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-cctx.Done():
+					return
+				case <-allDone:
+					return
+				case bc := <-queue:
+					st, err := r.runCellLeased(cctx, bc, lc)
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("cell %s: %w", bc.cell.Key, err)
+						}
+						mu.Unlock()
+						cancel()
+						return
+					}
+					if st == cellDeferred {
+						// A live worker owns this cell; its result will
+						// appear in the store (or its lease will expire).
+						// Put the token back after a poll interval.
+						time.AfterFunc(lc.Poll, func() {
+							select {
+							case queue <- bc:
+							case <-cctx.Done():
+							}
+						})
+						continue
+					}
+					if r.OnProgress != nil {
+						mu.Lock()
+						done++
+						r.OnProgress(Progress{Done: done, Total: total,
+							Key: bc.cell.Key, Cached: st == cellReplayed})
+						mu.Unlock()
+					}
+					if remaining.Add(-1) == 0 {
+						close(allDone)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// runCellLeased resolves one cell under the lease protocol:
+//
+//	replay ── hit ─────────────────────────────→ done (replayed)
+//	   │ miss
+//	claim ── held by a live worker ────────────→ deferred (re-queued)
+//	   │ acquired (fresh, refreshed, or stolen)
+//	replay ── hit (holder finished in between) → release, done (replayed)
+//	   │ miss
+//	simulate, persist, release ────────────────→ done (simulated)
+func (r *Runner) runCellLeased(ctx context.Context, bc boundCell, lc LeaseConfig) (cellStatus, error) {
+	seed := CellSeed(bc.cell.Key) ^ r.Seed
+	hash, err := store.HashSpec(r.cellSpec(bc, seed))
+	if err != nil {
+		return 0, err
+	}
+	if ok, err := r.replayCell(bc, hash); err != nil {
+		return 0, err
+	} else if ok {
+		return cellReplayed, nil
+	}
+	cl, err := r.Store.Claim(hash, lc.Owner, lc.TTL)
+	if err != nil {
+		return 0, err
+	}
+	if !cl.Acquired {
+		r.Metrics.Counter("exp_cells_deferred_total").Add(1)
+		return cellDeferred, nil
+	}
+	r.Metrics.Counter("exp_cells_claimed_total").Add(1)
+	if cl.Stolen {
+		r.Metrics.Counter("exp_cells_stolen_total").Add(1)
+	}
+	defer r.Store.Release(hash, lc.Owner)
+	// The holder may have finished between our miss and the claim (its
+	// release made the hash claimable again); one more replay check
+	// under the lease avoids simulating a cell that is already stored.
+	if ok, err := r.replayCell(bc, hash); err != nil {
+		return 0, err
+	} else if ok {
+		return cellReplayed, nil
+	}
+	if err := r.simulateCell(ctx, bc, seed, hash); err != nil {
+		return 0, err
+	}
+	return cellSimulated, nil
+}

@@ -171,11 +171,24 @@ type Runner struct {
 	// OnProgress, when non-nil, is called after each cell completes.
 	// Calls are serialized but may come from any worker goroutine.
 	OnProgress func(Progress)
-	// Store, when non-nil, enables cache-aware execution.
-	Store *store.Store
+	// Store, when non-nil, enables cache-aware execution. Any backend
+	// works: a local directory (*store.Store) or a cmserve-hosted HTTP
+	// store (*store.HTTPBackend) shared by a fleet of workers.
+	Store store.Backend
 	// StoreBase holds the sweep-wide key fields mixed into every cell's
 	// content hash (see StoreBase); ignored without a Store.
 	StoreBase store.Spec
+	// Lease, when non-nil (it requires a Store), turns this runner into
+	// one worker of a fleet: before simulating a cell it leases the
+	// cell's content hash through the backend, so any number of worker
+	// processes sharing one backend partition a sweep among themselves
+	// with no scheduler. Cells another live worker holds are deferred
+	// and re-checked every Poll until they appear in the store (the
+	// holder finished) or their lease expires (the holder died — the
+	// lease is stolen and the cell simulated here). Every worker still
+	// fills its whole table, replaying the cells others computed, so
+	// each one renders byte-identical complete output.
+	Lease *LeaseConfig
 	// Metrics, when non-nil, receives sweep observability — per-cell
 	// wall-time histograms and replayed/simulated counters — and is
 	// handed to every cell's simulations through the context, so
@@ -219,6 +232,36 @@ func StoreBase(cfg interface{}) store.Spec {
 	return store.Spec{"config": cfg, "code_version": ResultsVersion}
 }
 
+// LeaseConfig configures leased (multi-worker) execution; see
+// Runner.Lease.
+type LeaseConfig struct {
+	// Owner is this worker's identity in the shared claim space; it must
+	// be unique per live process (empty: "worker-<pid>").
+	Owner string
+	// TTL is how long a claimed cell stays leased. It must comfortably
+	// exceed one cell's simulation time: a lease that expires mid-cell
+	// invites a steal and the work is done twice (never wrongly — both
+	// Put the same record — just wastefully). Empty: one minute.
+	TTL time.Duration
+	// Poll is how often deferred cells (leased by another live worker)
+	// are re-checked. Empty: 100ms.
+	Poll time.Duration
+}
+
+// withDefaults fills the zero fields.
+func (lc LeaseConfig) withDefaults() LeaseConfig {
+	if lc.Owner == "" {
+		lc.Owner = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	if lc.TTL <= 0 {
+		lc.TTL = time.Minute
+	}
+	if lc.Poll <= 0 {
+		lc.Poll = 100 * time.Millisecond
+	}
+	return lc
+}
+
 // boundCell pairs a selected cell with its spec so workers can apply
 // writes and file records against the right table.
 type boundCell struct {
@@ -250,7 +293,12 @@ func (r *Runner) Run(ctx context.Context, specs ...*TableSpec) error {
 		}
 		complete[i] = selected == len(s.Cells)
 	}
-	err := r.runCells(ctx, cells)
+	var err error
+	if r.Lease != nil && r.Store != nil {
+		err = r.runCellsLeased(ctx, cells)
+	} else {
+		err = r.runCells(ctx, cells)
+	}
 	if r.Store != nil {
 		// One index write per sweep, not per cell — and even a failed
 		// sweep indexes the cells it did complete (that is what -resume
@@ -353,20 +401,37 @@ func (r *Runner) runCell(ctx context.Context, bc boundCell) (bool, error) {
 			return false, err
 		}
 		hash = h
-		if stored, ok, err := r.Store.Get(hash); err == nil && ok {
-			rec := &Rec{writes: stored.Writes, values: stored.Values}
-			if err := applyWrites(bc.spec.Table, rec.writes); err != nil {
-				return false, fmt.Errorf("stale store record %s (invalidate it or bump exp.ResultsVersion): %w",
-					hash[:12], err)
-			}
-			bc.spec.putRec(bc.cell.Key, rec)
-			r.hits.Add(1)
-			r.Metrics.Counter("exp_cells_replayed_total").Add(1)
-			return true, nil
+		if ok, err := r.replayCell(bc, hash); err != nil || ok {
+			return ok, err
 		}
-		// A read error falls through to a fresh simulation: the store
-		// must never be able to break a sweep it could only speed up.
 	}
+	return false, r.simulateCell(ctx, bc, seed, hash)
+}
+
+// replayCell applies the record stored under hash, if any. A read error
+// reports a clean miss: the store must never be able to break a sweep
+// it could only speed up. A record that no longer fits the table is a
+// hard error — it means stale results, not a recoverable miss.
+func (r *Runner) replayCell(bc boundCell, hash string) (bool, error) {
+	stored, ok, err := r.Store.Get(hash)
+	if err != nil || !ok {
+		return false, nil
+	}
+	rec := &Rec{writes: stored.Writes, values: stored.Values}
+	if err := applyWrites(bc.spec.Table, rec.writes); err != nil {
+		return false, fmt.Errorf("stale store record %s (invalidate it or bump exp.ResultsVersion): %w",
+			hash[:12], err)
+	}
+	bc.spec.putRec(bc.cell.Key, rec)
+	r.hits.Add(1)
+	r.Metrics.Counter("exp_cells_replayed_total").Add(1)
+	return true, nil
+}
+
+// simulateCell runs the cell's Fn, applies its writes, files its
+// record, and (when hash is non-empty, i.e. a store is attached)
+// persists the result under hash.
+func (r *Runner) simulateCell(ctx context.Context, bc boundCell, seed int64, hash string) error {
 	if r.Metrics != nil {
 		ctx = obs.ContextWithRegistry(ctx, r.Metrics)
 	}
@@ -378,7 +443,7 @@ func (r *Runner) runCell(ctx context.Context, bc boundCell) (bool, error) {
 	rec := &Rec{}
 	t0 := time.Now()
 	if err := bc.cell.Fn(ctx, seed, rec); err != nil {
-		return false, err
+		return err
 	}
 	if r.Metrics != nil {
 		r.Metrics.Counter("exp_cells_simulated_total").Add(1)
@@ -386,14 +451,14 @@ func (r *Runner) runCell(ctx context.Context, bc boundCell) (bool, error) {
 	}
 	if tl != nil {
 		if err := tl.WriteFile(timelinePath(r.TimelineDir, bc.cell.Key)); err != nil {
-			return false, err
+			return err
 		}
 	}
 	if err := applyWrites(bc.spec.Table, rec.writes); err != nil {
-		return false, err
+		return err
 	}
 	bc.spec.putRec(bc.cell.Key, rec)
-	if r.Store != nil {
+	if r.Store != nil && hash != "" {
 		err := r.Store.Put(&store.Record{
 			Hash:   hash,
 			Family: bc.spec.Name,
@@ -403,11 +468,11 @@ func (r *Runner) runCell(ctx context.Context, bc boundCell) (bool, error) {
 			Values: rec.values,
 		})
 		if err != nil {
-			return false, err
+			return err
 		}
 		r.misses.Add(1)
 	}
-	return false, nil
+	return nil
 }
 
 // cellSpec assembles the full specification a cell result is addressed

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/network"
+)
+
+// TestLegacyListingBytesPinned pins the five historical listing
+// endpoints to the exact bytes the pre-collapse handlers served
+// (testdata/listing/*.json, captured from the hand-rolled handlers).
+// The registry-table collapse must be invisible on the wire.
+func TestLegacyListingBytesPinned(t *testing.T) {
+	s := New(network.DefaultConfig(), nil)
+	h := s.Handler()
+	for path, golden := range map[string]string{
+		"/v1/algorithms":    "algorithms.json",
+		"/v1/topologies":    "topologies.json",
+		"/v1/workloads":     "workloads.json",
+		"/v1/faultprofiles": "faultprofiles.json",
+		"/v1/traces":        "traces.json",
+	} {
+		want, err := os.ReadFile(filepath.Join("testdata", "listing", golden))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := get(h, path)
+		if w.Code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, w.Code)
+		}
+		if got := w.Body.String(); got != string(want) {
+			t.Errorf("GET %s drifted from the pinned bytes:\ngot:  %s\nwant: %s", path, got, want)
+		}
+	}
+}
+
+// TestTracesListingWithStore covers the store-dependent branch the
+// pinned capture (taken storeless) misses: an attached empty store adds
+// "recorded":[] and nothing else.
+func TestTracesListingWithStore(t *testing.T) {
+	s := New(network.DefaultConfig(), testStore(t))
+	w := get(s.Handler(), "/v1/traces")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if string(doc["recorded"]) != "[]" {
+		t.Fatalf("recorded = %s, want []", doc["recorded"])
+	}
+}
+
+// TestRegistryUniformShape exercises the collapsed endpoints: every
+// registry appears under /v1/registry with the shared (name, kind, doc)
+// row shape, and /v1/registry/{kind} serves the same rows one registry
+// at a time.
+func TestRegistryUniformShape(t *testing.T) {
+	s := New(network.DefaultConfig(), nil)
+	h := s.Handler()
+
+	w := get(h, "/v1/registry")
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /v1/registry: status %d", w.Code)
+	}
+	var all struct {
+		Registry []struct {
+			Kind    string         `json:"kind"`
+			Entries []listingEntry `json:"entries"`
+		} `json:"registry"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &all); err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []string{"algorithms", "topologies", "workloads", "faultprofiles", "traces"}
+	if len(all.Registry) != len(wantKinds) {
+		t.Fatalf("registry lists %d groups, want %d", len(all.Registry), len(wantKinds))
+	}
+	for i, g := range all.Registry {
+		if g.Kind != wantKinds[i] {
+			t.Errorf("group %d = %q, want %q", i, g.Kind, wantKinds[i])
+		}
+		if len(g.Entries) == 0 {
+			t.Errorf("registry %q is empty", g.Kind)
+		}
+		for _, e := range g.Entries {
+			if e.Name == "" || e.Doc == "" {
+				t.Errorf("registry %q row %+v missing name or doc", g.Kind, e)
+			}
+			if (g.Kind == "algorithms") != (e.Kind != "") {
+				t.Errorf("registry %q row %q kind = %q; only algorithms carry a subtype", g.Kind, e.Name, e.Kind)
+			}
+		}
+	}
+
+	// Per-kind view serves the same rows.
+	for _, kind := range wantKinds {
+		w := get(h, "/v1/registry/"+kind)
+		if w.Code != http.StatusOK {
+			t.Fatalf("GET /v1/registry/%s: status %d", kind, w.Code)
+		}
+		var one struct {
+			Kind    string         `json:"kind"`
+			Entries []listingEntry `json:"entries"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &one); err != nil {
+			t.Fatal(err)
+		}
+		if one.Kind != kind || len(one.Entries) == 0 {
+			t.Errorf("/v1/registry/%s = kind %q with %d entries", kind, one.Kind, len(one.Entries))
+		}
+	}
+
+	if w := get(h, "/v1/registry/nonsense"); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown registry kind: status %d, want 404", w.Code)
+	}
+}

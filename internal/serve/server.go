@@ -18,7 +18,6 @@ import (
 	"repro/internal/exp"
 	"repro/internal/network"
 	"repro/internal/obs"
-	"repro/internal/pattern"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -39,7 +38,7 @@ var errBusy = errors.New("server at capacity: admission queue full")
 // coalescing waits.
 type Server struct {
 	cfg     network.Config
-	store   *store.Store // nil: serve without a cache
+	store   store.Backend // nil: serve without a cache
 	workers int
 	queue   int
 	timeout time.Duration
@@ -92,8 +91,20 @@ func WithQueueDepth(n int) Option { return func(s *Server) { s.queue = n } }
 func WithTimeout(d time.Duration) Option { return func(s *Server) { s.timeout = d } }
 
 // New builds a Server over the given network configuration and result
-// store (nil for an uncached server).
-func New(cfg network.Config, st *store.Store, opts ...Option) *Server {
+// store backend — a local *store.Store, a remote *store.HTTPBackend,
+// or nil for an uncached server. With a disk store attached the server
+// also mounts the /v1/store API over it, becoming the hub of a
+// distributed sweep: remote cmexp -workers processes read, write, and
+// lease cells through this daemon.
+func New(cfg network.Config, st store.Backend, opts ...Option) *Server {
+	// Normalize a typed-nil backend pointer so the nil checks below
+	// (and every handler's) see one kind of "no store".
+	if b, ok := st.(*store.Store); ok && b == nil {
+		st = nil
+	}
+	if b, ok := st.(*store.HTTPBackend); ok && b == nil {
+		st = nil
+	}
 	s := &Server{
 		cfg:      cfg,
 		store:    st,
@@ -136,7 +147,11 @@ func New(cfg network.Config, st *store.Store, opts ...Option) *Server {
 	s.reg.GaugeFunc("serve_workers", func() float64 { return float64(s.workers) })
 	s.reg.GaugeFunc("serve_queue_capacity", func() float64 { return float64(s.queue) })
 	if st != nil {
-		st.SetMetrics(s.reg)
+		// Only the disk store owns counters; a remote backend's metrics
+		// live on the daemon that hosts it.
+		if ms, ok := st.(interface{ SetMetrics(*obs.Registry) }); ok {
+			ms.SetMetrics(s.reg)
+		}
 		s.reg.GaugeFunc("store_records", func() float64 { return float64(st.Len()) })
 	}
 	return s
@@ -155,13 +170,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
 	mux.HandleFunc("GET /v1/metrics", s.instrument("/v1/metrics", s.handleMetrics))
-	mux.HandleFunc("GET /v1/algorithms", s.instrument("/v1/algorithms", s.handleAlgorithms))
-	mux.HandleFunc("GET /v1/topologies", s.instrument("/v1/topologies", s.handleTopologies))
-	mux.HandleFunc("GET /v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
-	mux.HandleFunc("GET /v1/faultprofiles", s.instrument("/v1/faultprofiles", s.handleFaultProfiles))
-	mux.HandleFunc("GET /v1/traces", s.instrument("/v1/traces", s.handleTraces))
+	// The historical listing endpoints are aliases over one registry
+	// table (listings.go); their response bytes are pinned by tests.
+	for _, reg := range registries {
+		mux.HandleFunc("GET "+reg.path, s.instrument(reg.path, s.handleLegacyListing(reg)))
+	}
+	mux.HandleFunc("GET /v1/registry", s.instrument("/v1/registry", s.handleRegistry))
+	mux.HandleFunc("GET /v1/registry/{kind}", s.instrument("/v1/registry/{kind}", s.handleRegistryKind))
 	mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleJob))
 	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	// The store API: the attached backend served over HTTP, which is
+	// what lets remote cmexp -workers treat this daemon as their store.
+	mux.HandleFunc("GET /v1/store/index", s.instrument("/v1/store/index", s.handleStoreIndex))
+	mux.HandleFunc("GET /v1/store/objects/{hash}", s.instrument("/v1/store/objects", s.handleStoreGet))
+	mux.HandleFunc("PUT /v1/store/objects/{hash}", s.instrument("/v1/store/objects", s.handleStorePut))
+	mux.HandleFunc("POST /v1/store/claims", s.instrument("/v1/store/claims", s.handleStoreClaims))
+	mux.HandleFunc("POST /v1/store/invalidate", s.instrument("/v1/store/invalidate", s.handleStoreInvalidate))
+	mux.HandleFunc("POST /v1/store/flush", s.instrument("/v1/store/flush", s.handleStoreFlush))
 	return s.withDeadline(mux)
 }
 
@@ -379,13 +404,14 @@ func (s *Server) storePut(js JobSpec, hash string, payload []byte) {
 	if s.store == nil {
 		return
 	}
-	rec := &store.Record{
-		Hash:    hash,
-		Family:  "serve",
-		Cell:    fmt.Sprintf("serve/%s", hash[:12]),
-		Spec:    js.storeSpec(s.cfg),
-		Payload: json.RawMessage(payload),
+	// NewRecord recomputes the hash from the spec and validates; a
+	// drift between JobSpec.Hash and storeSpec would surface right here
+	// instead of becoming a permanently unreachable record.
+	rec, err := store.NewRecord("serve", fmt.Sprintf("serve/%s", hash[:12]), js.storeSpec(s.cfg))
+	if err != nil || rec.Hash != hash {
+		return
 	}
+	rec.Payload = json.RawMessage(payload)
 	if s.store.Put(rec) == nil {
 		s.store.Flush()
 	}
@@ -549,7 +575,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	doc := map[string]any{"status": "ok"}
 	if s.store != nil {
-		doc["store"] = s.store.Dir()
+		doc["store"] = s.store.Location()
 	}
 	writeJSON(w, doc)
 }
@@ -576,94 +602,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"uptime_s":       time.Since(s.start).Seconds(),
 	}
 	if s.store != nil {
-		doc["store"] = map[string]any{"dir": s.store.Dir(), "records": s.store.Len()}
+		doc["store"] = map[string]any{"dir": s.store.Location(), "records": s.store.Len()}
 	}
 	writeJSON(w, doc)
-}
-
-func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
-	type entry struct {
-		Name string `json:"name"`
-		Kind string `json:"kind"`
-		Doc  string `json:"doc"`
-	}
-	var list []entry
-	for _, a := range cm5.Algorithms() {
-		list = append(list, entry{Name: a.Name(), Kind: string(a.Kind()), Doc: a.Doc()})
-	}
-	writeJSON(w, map[string]any{"algorithms": list})
-}
-
-func (s *Server) handleTopologies(w http.ResponseWriter, r *http.Request) {
-	type entry struct {
-		Name string `json:"name"`
-		Doc  string `json:"doc"`
-	}
-	var list []entry
-	for _, name := range cm5.Topologies() {
-		list = append(list, entry{Name: name, Doc: cm5.TopologyDoc(name)})
-	}
-	writeJSON(w, map[string]any{"topologies": list})
-}
-
-func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
-	type entry struct {
-		Name string `json:"name"`
-		Desc string `json:"desc"`
-	}
-	var list []entry
-	for _, wl := range pattern.Workloads() {
-		list = append(list, entry{Name: wl.Name, Desc: wl.Desc})
-	}
-	list = append(list, entry{
-		Name: SyntheticWorkload,
-		Desc: "random pattern of the given density (the paper's Table 11 shape)",
-	})
-	writeJSON(w, map[string]any{"workloads": list})
-}
-
-func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	type entry struct {
-		Name        string `json:"name"`
-		Doc         string `json:"doc"`
-		DefaultSize int    `json:"default_size"`
-	}
-	var list []entry
-	for _, name := range cm5.Traces() {
-		a, _ := trace.Lookup(name)
-		list = append(list, entry{Name: name, Doc: a.Doc, DefaultSize: a.DefaultSize})
-	}
-	doc := map[string]any{"trace_version": trace.TraceVersion, "apps": list}
-	if s.store != nil {
-		// The recordings this store already holds, addressable without
-		// re-running anything.
-		type stored struct {
-			Cell string `json:"cell"`
-			Hash string `json:"hash"`
-		}
-		recorded := []stored{}
-		if recs, err := s.store.All(); err == nil {
-			for _, rec := range recs {
-				if rec.Family == "trace" {
-					recorded = append(recorded, stored{Cell: rec.Cell, Hash: rec.Hash})
-				}
-			}
-		}
-		doc["recorded"] = recorded
-	}
-	writeJSON(w, doc)
-}
-
-func (s *Server) handleFaultProfiles(w http.ResponseWriter, r *http.Request) {
-	type entry struct {
-		Name string `json:"name"`
-		Doc  string `json:"doc"`
-	}
-	var list []entry
-	for _, name := range cm5.FaultProfiles() {
-		list = append(list, entry{Name: name, Doc: cm5.FaultProfileDoc(name)})
-	}
-	writeJSON(w, map[string]any{"fault_profiles": list})
 }
 
 func writeJSON(w http.ResponseWriter, doc any) {

@@ -1,0 +1,83 @@
+package store
+
+import (
+	"regexp"
+	"strings"
+	"time"
+)
+
+// Backend is the persistence interface behind every sweep: the on-disk
+// content-addressed store (Store) and the HTTP client that speaks to a
+// cmserve-hosted one (HTTPBackend) both satisfy it, so the experiment
+// runner, the serving layer, and the trace library are indifferent to
+// whether results land in a local directory or on a shared daemon.
+//
+// Beyond the record operations, a backend is a coordination substrate:
+// Claim and Release are lease primitives over the same content-hash
+// address space. A worker process claims a cell's hash before
+// simulating it, so concurrent workers sharing one backend partition a
+// sweep without a scheduler; leases carry a TTL, so a worker that dies
+// mid-cell is stolen from once its lease expires — any worker's death
+// is survivable.
+type Backend interface {
+	// Location describes the backend for humans: the store directory,
+	// or the server URL.
+	Location() string
+	// Len returns the number of indexed records (best effort for remote
+	// backends: 0 when the server is unreachable).
+	Len() int
+	// Get returns the record stored under hash, or ok=false on a miss.
+	Get(hash string) (*Record, bool, error)
+	// Put stores a validated record under rec.Hash (computed from
+	// rec.Spec when empty). Safe for any number of concurrent callers,
+	// in-process or across processes.
+	Put(rec *Record) error
+	// Index enumerates the stored records' (hash, family, cell) triples,
+	// sorted by (family, cell, hash), without reading any payloads (best
+	// effort for remote backends: empty when the server is unreachable).
+	Index() []IndexEntry
+	// All returns every stored record, sorted by (family, cell, hash).
+	All() ([]*Record, error)
+	// Invalidate deletes every record whose cell key matches re and
+	// returns how many were removed.
+	Invalidate(re *regexp.Regexp) (int, error)
+	// Flush persists any deferred index state; a no-op for backends
+	// that index eagerly.
+	Flush() error
+	// Claim attempts to lease hash for owner until now+ttl. It succeeds
+	// when the hash is unclaimed, already leased by this owner (the
+	// lease is refreshed), or leased by an owner whose lease has
+	// expired (the lease is stolen — Claim.Stolen reports it). A live
+	// lease held by another owner is not disturbed: the returned claim
+	// has Acquired=false and names the holder.
+	Claim(hash, owner string, ttl time.Duration) (Claim, error)
+	// Release drops owner's lease on hash; releasing a lease that is
+	// absent or held by another owner is a no-op.
+	Release(hash, owner string) error
+}
+
+// Claim is the outcome of one Backend.Claim attempt.
+type Claim struct {
+	// Acquired reports whether owner now holds the lease.
+	Acquired bool `json:"acquired"`
+	// Stolen reports that acquiring required expiring another owner's
+	// dead lease — the work-stealing path.
+	Stolen bool `json:"stolen,omitempty"`
+	// Holder names the live holder when the claim was not acquired.
+	Holder string `json:"holder,omitempty"`
+	// ExpiresUnixNS is the acquired lease's expiry (Unix nanoseconds).
+	ExpiresUnixNS int64 `json:"expires_unix_ns,omitempty"`
+}
+
+// OpenBackend opens the backend a location string names, dispatching
+// on scheme: "http://" and "https://" locations get an HTTPBackend
+// speaking to a cmserve /v1/store API; anything else is a local store
+// directory (created if missing). This is how every CLI -store flag
+// resolves, so a sweep moves from a local directory to a shared daemon
+// by changing one flag value.
+func OpenBackend(location string) (Backend, error) {
+	if strings.HasPrefix(location, "http://") || strings.HasPrefix(location, "https://") {
+		return NewHTTPBackend(location)
+	}
+	return Open(location)
+}

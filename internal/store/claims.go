@@ -1,0 +1,182 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Disk leases. A claim on hash h is one JSON file under
+// claims/<hh>/<h>.json naming its owner and expiry. The file system is
+// the arbiter, with the same discipline as object writes — content is
+// only ever published whole:
+//
+//   - acquiring an unclaimed hash hard-links a fully written temp file
+//     into place (link fails with EEXIST when someone else won);
+//   - refreshing an owned lease replaces the file via temp + rename;
+//   - stealing an expired lease first renames the corpse file away
+//     (exactly one stealer's rename succeeds — the source vanishes),
+//     then acquires the now-unclaimed hash.
+//
+// So any number of worker processes sharing a directory can Claim
+// concurrently and exactly one wins each hash.
+
+// claimFile is the on-disk lease document.
+type claimFile struct {
+	Schema        int    `json:"schema"`
+	Hash          string `json:"hash"`
+	Owner         string `json:"owner"`
+	ExpiresUnixNS int64  `json:"expires_unix_ns"`
+}
+
+func (s *Store) claimPath(hash string) string {
+	return filepath.Join(s.dir, "claims", hash[:2], hash+".json")
+}
+
+func readClaimFile(path string) (*claimFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c claimFile
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// writeClaimTemp writes a fully formed claim file next to path and
+// returns its name; the caller publishes it by link or rename.
+func writeClaimTemp(path string, c claimFile) (string, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return "", err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-claim-*")
+	if err != nil {
+		return "", err
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	data = append(data, '\n')
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	return tmp.Name(), nil
+}
+
+// Claim implements Backend.Claim on the disk store (see the interface
+// doc for the lease semantics). The loop retries lost publish races —
+// another process linking the same hash first, or winning the steal
+// rename — a bounded number of times; each retry re-reads the claim
+// file, so a loser settles on reporting the winner as holder.
+func (s *Store) Claim(hash, owner string, ttl time.Duration) (Claim, error) {
+	if len(hash) < 2 {
+		return Claim{}, fmt.Errorf("store: bad hash %q", hash)
+	}
+	if owner == "" {
+		return Claim{}, fmt.Errorf("store: claim needs an owner")
+	}
+	cl, err := s.claim(hash, owner, ttl)
+	if s.met != nil && err == nil {
+		switch {
+		case cl.Stolen:
+			s.met.claimSteals.Add(1)
+		case cl.Acquired:
+			s.met.claims.Add(1)
+		default:
+			s.met.claimConflicts.Add(1)
+		}
+	}
+	return cl, err
+}
+
+func (s *Store) claim(hash, owner string, ttl time.Duration) (Claim, error) {
+	path := s.claimPath(hash)
+	stolen := false
+	for attempt := 0; attempt < 16; attempt++ {
+		cur, err := readClaimFile(path)
+		now := time.Now()
+		switch {
+		case err == nil && cur.Owner == owner:
+			// Refresh our own lease: an atomic content swap.
+			c := claimFile{Schema: SchemaVersion, Hash: hash, Owner: owner, ExpiresUnixNS: now.Add(ttl).UnixNano()}
+			tmp, werr := writeClaimTemp(path, c)
+			if werr != nil {
+				return Claim{}, fmt.Errorf("store: claim %s: %w", hash[:12], werr)
+			}
+			if rerr := os.Rename(tmp, path); rerr != nil {
+				os.Remove(tmp)
+				return Claim{}, fmt.Errorf("store: claim %s: %w", hash[:12], rerr)
+			}
+			return Claim{Acquired: true, Stolen: stolen, ExpiresUnixNS: c.ExpiresUnixNS}, nil
+
+		case err == nil && now.UnixNano() < cur.ExpiresUnixNS:
+			// A live lease held by someone else.
+			return Claim{Holder: cur.Owner, ExpiresUnixNS: cur.ExpiresUnixNS}, nil
+
+		case err == nil || (err != nil && !os.IsNotExist(err)):
+			// An expired lease, or a torn/foreign claim file (possible
+			// only if something other than this code wrote it): retire
+			// the corpse. Exactly one concurrent stealer's rename
+			// succeeds; losers loop and re-read.
+			corpse := path + fmt.Sprintf(".expired-%d", os.Getpid())
+			if rerr := os.Rename(path, corpse); rerr != nil {
+				if os.IsNotExist(rerr) {
+					continue // someone else stole or released; re-read
+				}
+				return Claim{}, fmt.Errorf("store: claim %s: %w", hash[:12], rerr)
+			}
+			os.Remove(corpse)
+			stolen = true
+			continue
+
+		default: // unclaimed: publish exclusively via hard link
+			c := claimFile{Schema: SchemaVersion, Hash: hash, Owner: owner, ExpiresUnixNS: now.Add(ttl).UnixNano()}
+			tmp, werr := writeClaimTemp(path, c)
+			if werr != nil {
+				return Claim{}, fmt.Errorf("store: claim %s: %w", hash[:12], werr)
+			}
+			lerr := os.Link(tmp, path)
+			os.Remove(tmp)
+			if lerr != nil {
+				if os.IsExist(lerr) {
+					continue // lost the publish race; re-read the winner
+				}
+				return Claim{}, fmt.Errorf("store: claim %s: %w", hash[:12], lerr)
+			}
+			return Claim{Acquired: true, Stolen: stolen, ExpiresUnixNS: c.ExpiresUnixNS}, nil
+		}
+	}
+	return Claim{}, fmt.Errorf("store: claim %s: gave up after 16 publish races", hash[:12])
+}
+
+// Release implements Backend.Release on the disk store: it removes
+// owner's claim file. A claim that is absent or (after a steal) held
+// by another owner is left alone — releasing is idempotent and never
+// disturbs a thief that legitimately expired this owner's lease.
+func (s *Store) Release(hash, owner string) error {
+	if len(hash) < 2 {
+		return fmt.Errorf("store: bad hash %q", hash)
+	}
+	path := s.claimPath(hash)
+	cur, err := readClaimFile(path)
+	if err != nil || cur.Owner != owner {
+		return nil
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: release %s: %w", hash[:12], err)
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClaimAcquireConflictReleaseCycle(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hash = "ab12cd34ef56"
+
+	cl, err := s.Claim(hash, "w1", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Acquired || cl.Stolen {
+		t.Fatalf("first claim = %+v, want acquired fresh", cl)
+	}
+
+	// A second owner bounces off the live lease and learns the holder.
+	cl2, err := s.Claim(hash, "w2", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl2.Acquired || cl2.Holder != "w1" {
+		t.Fatalf("conflicting claim = %+v, want refused with holder w1", cl2)
+	}
+
+	// The holder refreshes: still acquired, expiry extended.
+	cl3, err := s.Claim(hash, "w1", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl3.Acquired || cl3.ExpiresUnixNS <= cl.ExpiresUnixNS {
+		t.Fatalf("refresh = %+v (previous expiry %d), want later expiry", cl3, cl.ExpiresUnixNS)
+	}
+
+	// Release frees the hash for anyone.
+	if err := s.Release(hash, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	cl4, err := s.Claim(hash, "w2", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl4.Acquired || cl4.Stolen {
+		t.Fatalf("claim after release = %+v, want acquired fresh", cl4)
+	}
+}
+
+func TestClaimStealsExpiredLease(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hash = "deadbeef0001"
+	if cl, err := s.Claim(hash, "dead-worker", time.Millisecond); err != nil || !cl.Acquired {
+		t.Fatalf("seed claim: %+v err=%v", cl, err)
+	}
+	time.Sleep(5 * time.Millisecond)
+
+	cl, err := s.Claim(hash, "thief", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Acquired || !cl.Stolen {
+		t.Fatalf("claim on expired lease = %+v, want acquired with Stolen", cl)
+	}
+
+	// The dead worker's belated release must not disturb the thief.
+	if err := s.Release(hash, "dead-worker"); err != nil {
+		t.Fatal(err)
+	}
+	if cl, err := s.Claim(hash, "third", time.Minute); err != nil || cl.Acquired {
+		t.Fatalf("thief's lease was disturbed: %+v err=%v", cl, err)
+	}
+}
+
+func TestClaimReleaseIdempotentAndForeign(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Releasing an absent claim is a no-op.
+	if err := s.Release("cafe00000001", "w1"); err != nil {
+		t.Fatal(err)
+	}
+	if cl, err := s.Claim("cafe00000001", "w1", time.Minute); err != nil || !cl.Acquired {
+		t.Fatalf("claim after no-op release: %+v err=%v", cl, err)
+	}
+	// Releasing under the wrong owner leaves the lease alone.
+	if err := s.Release("cafe00000001", "w2"); err != nil {
+		t.Fatal(err)
+	}
+	if cl, err := s.Claim("cafe00000001", "w3", time.Minute); err != nil || cl.Acquired {
+		t.Fatalf("foreign release freed the lease: %+v err=%v", cl, err)
+	}
+}
+
+// TestClaimConcurrentRace hammers one hash from many goroutines:
+// exactly one must win, the rest must all name the winner.
+func TestClaimConcurrentRace(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hash, workers = "0123456789ab", 16
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		wins []string
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := s.Claim(hash, string(rune('a'+w)), time.Minute)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if cl.Acquired {
+				mu.Lock()
+				wins = append(wins, string(rune('a'+w)))
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(wins) != 1 {
+		t.Fatalf("%d claimants won (%v), want exactly 1", len(wins), wins)
+	}
+	if cl, _ := s.Claim(hash, "late", time.Minute); cl.Acquired || cl.Holder != wins[0] {
+		t.Fatalf("late claim = %+v, want refused with holder %s", cl, wins[0])
+	}
+}
+
+// TestOpenSweepsStrandedTempFiles seeds the failure the atomic-write
+// discipline can leave behind — a crash between temp write and rename
+// strands *.tmp files in objects/ forever — and verifies Open removes
+// aged ones, keeps fresh ones (a live writer may still rename them),
+// and leaves the index exactly as the real object files dictate.
+func TestOpenSweepsStrandedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord("fig5", "fig5/LEX/N32/256B", "1.234")
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	old := time.Now().Add(-2 * strandedTempMaxAge)
+	stale := []string{
+		filepath.Join(dir, "objects", rec.Hash[:2], ".tmp-stranded1"),
+		filepath.Join(dir, "objects", ".tmp-stranded2"),
+		filepath.Join(dir, ".index-stranded"),
+	}
+	for _, p := range stale {
+		if err := os.WriteFile(p, []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh := filepath.Join(dir, "objects", rec.Hash[:2], ".tmp-live")
+	if err := os.WriteFile(fresh, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range stale {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("stranded temp %s survived Open (err=%v)", p, err)
+		}
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh temp %s was swept: %v", fresh, err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("index has %d records after sweep, want 1", s2.Len())
+	}
+	if _, ok, err := s2.Get(rec.Hash); err != nil || !ok {
+		t.Fatalf("real record lost by sweep: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestOpenSweepsLongExpiredClaims verifies aged-out claim files are
+// tidied on Open while live ones survive.
+func TestOpenSweepsLongExpiredClaims(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Claim("aa00aa00aa00", "live", time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// A lease that expired far before the sweep cutoff.
+	deadPath := s.claimPath("bb00bb00bb00")
+	tmp, err := writeClaimTemp(deadPath, claimFile{
+		Schema: SchemaVersion, Hash: "bb00bb00bb00", Owner: "dead",
+		ExpiresUnixNS: time.Now().Add(-2 * strandedTempMaxAge).UnixNano(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, deadPath); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(deadPath); !os.IsNotExist(err) {
+		t.Errorf("long-expired claim survived Open (err=%v)", err)
+	}
+	if _, err := os.Stat(s.claimPath("aa00aa00aa00")); err != nil {
+		t.Errorf("live claim was swept: %v", err)
+	}
+}

@@ -1,0 +1,122 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestStoreWriterHelperProcess is not a test: it is the body of the
+// writer process TestStoreConcurrentProcesses spawns. It opens the
+// store named by STORE_HELPER_DIR, writes the cell range
+// [STORE_HELPER_START, STORE_HELPER_START+STORE_HELPER_COUNT), flushes,
+// and exits 0.
+func TestStoreWriterHelperProcess(t *testing.T) {
+	dir := os.Getenv("STORE_HELPER_DIR")
+	if dir == "" {
+		t.Skip("helper process entry point; spawned by TestStoreConcurrentProcesses")
+	}
+	var start, count int
+	fmt.Sscanf(os.Getenv("STORE_HELPER_START"), "%d", &start)
+	fmt.Sscanf(os.Getenv("STORE_HELPER_COUNT"), "%d", &count)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := start; i < start+count; i++ {
+		if err := s.Put(testRecord("proc", fmt.Sprintf("proc/cell%03d", i), "v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreConcurrentProcesses extends TestStoreConcurrentWriters
+// beyond in-process concurrency: two real OS processes (this test and
+// a re-exec of the test binary) write overlapping and disjoint cell
+// ranges into one directory at the same time. Every record must
+// survive, and the index both processes race to flush must parse and
+// cover the union.
+func TestStoreConcurrentProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a process; skipped in -short")
+	}
+	dir := t.TempDir()
+	const (
+		helperStart, helperCount = 0, 60  // cells 0..59
+		localStart, localCount   = 40, 60 // cells 40..99: 20 contended
+	)
+	cmd := exec.Command(os.Args[0], "-test.run=TestStoreWriterHelperProcess$", "-test.count=1")
+	cmd.Env = append(os.Environ(),
+		"STORE_HELPER_DIR="+dir,
+		fmt.Sprintf("STORE_HELPER_START=%d", helperStart),
+		fmt.Sprintf("STORE_HELPER_COUNT=%d", helperCount),
+	)
+	done := make(chan error, 1)
+	var helperOut []byte
+	go func() {
+		o, err := cmd.CombinedOutput()
+		helperOut = o
+		done <- err
+	}()
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := localStart; i < localStart+localCount; i++ {
+		if err := s.Put(testRecord("proc", fmt.Sprintf("proc/cell%03d", i), "v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("helper writer process failed: %v\n%s", err, helperOut)
+	}
+
+	// No lost records: a fresh Open rebuilds the index from the object
+	// files and must see the union of both processes' ranges.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 100 // cells 000..099
+	if s2.Len() != total {
+		t.Fatalf("store has %d records after two writer processes, want %d", s2.Len(), total)
+	}
+	recs, err := s2.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range recs {
+		if want := fmt.Sprintf("proc/cell%03d", i); rec.Cell != want {
+			t.Fatalf("record %d = %q, want %q (lost or duplicated cells)", i, rec.Cell, want)
+		}
+	}
+
+	// Index integrity: whichever process flushed last, index.json must
+	// be whole, schema-stamped, and sorted.
+	data, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx indexFile
+	if err := json.Unmarshal(data, &idx); err != nil {
+		t.Fatalf("index.json torn by concurrent flushes: %v", err)
+	}
+	if idx.Schema != SchemaVersion {
+		t.Fatalf("index schema = %d, want %d", idx.Schema, SchemaVersion)
+	}
+	for i := 1; i < len(idx.Entries); i++ {
+		if idx.Entries[i-1].Cell > idx.Entries[i].Cell {
+			t.Fatalf("index entries unsorted at %d: %q > %q", i, idx.Entries[i-1].Cell, idx.Entries[i].Cell)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// NewRecord assembles and validates the skeleton of one store record:
+// family, cell key, and the full content-address spec, with the hash
+// computed from the spec. Every producer goes through here — the
+// experiment runner attaches Writes/Values, the serving layer and the
+// trace library attach a Payload — so a malformed record is rejected
+// with per-field errors at the write site instead of surfacing later
+// as an inexplicable cache miss. Put re-validates, so records built by
+// hand are held to the same rules.
+func NewRecord(family, cell string, spec Spec) (*Record, error) {
+	rec := &Record{Schema: SchemaVersion, Family: family, Cell: cell, Spec: spec}
+	if spec != nil {
+		h, err := HashSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("store: record %s: %w", cell, err)
+		}
+		rec.Hash = h
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// Validate checks every field of a record and reports all defects at
+// once, one per line. The strongest rule is hash consistency: a
+// non-empty Hash must equal HashSpec(Spec), so a record whose address
+// drifted from its specification — the classic source of silent
+// permanent cache misses — is caught at the write site.
+func (r *Record) Validate() error {
+	var defects []string
+	if r.Family == "" {
+		defects = append(defects, "family: empty")
+	}
+	if r.Cell == "" {
+		defects = append(defects, "cell: empty")
+	}
+	if r.Schema != 0 && r.Schema != SchemaVersion {
+		defects = append(defects, fmt.Sprintf("schema: %d, want %d", r.Schema, SchemaVersion))
+	}
+	if r.Spec == nil {
+		defects = append(defects, "spec: nil (the record would be unaddressable)")
+	} else if h, err := HashSpec(r.Spec); err != nil {
+		defects = append(defects, fmt.Sprintf("spec: not hashable: %v", err))
+	} else if r.Hash != "" && r.Hash != h {
+		defects = append(defects, fmt.Sprintf("hash: %.12s does not match the spec's content hash %.12s", r.Hash, h))
+	}
+	if r.Hash != "" && len(r.Hash) < 2 {
+		defects = append(defects, fmt.Sprintf("hash: %q too short to address an object file", r.Hash))
+	}
+	for i, w := range r.Writes {
+		if w.Row < 0 || w.Col < 0 {
+			defects = append(defects, fmt.Sprintf("writes[%d]: negative slot (%d,%d)", i, w.Row, w.Col))
+		}
+	}
+	for name, v := range r.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			defects = append(defects, fmt.Sprintf("values[%s]: %v is not storable JSON", name, v))
+		}
+	}
+	if len(defects) == 0 {
+		return nil
+	}
+	return fmt.Errorf("store: invalid record %q:\n  %s", r.Cell, strings.Join(defects, "\n  "))
+}

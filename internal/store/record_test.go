@@ -1,0 +1,115 @@
+package store
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewRecordComputesHashAndValidates(t *testing.T) {
+	spec := Spec{"family": "fig5", "cell": "fig5/LEX/N32/256B", "seed": "1"}
+	rec, err := NewRecord("fig5", "fig5/LEX/N32/256B", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := HashSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Hash != want {
+		t.Fatalf("NewRecord hash = %s, want %s", rec.Hash, want)
+	}
+	if rec.Schema != SchemaVersion {
+		t.Fatalf("NewRecord schema = %d, want %d", rec.Schema, SchemaVersion)
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("fresh record invalid: %v", err)
+	}
+}
+
+func TestRecordValidateRejectsPerField(t *testing.T) {
+	goodSpec := Spec{"family": "f", "cell": "f/c"}
+	goodHash, err := HashSpec(goodSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tc := range map[string]struct {
+		rec  *Record
+		want string // substring the per-field error must carry
+	}{
+		"empty family": {
+			&Record{Cell: "f/c", Spec: goodSpec},
+			"family: empty",
+		},
+		"empty cell": {
+			&Record{Family: "f", Spec: goodSpec},
+			"cell: empty",
+		},
+		"nil spec": {
+			&Record{Family: "f", Cell: "f/c"},
+			"spec: nil",
+		},
+		"foreign schema": {
+			&Record{Schema: SchemaVersion + 7, Family: "f", Cell: "f/c", Spec: goodSpec},
+			"schema:",
+		},
+		"hash drift": {
+			&Record{Family: "f", Cell: "f/c", Spec: goodSpec,
+				Hash: "0000000000000000000000000000000000000000000000000000000000000000"},
+			"does not match the spec's content hash",
+		},
+		"unhashable spec": {
+			&Record{Family: "f", Cell: "f/c", Spec: Spec{"ch": make(chan int)}},
+			"spec: not hashable",
+		},
+		"negative write slot": {
+			&Record{Family: "f", Cell: "f/c", Spec: goodSpec, Hash: goodHash,
+				Writes: []Write{{Row: -1, Col: 0, Val: "x"}}},
+			"writes[0]: negative slot",
+		},
+		"NaN value": {
+			&Record{Family: "f", Cell: "f/c", Spec: goodSpec, Hash: goodHash,
+				Values: map[string]float64{"ms": math.NaN()}},
+			"values[ms]:",
+		},
+	} {
+		err := tc.rec.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted a malformed record", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name the defect %q", name, err, tc.want)
+		}
+	}
+}
+
+func TestRecordValidateCollectsAllDefects(t *testing.T) {
+	rec := &Record{} // empty family, empty cell, nil spec: three defects
+	err := rec.Validate()
+	if err == nil {
+		t.Fatal("empty record validated")
+	}
+	for _, want := range []string{"family: empty", "cell: empty", "spec: nil"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("multi-defect error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestPutRejectsMalformedRecords(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A record whose explicit hash does not match its spec would be a
+	// permanent silent miss; Put must refuse it at the write site.
+	rec := testRecord("fig5", "fig5/LEX/N32/0B", "1")
+	rec.Hash = "1111111111111111111111111111111111111111111111111111111111111111"
+	if err := s.Put(rec); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("Put accepted a hash-drifted record (err=%v)", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("rejected record was stored anyway (len %d)", s.Len())
+	}
+}

@@ -116,14 +116,15 @@ type Store struct {
 	met *storeMetrics // nil unless SetMetrics attached a registry
 
 	mu    sync.RWMutex
-	index map[string]indexEntry // hash -> entry
+	index map[string]IndexEntry // hash -> entry
 	dirty bool                  // index.json lags the in-memory index
 }
 
-// storeMetrics are the observability handles Get/Put update.
+// storeMetrics are the observability handles Get/Put/Claim update.
 type storeMetrics struct {
-	hits, misses *obs.Counter
-	get, put     *obs.Histogram
+	hits, misses                        *obs.Counter
+	claims, claimConflicts, claimSteals *obs.Counter
+	get, put                            *obs.Histogram
 }
 
 // SetMetrics attaches observability counters and latency histograms
@@ -135,14 +136,20 @@ func (s *Store) SetMetrics(r *obs.Registry) {
 		return
 	}
 	s.met = &storeMetrics{
-		hits:   r.Counter("store_get_hits_total"),
-		misses: r.Counter("store_get_misses_total"),
-		get:    r.Histogram("store_get_seconds", obs.SecondsBuckets()),
-		put:    r.Histogram("store_put_seconds", obs.SecondsBuckets()),
+		hits:           r.Counter("store_get_hits_total"),
+		misses:         r.Counter("store_get_misses_total"),
+		claims:         r.Counter("store_claims_acquired_total"),
+		claimConflicts: r.Counter("store_claims_conflict_total"),
+		claimSteals:    r.Counter("store_claims_stolen_total"),
+		get:            r.Histogram("store_get_seconds", obs.SecondsBuckets()),
+		put:            r.Histogram("store_put_seconds", obs.SecondsBuckets()),
 	}
 }
 
-type indexEntry struct {
+// IndexEntry is one line of the store index: enough to enumerate and
+// address a record without reading its object file. It is also the
+// wire shape of GET /v1/store/index entries.
+type IndexEntry struct {
 	Hash   string `json:"hash"`
 	Family string `json:"family"`
 	Cell   string `json:"cell"`
@@ -150,20 +157,40 @@ type indexEntry struct {
 
 type indexFile struct {
 	Schema  int          `json:"schema"`
-	Entries []indexEntry `json:"entries"`
+	Entries []IndexEntry `json:"entries"`
 }
+
+// strandedTempMaxAge is how old a temp file must be before Open sweeps
+// it: a crash between temp write and rename strands the file forever,
+// but a file this young may belong to a concurrent writer about to
+// rename it, so the sweep leaves fresh ones alone.
+const strandedTempMaxAge = 15 * time.Minute
 
 // Open opens (creating if needed) the store at dir. The in-memory
 // index is rebuilt from the object files, which are the source of
 // truth; a stale or missing index.json is repaired on the next Put.
+// Temp files stranded by a crash between write and rename (and claim
+// files whose leases expired long ago) are swept, aged ones only, so
+// concurrent writers' in-flight temps survive.
 func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, index: map[string]indexEntry{}}
-	err := filepath.WalkDir(filepath.Join(dir, "objects"), func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".json") {
+	s := &Store{dir: dir, index: map[string]IndexEntry{}}
+	cutoff := time.Now().Add(-strandedTempMaxAge)
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
 			return err
+		}
+		base := filepath.Base(path)
+		if strings.HasPrefix(base, ".tmp-") || strings.HasPrefix(base, ".index-") {
+			if info, ierr := d.Info(); ierr == nil && info.ModTime().Before(cutoff) {
+				os.Remove(path)
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".json") || !strings.HasPrefix(path, filepath.Join(dir, "objects")) {
+			return nil
 		}
 		rec, rerr := readRecord(path)
 		if rerr != nil {
@@ -171,17 +198,36 @@ func Open(dir string) (*Store, error) {
 			// hit (Get re-validates), so skip it.
 			return nil
 		}
-		s.index[rec.Hash] = indexEntry{Hash: rec.Hash, Family: rec.Family, Cell: rec.Cell}
+		s.index[rec.Hash] = IndexEntry{Hash: rec.Hash, Family: rec.Family, Cell: rec.Cell}
 		return nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("store: scan %s: %w", dir, err)
 	}
+	s.sweepExpiredClaims(cutoff)
 	return s, nil
+}
+
+// sweepExpiredClaims removes claim files whose leases expired before
+// cutoff: a lease a worker will steal the moment it wants the hash, so
+// removing the long-dead ones only keeps the claims tree tidy.
+func (s *Store) sweepExpiredClaims(cutoff time.Time) {
+	filepath.WalkDir(filepath.Join(s.dir, "claims"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".json") {
+			return nil
+		}
+		if c, cerr := readClaimFile(path); cerr == nil && c.ExpiresUnixNS < cutoff.UnixNano() {
+			os.Remove(path)
+		}
+		return nil
+	})
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// Location implements Backend.Location: the store directory.
+func (s *Store) Location() string { return s.dir }
 
 // Len returns the number of indexed records.
 func (s *Store) Len() int {
@@ -269,6 +315,11 @@ func (s *Store) put(rec *Record) error {
 		}
 		rec.Hash = h
 	}
+	// Reject malformed records at the write site with per-field errors
+	// (see Record.Validate) — never let them become silent misses.
+	if err := rec.Validate(); err != nil {
+		return err
+	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: encode %s: %w", rec.Cell, err)
@@ -297,7 +348,7 @@ func (s *Store) put(rec *Record) error {
 	}
 
 	s.mu.Lock()
-	s.index[rec.Hash] = indexEntry{Hash: rec.Hash, Family: rec.Family, Cell: rec.Cell}
+	s.index[rec.Hash] = IndexEntry{Hash: rec.Hash, Family: rec.Family, Cell: rec.Cell}
 	s.dirty = true
 	s.mu.Unlock()
 	return nil
@@ -322,7 +373,7 @@ func (s *Store) Flush() error {
 // writeIndexLocked rewrites index.json from the in-memory index,
 // sorted by (family, cell, hash). Callers hold s.mu.
 func (s *Store) writeIndexLocked() error {
-	idx := indexFile{Schema: SchemaVersion, Entries: make([]indexEntry, 0, len(s.index))}
+	idx := indexFile{Schema: SchemaVersion, Entries: make([]IndexEntry, 0, len(s.index))}
 	for _, e := range s.index {
 		idx.Entries = append(idx.Entries, e)
 	}
@@ -359,6 +410,29 @@ func (s *Store) writeIndexLocked() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil
+}
+
+// Index returns a snapshot of the index entries, sorted by
+// (family, cell, hash) — the same order Flush persists. It reads no
+// object files, so it is cheap enough to serve on every request.
+func (s *Store) Index() []IndexEntry {
+	s.mu.RLock()
+	entries := make([]IndexEntry, 0, len(s.index))
+	for _, e := range s.index {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Family != b.Family {
+			return a.Family < b.Family
+		}
+		if a.Cell != b.Cell {
+			return a.Cell < b.Cell
+		}
+		return a.Hash < b.Hash
+	})
+	return entries
 }
 
 // All returns every stored record, sorted by (family, cell, hash) so

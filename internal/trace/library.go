@@ -16,8 +16,10 @@ import (
 // layer's), then a fresh recording — which is memoized and persisted
 // for the next caller. Concurrent Gets of the same trace coalesce:
 // exactly one records, the rest wait. A nil store means memo-only.
+// The store is any backend — a local directory or a cmserve-hosted
+// HTTP store — so distributed workers share one recording of each app.
 type Library struct {
-	st *store.Store
+	st store.Backend
 
 	mu      sync.Mutex
 	entries map[string]*libEntry
@@ -29,8 +31,16 @@ type libEntry struct {
 	err  error
 }
 
-// NewLibrary returns a library over st (nil for memo-only).
-func NewLibrary(st *store.Store) *Library {
+// NewLibrary returns a library over st (nil for memo-only). A typed
+// nil backend pointer is normalized to memo-only, so callers may pass
+// an optional *store.Store straight through.
+func NewLibrary(st store.Backend) *Library {
+	if b, ok := st.(*store.Store); ok && b == nil {
+		st = nil
+	}
+	if b, ok := st.(*store.HTTPBackend); ok && b == nil {
+		st = nil
+	}
 	return &Library{st: st, entries: map[string]*libEntry{}}
 }
 
@@ -109,13 +119,14 @@ func (l *Library) storePut(tr *Trace, cfg network.Config, hash string) {
 	if err != nil {
 		return
 	}
-	rec := &store.Record{
-		Hash:    hash,
-		Family:  "trace",
-		Cell:    CellKey(tr.App, tr.Size, tr.Procs, tr.Seed),
-		Spec:    SpecFor(tr.App, tr.Size, tr.Procs, tr.Seed, cfg),
-		Payload: json.RawMessage(payload),
+	// NewRecord recomputes the hash from the spec and validates; a
+	// drift between HashFor and SpecFor would be caught right here.
+	rec, err := store.NewRecord("trace", CellKey(tr.App, tr.Size, tr.Procs, tr.Seed),
+		SpecFor(tr.App, tr.Size, tr.Procs, tr.Seed, cfg))
+	if err != nil || rec.Hash != hash {
+		return
 	}
+	rec.Payload = json.RawMessage(payload)
 	if l.st.Put(rec) == nil {
 		l.st.Flush()
 	}

@@ -1,0 +1,87 @@
+#!/bin/sh
+# workers_smoke.sh — end-to-end smoke test of the distributed sweep
+# fabric (CI's workers-smoke step; `make workers-smoke` locally).
+#
+# Starts cmserve on a temporary store and points a two-worker cmexp
+# fleet at it over real HTTP, then asserts the fabric's crash contract
+# from the outside:
+#
+#   1. worker 1 is SIGKILLed mid-sweep (-9: no cleanup, no lease
+#      release — a real crash leaving leases to expire);
+#   2. worker 2 completes the sweep anyway — stealing whatever the
+#      corpse held once its leases expire — and its stdout is
+#      byte-identical to a single-process storeless run;
+#   3. a final `cmexp -resume` against the daemon replays every cell
+#      and simulates none: the sweep survived the crash complete.
+#
+# Exits non-zero on the first failed assertion.
+set -eu
+
+PORT="${PORT:-18128}"
+GO="${GO:-go}"
+FAMILY=ablation-async # 16 cells
+tmp="$(mktemp -d)"
+serve_pid=""
+w1_pid=""
+cleanup() {
+	[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+	[ -n "$w1_pid" ] && kill -9 "$w1_pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build"
+"$GO" build -o "$tmp/cmserve" ./cmd/cmserve
+"$GO" build -o "$tmp/cmexp" ./cmd/cmexp
+
+echo "== storeless reference run"
+"$tmp/cmexp" "$FAMILY" >"$tmp/ref.txt"
+
+echo "== start daemon on :$PORT (store $tmp/store)"
+"$tmp/cmserve" -addr "127.0.0.1:$PORT" -store "$tmp/store" &
+serve_pid=$!
+url="http://127.0.0.1:$PORT"
+
+i=0
+until curl -sf "$url/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -gt 50 ] && { echo "workers-smoke: daemon never became healthy"; exit 1; }
+	sleep 0.1
+done
+
+echo "== launch two workers against $url, SIGKILL worker 1 mid-sweep"
+"$tmp/cmexp" -workers -store "$url" -worker-id w1 -parallel 1 -lease-ttl 2s -v "$FAMILY" \
+	>"$tmp/w1.out" 2>"$tmp/w1.err" &
+w1_pid=$!
+"$tmp/cmexp" -workers -store "$url" -worker-id w2 -parallel 2 -lease-ttl 2s -v "$FAMILY" \
+	>"$tmp/w2.out" 2>"$tmp/w2.err" &
+w2_pid=$!
+
+# Kill worker 1 the moment its first per-cell progress line proves it
+# is mid-sweep. SIGKILL: no deferred cleanup runs, its leases die with
+# it and must be stolen by worker 2 after the TTL.
+i=0
+until grep -q '^\[' "$tmp/w1.err" 2>/dev/null; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && break
+	sleep 0.02
+done
+kill -9 "$w1_pid" 2>/dev/null || echo "workers-smoke: note: worker 1 finished before the kill landed"
+wait "$w1_pid" 2>/dev/null || true
+w1_pid=""
+
+echo "== worker 2 must complete the sweep and match the storeless reference"
+wait "$w2_pid" || { echo "workers-smoke: worker 2 failed"; cat "$tmp/w2.err"; exit 1; }
+cmp "$tmp/ref.txt" "$tmp/w2.out" || {
+	echo "workers-smoke: worker 2 output differs from the storeless reference"; exit 1; }
+
+echo "== -resume replays the complete sweep over HTTP, simulating nothing"
+"$tmp/cmexp" -resume -store "$url" "$FAMILY" >"$tmp/resumed.out" 2>"$tmp/resumed.err"
+cmp "$tmp/ref.txt" "$tmp/resumed.out" || {
+	echo "workers-smoke: resumed output differs from the storeless reference"; exit 1; }
+grep -q '16 cells replayed' "$tmp/resumed.err" || {
+	echo "workers-smoke: resume did not replay all 16 cells:"; cat "$tmp/resumed.err"; exit 1; }
+grep -q ' 0 simulated' "$tmp/resumed.err" || {
+	echo "workers-smoke: resume re-simulated cells:"; cat "$tmp/resumed.err"; exit 1; }
+
+echo "workers-smoke: all assertions passed"
