@@ -64,8 +64,9 @@
 //	              the fleet) and the sweep completes. Every worker still
 //	              renders the complete byte-identical output. Requires
 //	              -store.
-//	-worker-id S  this worker's lease identity (default worker-<pid>;
-//	              make it unique per live process)
+//	-worker-id S  this worker's lease identity (default
+//	              <hostname>-<pid>-<starttime>, unique fleet-wide; if
+//	              set, make it unique per live process)
 //	-lease-ttl D  how long a claimed cell stays leased (default 1m).
 //	              Must comfortably exceed one cell's simulation time;
 //	              an expired lease invites a steal and the cell is
@@ -145,7 +146,7 @@ func main() {
 	flag.StringVar(&o.storeDir, "store", "", "content-addressed result store: a directory or a cmserve URL (cache hits replay instead of re-simulating)")
 	flag.BoolVar(&o.resume, "resume", false, "continue an interrupted sweep from an existing -store (reports the replayed/simulated split)")
 	flag.BoolVar(&o.workers, "workers", false, "run as one worker of a fleet sharing -store: lease cells before simulating, steal expired leases of dead workers")
-	flag.StringVar(&o.workerID, "worker-id", "", "this worker's lease identity (default worker-<pid>)")
+	flag.StringVar(&o.workerID, "worker-id", "", "this worker's lease identity (default <hostname>-<pid>-<starttime>)")
 	flag.DurationVar(&o.leaseTTL, "lease-ttl", time.Minute, "how long a claimed cell stays leased in -workers mode")
 	flag.StringVar(&o.invalidate, "invalidate", "", "delete stored results whose cell key matches this regexp before the sweep (requires -store)")
 	flag.StringVar(&o.format, "format", "text", "output format: text, json, or csv")

@@ -236,7 +236,9 @@ func StoreBase(cfg interface{}) store.Spec {
 // Runner.Lease.
 type LeaseConfig struct {
 	// Owner is this worker's identity in the shared claim space; it must
-	// be unique per live process (empty: "worker-<pid>").
+	// be unique per live process across the whole fleet — with the HTTP
+	// backend that fleet spans machines, where pids alone collide
+	// (empty: "<hostname>-<pid>-<starttime>").
 	Owner string
 	// TTL is how long a claimed cell stays leased. It must comfortably
 	// exceed one cell's simulation time: a lease that expires mid-cell
@@ -248,10 +250,23 @@ type LeaseConfig struct {
 	Poll time.Duration
 }
 
+// defaultOwner is the process-wide default lease identity, computed
+// once: hostname + pid + first-use time. Pid alone is not unique when
+// the fleet spans machines (HTTP backend) and can be reused on one
+// host; two workers silently sharing an identity would each treat the
+// other's live lease as refreshable and simulate the same cells.
+var defaultOwner = sync.OnceValue(func() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "anon"
+	}
+	return fmt.Sprintf("%s-%d-%x", host, os.Getpid(), time.Now().UnixNano())
+})
+
 // withDefaults fills the zero fields.
 func (lc LeaseConfig) withDefaults() LeaseConfig {
 	if lc.Owner == "" {
-		lc.Owner = fmt.Sprintf("worker-%d", os.Getpid())
+		lc.Owner = defaultOwner()
 	}
 	if lc.TTL <= 0 {
 		lc.TTL = time.Minute

@@ -54,8 +54,12 @@ func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hash := r.PathValue("hash")
-	if len(hash) < 2 {
-		httpError(w, http.StatusBadRequest, "bad hash %q", hash)
+	// PathValue decodes %2F, so a client-supplied hash could carry path
+	// elements; only the exact 64-hex form HashSpec emits may reach the
+	// store (and, on the disk backend, the filesystem). Anything else
+	// can name no record, so it is a plain miss.
+	if !store.ValidHash(hash) {
+		httpError(w, http.StatusNotFound, "no record under %.12s (not a valid hash)", hash)
 		return
 	}
 	rec, ok, err := s.store.Get(hash)
@@ -75,6 +79,11 @@ func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hash := r.PathValue("hash")
+	if !store.ValidHash(hash) {
+		httpError(w, http.StatusBadRequest,
+			"bad hash %q: want 64 lowercase hex characters", hash)
+		return
+	}
 	// Payload records (a whole sweep table or trace recording) are the
 	// large case; 16 MiB is far above any real record.
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
@@ -125,8 +134,9 @@ func (s *Server) handleStoreClaims(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad claim request: %v", err)
 		return
 	}
-	if len(req.Hash) < 2 {
-		httpError(w, http.StatusBadRequest, "bad hash %q", req.Hash)
+	if !store.ValidHash(req.Hash) {
+		httpError(w, http.StatusBadRequest,
+			"bad hash %q: want 64 lowercase hex characters", req.Hash)
 		return
 	}
 	if req.Owner == "" {

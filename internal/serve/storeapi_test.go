@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"regexp"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -111,7 +112,8 @@ func TestHTTPBackendRoundTrip(t *testing.T) {
 // exactly like the disk store's — the server's store arbitrates.
 func TestHTTPBackendClaims(t *testing.T) {
 	_, remote := newStoreAPIServer(t)
-	const hash = "ab12cd34ef56"
+	// The wire API only accepts the full 64-hex form HashSpec emits.
+	hash := strings.Repeat("ab12cd34", 8)
 
 	cl, err := remote.Claim(hash, "w1", time.Minute)
 	if err != nil || !cl.Acquired || cl.Stolen {
@@ -136,7 +138,7 @@ func TestHTTPBackendClaims(t *testing.T) {
 	}
 
 	// Work-stealing over HTTP: a dead worker's expired lease is stolen.
-	const dead = "deadbeef0001"
+	dead := strings.Repeat("deadbeef", 8)
 	if cl, err := remote.Claim(dead, "dead-worker", time.Millisecond); err != nil || !cl.Acquired {
 		t.Fatalf("seed claim = %+v err=%v", cl, err)
 	}
@@ -206,5 +208,73 @@ func TestStoreAPIRejections(t *testing.T) {
 	// GET of an absent record is a 404 the client maps to a miss.
 	if w := get(h, "/v1/store/objects/"+strings.Repeat("1", 64)); w.Code != http.StatusNotFound {
 		t.Fatalf("absent object: status %d, want 404", w.Code)
+	}
+
+	// Traversal-shaped hashes never reach the filesystem. ServeMux
+	// decodes %2F inside the {hash} wildcard, so the encoded form
+	// arrives at the handler with real slashes; GET treats anything
+	// that is not a well-formed hash as a plain miss, while PUT and
+	// claims refuse it outright.
+	for _, path := range []string{
+		"/v1/store/objects/..%2F..%2F..%2Fetc%2Fpasswd",
+		"/v1/store/objects/..%2Findex",
+	} {
+		if w := get(h, path); w.Code != http.StatusNotFound {
+			t.Errorf("traversal GET %s: status %d, want 404", path, w.Code)
+		}
+	}
+	r = httptest.NewRequest(http.MethodPut, "/v1/store/objects/..%2F..%2Fpwn", strings.NewReader("{}"))
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("traversal PUT: status %d, want 400", w.Code)
+	}
+	if w := post(h, "/v1/store/claims",
+		`{"op":"claim","hash":"../../../../tmp/pwn","owner":"w","ttl_ms":1000}`); w.Code != http.StatusBadRequest {
+		t.Errorf("traversal claim: status %d, want 400", w.Code)
+	}
+}
+
+// TestHTTPBackendRetriesTransientErrors drops every other connection
+// at the server before a byte of response is written and verifies the
+// client retries through it: a brief daemon hiccup must degrade into
+// latency, not into the firstErr that cancels a whole leased sweep.
+func TestHTTPBackendRetriesTransientErrors(t *testing.T) {
+	disk := testStore(t)
+	real := New(network.DefaultConfig(), disk).Handler()
+	var calls atomic.Int32
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1)%2 == 1 {
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err != nil {
+				t.Errorf("hijack: %v", err)
+				return
+			}
+			conn.Close() // the client sees a dropped connection
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	t.Cleanup(flaky.Close)
+	remote, err := store.NewHTTPBackend(flaky.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := payloadRecord(t, "fig5", "fig5/LEX/N32/256B", `{"x":1}`)
+	if err := remote.Put(rec); err != nil {
+		t.Fatalf("put through flaky server: %v", err)
+	}
+	if _, ok, err := remote.Get(rec.Hash); err != nil || !ok {
+		t.Fatalf("get through flaky server: ok=%v err=%v", ok, err)
+	}
+	if cl, err := remote.Claim(rec.Hash, "w1", time.Minute); err != nil || !cl.Acquired {
+		t.Fatalf("claim through flaky server: %+v err=%v", cl, err)
+	}
+	if err := remote.Release(rec.Hash, "w1"); err != nil {
+		t.Fatalf("release through flaky server: %v", err)
+	}
+	if got := disk.Len(); got != 1 {
+		t.Fatalf("disk store has %d records after flaky put, want 1", got)
 	}
 }

@@ -45,11 +45,17 @@ type Backend interface {
 	// that index eagerly.
 	Flush() error
 	// Claim attempts to lease hash for owner until now+ttl. It succeeds
-	// when the hash is unclaimed, already leased by this owner (the
-	// lease is refreshed), or leased by an owner whose lease has
-	// expired (the lease is stolen — Claim.Stolen reports it). A live
-	// lease held by another owner is not disturbed: the returned claim
-	// has Acquired=false and names the holder.
+	// when the hash is unclaimed, leased live by this owner (the lease
+	// is refreshed), or leased by any owner whose lease has expired
+	// (the lease is stolen — Claim.Stolen reports it; an owner whose
+	// own lease expired re-acquires through the same steal path). A
+	// live lease held by another owner is not disturbed: the returned
+	// claim has Acquired=false and names the holder. The one caveat is
+	// a refresh or release racing a steal in the instant the lease
+	// expires, which can briefly leave two owners each believing they
+	// hold the lease; the consequence is bounded by the store's
+	// content addressing — at worst one cell is simulated twice and
+	// both workers Put the identical record.
 	Claim(hash, owner string, ttl time.Duration) (Claim, error)
 	// Release drops owner's lease on hash; releasing a lease that is
 	// absent or held by another owner is a no-op.

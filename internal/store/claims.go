@@ -15,7 +15,10 @@ import (
 //
 //   - acquiring an unclaimed hash hard-links a fully written temp file
 //     into place (link fails with EEXIST when someone else won);
-//   - refreshing an owned lease replaces the file via temp + rename;
+//   - refreshing an owned, still-live lease replaces the file via
+//     temp + rename (an owned lease that has already expired is
+//     re-acquired through the steal path instead, so a rename-over
+//     never clobbers a concurrent thief's fresh claim);
 //   - stealing an expired lease first renames the corpse file away
 //     (exactly one stealer's rename succeeds — the source vanishes),
 //     then acquires the now-unclaimed hash.
@@ -82,8 +85,8 @@ func writeClaimTemp(path string, c claimFile) (string, error) {
 // rename — a bounded number of times; each retry re-reads the claim
 // file, so a loser settles on reporting the winner as holder.
 func (s *Store) Claim(hash, owner string, ttl time.Duration) (Claim, error) {
-	if len(hash) < 2 {
-		return Claim{}, fmt.Errorf("store: bad hash %q", hash)
+	if err := checkHash(hash); err != nil {
+		return Claim{}, err
 	}
 	if owner == "" {
 		return Claim{}, fmt.Errorf("store: claim needs an owner")
@@ -109,8 +112,17 @@ func (s *Store) claim(hash, owner string, ttl time.Duration) (Claim, error) {
 		cur, err := readClaimFile(path)
 		now := time.Now()
 		switch {
-		case err == nil && cur.Owner == owner:
-			// Refresh our own lease: an atomic content swap.
+		case err == nil && cur.Owner == owner && now.UnixNano() < cur.ExpiresUnixNS:
+			// Refresh our own live lease: an atomic content swap. An
+			// expired own lease deliberately does NOT take this branch —
+			// by then a stealer may be retiring it concurrently, and a
+			// rename-over here could clobber the thief's fresh claim; it
+			// falls through to the corpse case below and re-acquires via
+			// the exclusive-link path like any other stealer. (A lease
+			// that expires in the instant between this read and the
+			// rename can still be refreshed over a same-instant steal —
+			// the cost is both owners simulating one cell, whose Puts are
+			// byte-identical, never a wrong result.)
 			c := claimFile{Schema: SchemaVersion, Hash: hash, Owner: owner, ExpiresUnixNS: now.Add(ttl).UnixNano()}
 			tmp, werr := writeClaimTemp(path, c)
 			if werr != nil {
@@ -127,10 +139,11 @@ func (s *Store) claim(hash, owner string, ttl time.Duration) (Claim, error) {
 			return Claim{Holder: cur.Owner, ExpiresUnixNS: cur.ExpiresUnixNS}, nil
 
 		case err == nil || (err != nil && !os.IsNotExist(err)):
-			// An expired lease, or a torn/foreign claim file (possible
-			// only if something other than this code wrote it): retire
-			// the corpse. Exactly one concurrent stealer's rename
-			// succeeds; losers loop and re-read.
+			// An expired lease (anyone's, including our own), or a
+			// torn/foreign claim file (possible only if something other
+			// than this code wrote it): retire the corpse. Exactly one
+			// concurrent stealer's rename succeeds; losers loop and
+			// re-read.
 			corpse := path + fmt.Sprintf(".expired-%d", os.Getpid())
 			if rerr := os.Rename(path, corpse); rerr != nil {
 				if os.IsNotExist(rerr) {
@@ -166,9 +179,17 @@ func (s *Store) claim(hash, owner string, ttl time.Duration) (Claim, error) {
 // owner's claim file. A claim that is absent or (after a steal) held
 // by another owner is left alone — releasing is idempotent and never
 // disturbs a thief that legitimately expired this owner's lease.
+//
+// There is one unavoidable read-then-remove window: if the lease
+// expires between readClaimFile and os.Remove and a thief links a
+// fresh claim in exactly that instant, the remove deletes the thief's
+// claim. A third worker can then also claim the hash, so two workers
+// simulate it — wasteful, never wrong, because both Put the same
+// content-addressed record. Workers release promptly after finishing,
+// long before their TTL, so in practice the lease is live here.
 func (s *Store) Release(hash, owner string) error {
-	if len(hash) < 2 {
-		return fmt.Errorf("store: bad hash %q", hash)
+	if err := checkHash(hash); err != nil {
+		return err
 	}
 	path := s.claimPath(hash)
 	cur, err := readClaimFile(path)

@@ -82,6 +82,31 @@ func TestClaimStealsExpiredLease(t *testing.T) {
 	}
 }
 
+// TestClaimExpiredOwnLeaseReacquiresViaSteal pins the rule that an
+// owner returning to a lease that already expired does not rename-over
+// it (a concurrent thief may be retiring it, and a rename-over could
+// clobber the thief's fresh claim) but re-acquires through the same
+// exclusive-link steal path as everyone else — so the re-claim reports
+// Stolen.
+func TestClaimExpiredOwnLeaseReacquiresViaSteal(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hash = "feed00000001"
+	if cl, err := s.Claim(hash, "w1", time.Millisecond); err != nil || !cl.Acquired || cl.Stolen {
+		t.Fatalf("seed claim = %+v err=%v, want acquired fresh", cl, err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	cl, err := s.Claim(hash, "w1", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Acquired || !cl.Stolen {
+		t.Fatalf("re-claim of own expired lease = %+v, want acquired via the steal path", cl)
+	}
+}
+
 func TestClaimReleaseIdempotentAndForeign(t *testing.T) {
 	s, err := Open(t.TempDir())
 	if err != nil {

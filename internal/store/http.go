@@ -31,6 +31,10 @@ import (
 type HTTPBackend struct {
 	base string // scheme://host[:port], no trailing slash
 	c    *http.Client
+	// retries/retryDelay govern transient-failure retries (see doRetry);
+	// fixed by NewHTTPBackend, overridable in tests.
+	retries    int
+	retryDelay time.Duration
 }
 
 // NewHTTPBackend returns a Backend speaking to the /v1/store API at
@@ -45,9 +49,55 @@ func NewHTTPBackend(base string) (*HTTPBackend, error) {
 		return nil, fmt.Errorf("store: URL %q must be http(s)://host[:port]", base)
 	}
 	return &HTTPBackend{
-		base: strings.TrimRight(base, "/"),
-		c:    &http.Client{Timeout: 60 * time.Second},
+		base:       strings.TrimRight(base, "/"),
+		c:          &http.Client{Timeout: 60 * time.Second},
+		retries:    3,
+		retryDelay: 100 * time.Millisecond,
 	}, nil
+}
+
+// doRetry performs one API call, retrying transport-level failures (a
+// daemon restarting, a dropped connection) with exponential backoff
+// before giving up. mk builds a fresh request per attempt, because a
+// request body is consumed by the attempt that fails.
+//
+// Blanket retries are safe here because every /v1/store call is
+// idempotent: Get and index trivially; Put because records are
+// content-addressed (a replayed Put writes the same bytes under the
+// same hash); claim because re-claiming under the same owner is a
+// refresh; release and invalidate because removing twice removes once.
+// Without this, one transient network error inside a leased sweep
+// would become runCellLeased's firstErr and cancel every in-flight
+// worker — a fleet built to survive worker deaths would die of a
+// single dropped packet.
+func (b *HTTPBackend) doRetry(mk func() (*http.Request, error)) (*http.Response, error) {
+	retries := b.retries
+	if retries < 1 {
+		retries = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(b.retryDelay << (attempt - 1))
+		}
+		req, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := b.c.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// getRetry is doRetry specialized to a bare GET of url.
+func (b *HTTPBackend) getRetry(url string) (*http.Response, error) {
+	return b.doRetry(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, url, nil)
+	})
 }
 
 // Location implements Backend.Location: the server URL.
@@ -68,7 +118,7 @@ func apiError(op string, resp *http.Response) error {
 
 // Ping verifies the server is reachable and serves the store API.
 func (b *HTTPBackend) Ping() error {
-	resp, err := b.c.Get(b.base + "/v1/store/index")
+	resp, err := b.getRetry(b.base + "/v1/store/index")
 	if err != nil {
 		return fmt.Errorf("store: ping %s: %w", b.base, err)
 	}
@@ -85,7 +135,7 @@ func (b *HTTPBackend) Get(hash string) (*Record, bool, error) {
 	if len(hash) < 2 {
 		return nil, false, fmt.Errorf("store: bad hash %q", hash)
 	}
-	resp, err := b.c.Get(b.base + "/v1/store/objects/" + url.PathEscape(hash))
+	resp, err := b.getRetry(b.base + "/v1/store/objects/" + url.PathEscape(hash))
 	if err != nil {
 		return nil, false, fmt.Errorf("store: get %.12s: %w", hash, err)
 	}
@@ -127,13 +177,15 @@ func (b *HTTPBackend) Put(rec *Record) error {
 	if err != nil {
 		return fmt.Errorf("store: encode %s: %w", rec.Cell, err)
 	}
-	req, err := http.NewRequest(http.MethodPut,
-		b.base+"/v1/store/objects/"+url.PathEscape(rec.Hash), bytes.NewReader(data))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := b.c.Do(req)
+	resp, err := b.doRetry(func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPut,
+			b.base+"/v1/store/objects/"+url.PathEscape(rec.Hash), bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 	if err != nil {
 		return fmt.Errorf("store: put %s: %w", rec.Cell, err)
 	}
@@ -152,7 +204,7 @@ type indexDoc struct {
 }
 
 func (b *HTTPBackend) index() (*indexDoc, error) {
-	resp, err := b.c.Get(b.base + "/v1/store/index")
+	resp, err := b.getRetry(b.base + "/v1/store/index")
 	if err != nil {
 		return nil, fmt.Errorf("store: index: %w", err)
 	}
@@ -224,7 +276,14 @@ func (b *HTTPBackend) postJSON(path, op string, in, out any) error {
 	if err != nil {
 		return err
 	}
-	resp, err := b.c.Post(b.base+path, "application/json", bytes.NewReader(data))
+	resp, err := b.doRetry(func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, b.base+path, bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 	if err != nil {
 		return fmt.Errorf("store: %s: %w", op, err)
 	}

@@ -90,6 +90,36 @@ func HashSpec(spec Spec) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// ValidHash reports whether hash has exactly the form HashSpec emits:
+// 64 lowercase hex characters. The /v1/store HTTP handlers gate every
+// client-supplied hash on it before the hash goes anywhere near a file
+// path, so a remote client cannot smuggle path elements ("../", "/",
+// "\") into the object or claim directories.
+func ValidHash(hash string) bool {
+	return len(hash) == 64 && hexOnly(hash)
+}
+
+func hexOnly(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// checkHash rejects hashes that cannot safely name an object or claim
+// file: too short to shard into <hh>/ directories, or containing
+// anything outside lowercase hex — which keeps path metacharacters
+// ('/', '\', '.') out of every filepath.Join in this package.
+func checkHash(hash string) error {
+	if len(hash) < 2 || !hexOnly(hash) {
+		return fmt.Errorf("store: bad hash %q", hash)
+	}
+	return nil
+}
+
 func canonicalJSON(v any) ([]byte, error) {
 	raw, err := json.Marshal(v)
 	if err != nil {
@@ -274,8 +304,8 @@ func (s *Store) Get(hash string) (*Record, bool, error) {
 }
 
 func (s *Store) get(hash string) (*Record, bool, error) {
-	if len(hash) < 2 {
-		return nil, false, fmt.Errorf("store: bad hash %q", hash)
+	if err := checkHash(hash); err != nil {
+		return nil, false, err
 	}
 	rec, err := readRecord(s.objectPath(hash))
 	if os.IsNotExist(err) {

@@ -7,9 +7,55 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 )
+
+// TestHashValidationBlocksPathMetacharacters pins the traversal
+// defense: the hash is the only caller-controlled value that reaches
+// filepath.Join, so anything outside lowercase hex — in particular
+// '/', '\', '.' — must be rejected by every hash-taking operation
+// before it can name a path, and ValidHash (the network boundary's
+// stricter gate) must accept exactly the 64-hex form HashSpec emits.
+func TestHashValidationBlocksPathMetacharacters(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil := []string{
+		"", "a", "..", "../../../../tmp/pwn", "ab/cd", `ab\cd`,
+		"ab12..", "AB12CD", "ab12cd!",
+	}
+	for _, h := range evil {
+		if _, _, err := s.Get(h); err == nil {
+			t.Errorf("Get(%q) accepted a malformed hash", h)
+		}
+		if _, err := s.Claim(h, "w", time.Minute); err == nil {
+			t.Errorf("Claim(%q) accepted a malformed hash", h)
+		}
+		if err := s.Release(h, "w"); err == nil {
+			t.Errorf("Release(%q) accepted a malformed hash", h)
+		}
+	}
+
+	h, err := HashSpec(Spec{"family": "fig5"})
+	if err != nil || !ValidHash(h) {
+		t.Fatalf("HashSpec output %q (err=%v) must satisfy ValidHash", h, err)
+	}
+	invalid := append(evil,
+		strings.Repeat("a", 63),
+		strings.Repeat("a", 65),
+		strings.Repeat("A", 64),
+		strings.Repeat("a", 63)+"/",
+	)
+	for _, h := range invalid {
+		if ValidHash(h) {
+			t.Errorf("ValidHash(%q) = true, want false", h)
+		}
+	}
+}
 
 func TestHashSpecStableAcrossFieldOrder(t *testing.T) {
 	// Maps built in different insertion orders, and equivalent structs
